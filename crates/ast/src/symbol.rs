@@ -1,0 +1,205 @@
+//! Global string interning for node kinds and terminal values.
+//!
+//! Both [`Kind`] (the grammar symbol of a node, e.g. `While` or `SymbolRef`)
+//! and [`Symbol`] (the value of a terminal, e.g. an identifier name) are
+//! lightweight indices into a process-wide interner. Interning makes node
+//! kinds and terminal values `Copy`, cheap to hash and compare, and lets
+//! path representations be packed into small integer sequences.
+//!
+//! The interner is append-only and never frees strings; this mirrors the
+//! lifetime of a vocabulary in a learning pipeline, where every observed
+//! kind or value may later be needed to render a prediction.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// The process-wide interner shared by [`Kind`] and [`Symbol`].
+struct Interner {
+    map: HashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+impl Interner {
+    fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.map.get(s) {
+            return id;
+        }
+        // Leaking is deliberate: interned strings live for the process.
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let id = self.strings.len() as u32;
+        self.strings.push(leaked);
+        self.map.insert(leaked, id);
+        id
+    }
+
+    fn resolve(&self, id: u32) -> &'static str {
+        self.strings[id as usize]
+    }
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            map: HashMap::new(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+fn intern(s: &str) -> u32 {
+    interner().lock().expect("interner poisoned").intern(s)
+}
+
+fn resolve(id: u32) -> &'static str {
+    interner().lock().expect("interner poisoned").resolve(id)
+}
+
+/// An interned grammar symbol naming the syntactic category of an AST node.
+///
+/// Kinds are the alphabet from which AST paths are built: the path in
+/// Fig. 1 of the paper is the kind sequence
+/// `SymbolRef ↑ UnaryPrefix! ↑ While ↓ If ↓ Assign= ↓ SymbolRef`.
+///
+/// ```
+/// use pigeon_ast::Kind;
+/// let a = Kind::new("While");
+/// let b = Kind::new("While");
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "While");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Kind(u32);
+
+impl Kind {
+    /// Interns `name` and returns its kind.
+    pub fn new(name: &str) -> Self {
+        Kind(intern(name))
+    }
+
+    /// The string this kind was interned from.
+    pub fn as_str(self) -> &'static str {
+        resolve(self.0)
+    }
+
+    /// The raw interner index, stable for the lifetime of the process.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Kind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Kind({})", self.as_str())
+    }
+}
+
+impl fmt::Display for Kind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Kind {
+    fn from(s: &str) -> Self {
+        Kind::new(s)
+    }
+}
+
+/// An interned terminal value: an identifier, literal text, or other token
+/// payload attached to a leaf of the AST (the set `X` in Definition 4.1).
+///
+/// ```
+/// use pigeon_ast::Symbol;
+/// let s = Symbol::new("done");
+/// assert_eq!(s.as_str(), "done");
+/// assert_eq!(s, Symbol::new("done"));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// Interns `text` and returns its symbol.
+    pub fn new(text: &str) -> Self {
+        Symbol(intern(text))
+    }
+
+    /// The string this symbol was interned from.
+    pub fn as_str(self) -> &'static str {
+        resolve(self.0)
+    }
+
+    /// The raw interner index, stable for the lifetime of the process.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({})", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Self {
+        Symbol::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Kind::new("If");
+        let b = Kind::new("If");
+        assert_eq!(a, b);
+        assert_eq!(a.index(), b.index());
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_ids() {
+        assert_ne!(Kind::new("If"), Kind::new("While"));
+        assert_ne!(Symbol::new("x"), Symbol::new("y"));
+    }
+
+    #[test]
+    fn kinds_and_symbols_share_one_namespace_without_colliding_semantically() {
+        // A Kind and a Symbol interned from the same text resolve to the
+        // same string but remain different Rust types.
+        let k = Kind::new("name");
+        let s = Symbol::new("name");
+        assert_eq!(k.as_str(), s.as_str());
+    }
+
+    #[test]
+    fn display_matches_source_text() {
+        assert_eq!(Kind::new("Assign=").to_string(), "Assign=");
+        assert_eq!(Symbol::new("total_count").to_string(), "total_count");
+    }
+
+    #[test]
+    fn interning_is_thread_safe() {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let k = Kind::new(&format!("ThreadKind{}", i % 2));
+                    k.as_str().to_owned()
+                })
+            })
+            .collect();
+        for h in handles {
+            let s = h.join().unwrap();
+            assert!(s.starts_with("ThreadKind"));
+        }
+    }
+}

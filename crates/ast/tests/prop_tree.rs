@@ -1,0 +1,104 @@
+//! Property tests for the AST arena invariants of Definition 4.1.
+
+use pigeon_ast::{Ast, AstBuilder, NodeId};
+use proptest::prelude::*;
+
+/// A recipe for a random tree: a preorder script of builder operations.
+#[derive(Debug, Clone)]
+enum Op {
+    Start(u8),
+    Token(u8, u8),
+    Finish,
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u8..6).prop_map(Op::Start),
+            (0u8..6, 0u8..10).prop_map(|(k, v)| Op::Token(k, v)),
+            Just(Op::Finish),
+        ],
+        0..120,
+    )
+}
+
+/// Replays a script, ignoring unbalanced `Finish` ops and closing any
+/// still-open nodes at the end, so every script yields a valid tree.
+fn build(ops: &[Op]) -> Ast {
+    let mut b = AstBuilder::new("Root");
+    let mut depth = 0usize;
+    for op in ops {
+        match op {
+            Op::Start(k) => {
+                b.start_node(format!("Nt{k}").as_str());
+                depth += 1;
+            }
+            Op::Token(k, v) => {
+                b.token(format!("T{k}").as_str(), format!("v{v}").as_str());
+            }
+            Op::Finish => {
+                if depth > 0 {
+                    b.finish_node();
+                    depth -= 1;
+                }
+            }
+        }
+    }
+    for _ in 0..depth {
+        b.finish_node();
+    }
+    b.finish()
+}
+
+proptest! {
+    #[test]
+    fn invariants_hold_for_random_trees(ops in ops_strategy()) {
+        let ast = build(&ops);
+        prop_assert!(ast.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn every_node_reaches_root_through_ancestors(ops in ops_strategy()) {
+        let ast = build(&ops);
+        for id in ast.preorder() {
+            if id != ast.root() {
+                let last = ast.ancestors(id).last();
+                prop_assert_eq!(last, Some(ast.root()));
+            }
+        }
+    }
+
+    #[test]
+    fn lca_is_symmetric_and_is_a_common_ancestor(ops in ops_strategy()) {
+        let ast = build(&ops);
+        let ids: Vec<NodeId> = ast.preorder().collect();
+        for (i, &a) in ids.iter().enumerate().step_by(7) {
+            for &b in ids.iter().skip(i).step_by(11) {
+                let l = ast.lowest_common_ancestor(a, b);
+                prop_assert_eq!(l, ast.lowest_common_ancestor(b, a));
+                let anc_a: Vec<NodeId> =
+                    std::iter::once(a).chain(ast.ancestors(a)).collect();
+                let anc_b: Vec<NodeId> =
+                    std::iter::once(b).chain(ast.ancestors(b)).collect();
+                prop_assert!(anc_a.contains(&l));
+                prop_assert!(anc_b.contains(&l));
+            }
+        }
+    }
+
+    #[test]
+    fn leaves_are_exactly_the_valued_nodes(ops in ops_strategy()) {
+        let ast = build(&ops);
+        let from_scan: Vec<NodeId> =
+            ast.preorder().filter(|&n| ast.value(n).is_some()).collect();
+        prop_assert_eq!(ast.leaves(), &from_scan[..]);
+    }
+
+    #[test]
+    fn depth_equals_ancestor_count(ops in ops_strategy()) {
+        let ast = build(&ops);
+        for id in ast.preorder() {
+            prop_assert_eq!(ast.depth(id), ast.ancestors(id).count());
+        }
+    }
+}

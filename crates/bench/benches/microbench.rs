@@ -1,0 +1,130 @@
+//! Criterion microbenchmarks of the pipeline's hot paths: parsing, path
+//! extraction, abstraction/interning, CRF inference and SGNS prediction.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pigeon_core::{extract, Abstraction, ExtractionConfig, PathVocab};
+use pigeon_corpus::{generate, CorpusConfig, Language};
+use pigeon_crf::{train as train_crf, CrfConfig, Instance, Node};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn corpus_sources(n: usize) -> Vec<String> {
+    generate(Language::JavaScript, &CorpusConfig::default().with_files(n))
+        .docs
+        .into_iter()
+        .map(|d| d.source)
+        .collect()
+}
+
+fn bench_parsing(c: &mut Criterion) {
+    let sources = corpus_sources(50);
+    c.bench_function("parse_js_50_files", |b| {
+        b.iter(|| {
+            for s in &sources {
+                std::hint::black_box(pigeon_js::parse(s).expect("parses"));
+            }
+        })
+    });
+}
+
+fn bench_extraction(c: &mut Criterion) {
+    let asts: Vec<_> = corpus_sources(50)
+        .iter()
+        .map(|s| pigeon_js::parse(s).expect("parses"))
+        .collect();
+    let cfg = ExtractionConfig::with_limits(4, 3);
+    c.bench_function("extract_paths_50_files", |b| {
+        b.iter(|| {
+            for ast in &asts {
+                std::hint::black_box(extract(ast, &cfg));
+            }
+        })
+    });
+}
+
+fn bench_abstraction_interning(c: &mut Criterion) {
+    let asts: Vec<_> = corpus_sources(20)
+        .iter()
+        .map(|s| pigeon_js::parse(s).expect("parses"))
+        .collect();
+    let cfg = ExtractionConfig::with_limits(7, 3);
+    let contexts: Vec<_> = asts.iter().flat_map(|a| extract(a, &cfg)).collect();
+    c.bench_function("intern_paths_first_top_last", |b| {
+        b.iter_batched(
+            || PathVocab::new(Abstraction::FirstTopLast),
+            |mut vocab| {
+                for ctx in &contexts {
+                    std::hint::black_box(vocab.intern(&ctx.path));
+                }
+                vocab
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn toy_instances(n: usize, seed: u64) -> Vec<Instance> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let path = rng.gen_range(0..30u32);
+            let mut inst = Instance::new(vec![
+                Node::unknown(path % 8),
+                Node::unknown(8 + path % 4),
+                Node::known(12 + path % 3),
+            ]);
+            inst.add_pair(0, 2, path);
+            inst.add_pair(0, 1, 50 + path % 5);
+            inst.add_unary(1, 100 + path);
+            inst
+        })
+        .collect()
+}
+
+fn bench_crf(c: &mut Criterion) {
+    let train_set = toy_instances(300, 1);
+    let test_set = toy_instances(100, 2);
+    c.bench_function("crf_train_300_instances", |b| {
+        b.iter(|| {
+            std::hint::black_box(train_crf(&train_set, 15, &CrfConfig::default()))
+        })
+    });
+    let model = train_crf(&train_set, 15, &CrfConfig::default());
+    c.bench_function("crf_infer_100_instances", |b| {
+        b.iter(|| {
+            for inst in &test_set {
+                std::hint::black_box(model.predict(inst));
+            }
+        })
+    });
+}
+
+fn bench_sgns(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let pairs: Vec<(u32, u32)> = (0..5000)
+        .map(|_| {
+            let w = rng.gen_range(0..50u32);
+            (w, w * 4 + rng.gen_range(0..4))
+        })
+        .collect();
+    let cfg = pigeon_word2vec::SgnsConfig {
+        dim: 32,
+        epochs: 2,
+        ..pigeon_word2vec::SgnsConfig::default()
+    };
+    c.bench_function("sgns_train_5000_pairs", |b| {
+        b.iter(|| std::hint::black_box(pigeon_word2vec::train(&pairs, 50, 201, &cfg)))
+    });
+    let model = pigeon_word2vec::train(&pairs, 50, 201, &cfg);
+    let contexts: Vec<u32> = (0..16).collect();
+    c.bench_function("sgns_predict_full_vocab", |b| {
+        b.iter(|| std::hint::black_box(model.predict(&contexts, None)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_parsing, bench_extraction, bench_abstraction_interning, bench_crf, bench_sgns
+}
+criterion_main!(benches);

@@ -1,0 +1,190 @@
+//! Table 2: accuracy comparison for variable-name, method-name and
+//! full-type prediction using CRFs — the paper's headline table.
+//!
+//! Rows and baselines follow the paper: JavaScript compares against the
+//! UnuglifyJS-style single-statement relations and the no-path bag;
+//! Java against CRFs+4-grams and the rule-based heuristics; Python
+//! against no-path; C# has no prior baseline. Method names compare
+//! against no-path (the paper's Allamanis-et-al. comparison row is
+//! reported from the paper; see EXPERIMENTS.md). Full types compare
+//! against the naive all-String baseline.
+
+use pigeon_bench::{bench_files, pct, Section};
+use pigeon_corpus::{CorpusConfig, Language};
+use pigeon_eval::{
+    naive_string_type_accuracy, rule_based_java_vars, run_name_experiment,
+    run_type_experiment, NameExperiment, Representation, TypeExperiment,
+};
+
+fn main() {
+    let files = bench_files(1200);
+    let corpus = CorpusConfig::default().with_files(files);
+
+    // ---- Variable names -------------------------------------------------
+    let section = Section::begin("Table 2 (top): variable name prediction");
+    println!(
+        "{:<12} {:>22} {:>22} {:>12} {:>8}",
+        "Language", "baseline 1", "baseline 2", "AST paths", "l/w"
+    );
+
+    let js = NameExperiment {
+        corpus,
+        ..NameExperiment::var_names(Language::JavaScript)
+    };
+    let js_paths = run_name_experiment(&js);
+    let js_nopath = run_name_experiment(
+        &js.clone().with_representation(Representation::NoPaths),
+    );
+    let js_relations = run_name_experiment(
+        &js.clone().with_representation(Representation::Relations),
+    );
+    println!(
+        "{:<12} {:>22} {:>22} {:>12} {:>8}",
+        "JavaScript",
+        format!("{} no-paths", pct(js_nopath.accuracy)),
+        format!("{} relations", pct(js_relations.accuracy)),
+        pct(js_paths.accuracy),
+        format!("{}/{}", js.extraction.max_length, js.extraction.max_width),
+    );
+
+    let java = NameExperiment {
+        corpus,
+        ..NameExperiment::var_names(Language::Java)
+    };
+    let java_paths = run_name_experiment(&java);
+    let java_rule = rule_based_java_vars(&corpus, java.train_frac);
+    let java_ngram = run_name_experiment(
+        &java
+            .clone()
+            .with_representation(Representation::NGram { window: 3 }),
+    );
+    println!(
+        "{:<12} {:>22} {:>22} {:>12} {:>8}",
+        "Java",
+        format!("{} rule-based", pct(java_rule.accuracy)),
+        format!("{} 4-grams", pct(java_ngram.accuracy)),
+        pct(java_paths.accuracy),
+        format!("{}/{}", java.extraction.max_length, java.extraction.max_width),
+    );
+
+    let python = NameExperiment {
+        corpus,
+        ..NameExperiment::var_names(Language::Python)
+    };
+    let py_paths = run_name_experiment(&python);
+    let py_nopath = run_name_experiment(
+        &python.clone().with_representation(Representation::NoPaths),
+    );
+    println!(
+        "{:<12} {:>22} {:>22} {:>12} {:>8}",
+        "Python",
+        format!("{} no-paths", pct(py_nopath.accuracy)),
+        "",
+        pct(py_paths.accuracy),
+        format!("{}/{}", python.extraction.max_length, python.extraction.max_width),
+    );
+
+    let csharp = NameExperiment {
+        corpus,
+        ..NameExperiment::var_names(Language::CSharp)
+    };
+    let cs_paths = run_name_experiment(&csharp);
+    println!(
+        "{:<12} {:>22} {:>22} {:>12} {:>8}",
+        "C#",
+        "-",
+        "",
+        pct(cs_paths.accuracy),
+        format!("{}/{}", csharp.extraction.max_length, csharp.extraction.max_width),
+    );
+    println!(
+        "\nPaper: JS 24.9 (no-paths) / 60.0 (UnuglifyJS) -> 67.3; Java 23.7 \
+         (rule-based) / 50.1 (4-grams) -> 58.2; Python 35.2 -> 56.7; C# -> 56.1."
+    );
+    println!(
+        "OoV rates (paper reports 5-15%): JS {:.1}%, Java {:.1}%, Python {:.1}%, C# {:.1}%.",
+        100.0 * js_paths.oov_rate,
+        100.0 * java_paths.oov_rate,
+        100.0 * py_paths.oov_rate,
+        100.0 * cs_paths.oov_rate,
+    );
+    section.end();
+
+    // ---- Method names ---------------------------------------------------
+    let section = Section::begin("Table 2 (middle): method name prediction");
+    println!(
+        "{:<12} {:>18} {:>12} {:>10} {:>14}",
+        "Language", "no-paths", "F1", "AST paths", "params (l/w)"
+    );
+    for language in [Language::JavaScript, Language::Java, Language::Python] {
+        let exp = NameExperiment {
+            corpus,
+            ..NameExperiment::method_names(language)
+        };
+        let paths = run_name_experiment(&exp);
+        let nopath = run_name_experiment(
+            &exp.clone().with_representation(Representation::NoPaths),
+        );
+        println!(
+            "{:<12} {:>18} {:>12} {:>10} {:>14}",
+            language.name(),
+            pct(nopath.accuracy),
+            format!("F1 {:.1}", 100.0 * paths.f1),
+            pct(paths.accuracy),
+            format!("{}/{}", exp.extraction.max_length, exp.extraction.max_width),
+        );
+    }
+    println!(
+        "\nPaper: JS 44.1 → 53.1; Java 16.5/F1 33.9 (Allamanis et al., \
+         reported) → 47.3/F1 49.9; Python 41.6 → 51.1."
+    );
+    section.end();
+
+    // ---- Full types -------------------------------------------------------
+    let section = Section::begin("Table 2 (bottom): full type prediction (Java)");
+    let types = run_type_experiment(&TypeExperiment {
+        corpus,
+        ..TypeExperiment::default()
+    });
+    let naive = naive_string_type_accuracy(&corpus, 0.8);
+    println!(
+        "{:<12} {:>18} {:>23} {:>14}",
+        "Java",
+        format!("{} (naive)", pct(naive.accuracy)),
+        format!("{} (AST paths)", pct(types.accuracy)),
+        "4/1",
+    );
+    println!("\nPaper: 24.1 (naive String) → 69.1 (AST paths), params 4/1.");
+    section.end();
+
+    // ---- Ablation: unary factors (the paper's §5.1 +1.5% note) ---------
+    let section = Section::begin("Ablation: unary factors (paper §5.1: ≈ +1.5%)");
+    let with_unary = js_paths;
+    let without = run_name_experiment(&NameExperiment {
+        crf: pigeon_crf::CrfConfig {
+            use_unary: false,
+            ..pigeon_crf::CrfConfig::default()
+        },
+        ..js.clone()
+    });
+    println!(
+        "JavaScript variable names: with unary {} vs without {} (Δ {:+.1} pts)",
+        pct(with_unary.accuracy),
+        pct(without.accuracy),
+        100.0 * (with_unary.accuracy - without.accuracy),
+    );
+    section.end();
+
+    // ---- Ablation: semi-paths (the paper's §5 generalisation note) -----
+    let section = Section::begin("Ablation: semi-paths (§5: extra generalisation)");
+    let mut leafwise_only = js.clone();
+    leafwise_only.extraction.semi_paths = false;
+    let without_semis = run_name_experiment(&leafwise_only);
+    println!(
+        "JavaScript variable names: with semi-paths {} vs leafwise-only {} (Δ {:+.1} pts)",
+        pct(js_paths.accuracy),
+        pct(without_semis.accuracy),
+        100.0 * (js_paths.accuracy - without_semis.accuracy),
+    );
+    section.end();
+}

@@ -1,0 +1,44 @@
+//! Benchmark and experiment harness for the PIGEON reproduction.
+//!
+//! One `harness = false` bench target per table and figure of the paper
+//! (run with `cargo bench -p pigeon-bench --bench table2`, or everything
+//! via `cargo bench --workspace`), plus Criterion microbenchmarks of the
+//! extraction and inference hot paths. Experiment sizes scale with the
+//! `PIGEON_FILES` environment variable (files per corpus; default keeps
+//! the full suite in the tens of minutes).
+
+use std::time::Instant;
+
+/// Files per corpus for headline experiments; override with
+/// `PIGEON_FILES`.
+pub fn bench_files(default: usize) -> usize {
+    std::env::var("PIGEON_FILES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Formats a `[0, 1]` accuracy as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Prints a standard experiment header with timing bookkeeping.
+pub struct Section {
+    started: Instant,
+}
+
+impl Section {
+    /// Prints the banner and starts the clock.
+    pub fn begin(title: &str) -> Section {
+        println!("\n=== {title} ===");
+        Section {
+            started: Instant::now(),
+        }
+    }
+
+    /// Prints the elapsed time.
+    pub fn end(self) {
+        println!("[section took {:.1}s]", self.started.elapsed().as_secs_f64());
+    }
+}

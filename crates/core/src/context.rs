@@ -1,0 +1,142 @@
+//! Path-contexts (Definition 4.3).
+//!
+//! A path-context is a triple `⟨x_s, p, x_f⟩`: the values at the two ends
+//! of an AST path. The paper mostly uses paths between terminals, whose
+//! ends are terminal values; for the full-type prediction task it also
+//! uses paths from terminals to the *nonterminal* whose type is predicted,
+//! and semi-paths from a terminal to one of its ancestors. [`PathEnd`]
+//! covers both cases.
+
+use crate::path::AstPath;
+use pigeon_ast::{Kind, NodeId, Symbol};
+use std::fmt;
+
+/// One end of a path-context: either a terminal's value or a nonterminal's
+/// kind (for semi-paths and leaf-to-nonterminal paths).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PathEnd {
+    /// The end is a terminal; carries `val(n)`.
+    Value(Symbol),
+    /// The end is a nonterminal; carries its grammar symbol.
+    Node(Kind),
+}
+
+impl PathEnd {
+    /// The terminal value, if this end is a terminal.
+    pub fn value(self) -> Option<Symbol> {
+        match self {
+            PathEnd::Value(v) => Some(v),
+            PathEnd::Node(_) => None,
+        }
+    }
+
+    /// A display string: the value for terminals, the kind for
+    /// nonterminals.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PathEnd::Value(v) => v.as_str(),
+            PathEnd::Node(k) => k.as_str(),
+        }
+    }
+}
+
+impl fmt::Display for PathEnd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A concrete path-context `⟨x_s, p, x_f⟩` extracted from one tree.
+///
+/// Besides the triple itself, the context remembers *which* nodes it
+/// connects (`start_node`, `end_node`) so that downstream consumers can
+/// group contexts by program element and distinguish occurrences.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PathContext {
+    /// The value or kind at the start of the path.
+    pub start: PathEnd,
+    /// The syntactic path connecting the two ends.
+    pub path: AstPath,
+    /// The value or kind at the end of the path.
+    pub end: PathEnd,
+    /// The tree node the path starts at.
+    pub start_node: NodeId,
+    /// The tree node the path ends at.
+    pub end_node: NodeId,
+}
+
+impl PathContext {
+    /// Renders the triple in the paper's notation:
+    /// `⟨item, SymbolVar ↑ VarDef ↓ Sub ↓ SymbolRef, array⟩`.
+    pub fn display_triple(&self) -> String {
+        format!("⟨{}, {}, {}⟩", self.start, self.path, self.end)
+    }
+
+    /// The same context viewed from the other end (path reversed, ends
+    /// swapped). Extraction emits each unordered pair once; consumers that
+    /// need both orientations call this.
+    pub fn flipped(&self) -> PathContext {
+        PathContext {
+            start: self.end,
+            path: self.path.reversed(),
+            end: self.start,
+            start_node: self.end_node,
+            end_node: self.start_node,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::Direction;
+
+    #[test]
+    fn display_matches_example_4_5() {
+        let path = AstPath::new(
+            vec![
+                Kind::new("SymbolVar"),
+                Kind::new("VarDef"),
+                Kind::new("Sub"),
+                Kind::new("SymbolRef"),
+            ],
+            vec![Direction::Up, Direction::Down, Direction::Down],
+        );
+        let ctx = PathContext {
+            start: PathEnd::Value(Symbol::new("item")),
+            path,
+            end: PathEnd::Value(Symbol::new("array")),
+            start_node: NodeId::from_raw(0),
+            end_node: NodeId::from_raw(1),
+        };
+        assert_eq!(
+            ctx.display_triple(),
+            "⟨item, SymbolVar ↑ VarDef ↓ Sub ↓ SymbolRef, array⟩"
+        );
+    }
+
+    #[test]
+    fn flip_is_involutive() {
+        let path = AstPath::new(
+            vec![Kind::new("A"), Kind::new("B")],
+            vec![Direction::Up],
+        );
+        let ctx = PathContext {
+            start: PathEnd::Value(Symbol::new("x")),
+            path,
+            end: PathEnd::Node(Kind::new("B")),
+            start_node: NodeId::from_raw(0),
+            end_node: NodeId::from_raw(1),
+        };
+        assert_eq!(ctx.flipped().flipped(), ctx);
+    }
+
+    #[test]
+    fn path_end_value_accessor() {
+        assert_eq!(
+            PathEnd::Value(Symbol::new("x")).value(),
+            Some(Symbol::new("x"))
+        );
+        assert_eq!(PathEnd::Node(Kind::new("If")).value(), None);
+    }
+}

@@ -1,0 +1,410 @@
+//! Path-context extraction (§4 of the paper).
+//!
+//! Given a parsed [`Ast`], the extractor produces the path-contexts that
+//! represent its program elements:
+//!
+//! * **leafwise paths** between pairs of terminals — the workhorse
+//!   representation;
+//! * **semi-paths** between a terminal and one of its ancestors, which
+//!   "provide more generalization" (§5);
+//! * **leaf-to-nonterminal paths** towards an arbitrary target node, used
+//!   by the full-type prediction task where the element in question is an
+//!   expression nonterminal.
+//!
+//! Extraction enforces the two hyper-parameters of §4.2: `max_length`
+//! (number of edges) and `max_width` (maximal sibling-index difference at
+//! the path's top node, cf. Fig. 5).
+
+use crate::context::{PathContext, PathEnd};
+use crate::path::{AstPath, Direction};
+use pigeon_ast::{Ast, NodeId};
+
+/// Hyper-parameters controlling which paths are extracted.
+///
+/// The defaults are the paper's best variable-name parameters for
+/// JavaScript (`max_length = 7`, `max_width = 3`, Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExtractionConfig {
+    /// Maximal number of edges in a path (`max_length`, §4.2).
+    pub max_length: usize,
+    /// Maximal sibling distance at the top node (`max_width`, §4.2).
+    /// Ancestor–descendant paths have width 0 and are never width-limited.
+    pub max_width: usize,
+    /// Also emit semi-paths (terminal → ancestor) for every leaf.
+    pub semi_paths: bool,
+}
+
+impl ExtractionConfig {
+    /// Config with the given length and width limits and no semi-paths.
+    pub fn with_limits(max_length: usize, max_width: usize) -> Self {
+        ExtractionConfig {
+            max_length,
+            max_width,
+            semi_paths: false,
+        }
+    }
+
+    /// Enables or disables semi-path extraction.
+    pub fn semi_paths(mut self, on: bool) -> Self {
+        self.semi_paths = on;
+        self
+    }
+}
+
+impl Default for ExtractionConfig {
+    fn default() -> Self {
+        ExtractionConfig {
+            max_length: 7,
+            max_width: 3,
+            semi_paths: false,
+        }
+    }
+}
+
+fn path_end(ast: &Ast, id: NodeId) -> PathEnd {
+    match ast.value(id) {
+        Some(v) => PathEnd::Value(v),
+        None => PathEnd::Node(ast.kind(id)),
+    }
+}
+
+/// The chain of nodes from `node` up to (and including) `stop`.
+fn chain_to(ast: &Ast, node: NodeId, stop: NodeId) -> Vec<NodeId> {
+    let mut chain = vec![node];
+    let mut cur = node;
+    while cur != stop {
+        cur = ast
+            .parent(cur)
+            .expect("stop must be an ancestor of node");
+        chain.push(cur);
+    }
+    chain
+}
+
+/// The concrete path between two nodes of one tree, via their lowest
+/// common ancestor. Returns the path and its width.
+///
+/// The width is the absolute difference of the sibling indices of the two
+/// children of the LCA through which the path passes (Fig. 5); paths where
+/// one node is an ancestor of the other have width 0.
+///
+/// # Panics
+///
+/// Panics if `a == b` (a path needs two distinct ends) or if the ids do
+/// not belong to `ast`.
+pub fn path_between(ast: &Ast, a: NodeId, b: NodeId) -> (AstPath, usize) {
+    assert_ne!(a, b, "a path connects two distinct nodes");
+    let lca = ast.lowest_common_ancestor(a, b);
+    let up = chain_to(ast, a, lca);
+    let down = chain_to(ast, b, lca);
+
+    let width = if up.len() >= 2 && down.len() >= 2 {
+        let ca = ast.child_index(up[up.len() - 2]);
+        let cb = ast.child_index(down[down.len() - 2]);
+        ca.abs_diff(cb)
+    } else {
+        0
+    };
+
+    let mut kinds = Vec::with_capacity(up.len() + down.len() - 1);
+    let mut dirs = Vec::with_capacity(up.len() + down.len() - 2);
+    for &n in &up {
+        kinds.push(ast.kind(n));
+    }
+    dirs.extend(std::iter::repeat_n(Direction::Up, up.len() - 1));
+    for &n in down.iter().rev().skip(1) {
+        kinds.push(ast.kind(n));
+        dirs.push(Direction::Down);
+    }
+    (AstPath::new(kinds, dirs), width)
+}
+
+/// Extracts all leafwise path-contexts of `ast` within the config's
+/// limits. Each unordered pair of terminals is emitted once, oriented
+/// left-to-right in source order; use
+/// [`PathContext::flipped`] for the other orientation.
+pub fn leaf_pair_contexts(ast: &Ast, cfg: &ExtractionConfig) -> Vec<PathContext> {
+    let leaves = ast.leaves();
+    let mut out = Vec::new();
+    for (i, &a) in leaves.iter().enumerate() {
+        for &b in &leaves[i + 1..] {
+            let (path, width) = path_between(ast, a, b);
+            if path.len() > cfg.max_length || width > cfg.max_width {
+                continue;
+            }
+            out.push(PathContext {
+                start: PathEnd::Value(ast.value(a).expect("leaves carry values")),
+                path,
+                end: PathEnd::Value(ast.value(b).expect("leaves carry values")),
+                start_node: a,
+                end_node: b,
+            });
+        }
+    }
+    out
+}
+
+/// Extracts semi-paths: for every terminal, the pure-up path to each of
+/// its proper ancestors, up to `max_length` edges. The far end of a
+/// semi-path is the ancestor's kind.
+pub fn semi_path_contexts(ast: &Ast, cfg: &ExtractionConfig) -> Vec<PathContext> {
+    let mut out = Vec::new();
+    for &leaf in ast.leaves() {
+        let value = ast.value(leaf).expect("leaves carry values");
+        let mut kinds = vec![ast.kind(leaf)];
+        let mut dirs = Vec::new();
+        for anc in ast.ancestors(leaf) {
+            kinds.push(ast.kind(anc));
+            dirs.push(Direction::Up);
+            if dirs.len() > cfg.max_length {
+                break;
+            }
+            out.push(PathContext {
+                start: PathEnd::Value(value),
+                path: AstPath::new(kinds.clone(), dirs.clone()),
+                end: PathEnd::Node(ast.kind(anc)),
+                start_node: leaf,
+                end_node: anc,
+            });
+        }
+    }
+    out
+}
+
+/// Extracts paths from every terminal to one designated `target` node
+/// (typically an expression nonterminal whose type is being predicted,
+/// §5.3.3). The target end is reported as the target's kind when it is a
+/// nonterminal.
+pub fn contexts_to_node(
+    ast: &Ast,
+    target: NodeId,
+    cfg: &ExtractionConfig,
+) -> Vec<PathContext> {
+    let mut out = Vec::new();
+    for &leaf in ast.leaves() {
+        if leaf == target {
+            continue;
+        }
+        let (path, width) = path_between(ast, leaf, target);
+        if path.len() > cfg.max_length || width > cfg.max_width {
+            continue;
+        }
+        out.push(PathContext {
+            start: PathEnd::Value(ast.value(leaf).expect("leaves carry values")),
+            path,
+            end: path_end(ast, target),
+            start_node: leaf,
+            end_node: target,
+        });
+    }
+    out
+}
+
+/// Full extraction: leafwise pairs plus (if configured) semi-paths.
+///
+/// ```
+/// use pigeon_ast::AstBuilder;
+/// use pigeon_core::{extract, ExtractionConfig};
+///
+/// let mut b = AstBuilder::new("Toplevel");
+/// b.start_node("Assign=");
+/// b.token("SymbolRef", "d");
+/// b.token("True", "true");
+/// b.finish_node();
+/// let ast = b.finish();
+///
+/// let ctxs = extract(&ast, &ExtractionConfig::default());
+/// assert_eq!(ctxs.len(), 1);
+/// assert_eq!(ctxs[0].display_triple(), "⟨d, SymbolRef ↑ Assign= ↓ True, true⟩");
+/// ```
+pub fn extract(ast: &Ast, cfg: &ExtractionConfig) -> Vec<PathContext> {
+    let mut out = leaf_pair_contexts(ast, cfg);
+    if cfg.semi_paths {
+        out.extend(semi_path_contexts(ast, cfg));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pigeon_ast::{AstBuilder, Symbol};
+
+    /// The AST of Fig. 1: `while (!d) { if (someCondition()) { d = true; } }`
+    fn fig1_ast() -> Ast {
+        let mut b = AstBuilder::new("Toplevel");
+        b.start_node("While");
+        b.start_node("UnaryPrefix!");
+        b.token("SymbolRef", "d");
+        b.finish_node();
+        b.start_node("If");
+        b.start_node("Call");
+        b.token("SymbolRef", "someCondition");
+        b.finish_node();
+        b.start_node("Assign=");
+        b.token("SymbolRef", "d");
+        b.token("True", "true");
+        b.finish_node();
+        b.finish_node();
+        b.finish_node();
+        b.finish()
+    }
+
+    /// Fig. 5: `var a, b, c, d;`.
+    fn fig5_ast() -> Ast {
+        let mut b = AstBuilder::new("Toplevel");
+        b.start_node("Var");
+        for name in ["a", "b", "c", "d"] {
+            b.start_node("VarDef");
+            b.token("SymbolVar", name);
+            b.finish_node();
+        }
+        b.finish_node();
+        b.finish()
+    }
+
+    fn context_between(ast: &Ast, a: &str, b: &str) -> Vec<PathContext> {
+        let cfg = ExtractionConfig::with_limits(16, 16);
+        leaf_pair_contexts(ast, &cfg)
+            .into_iter()
+            .filter(|c| c.start.as_str() == a && c.end.as_str() == b)
+            .collect()
+    }
+
+    #[test]
+    fn fig1_d_to_d_path_matches_paper() {
+        let ast = fig1_ast();
+        let ctxs = context_between(&ast, "d", "d");
+        assert_eq!(ctxs.len(), 1);
+        assert_eq!(
+            ctxs[0].path.to_string(),
+            "SymbolRef ↑ UnaryPrefix! ↑ While ↓ If ↓ Assign= ↓ SymbolRef"
+        );
+    }
+
+    #[test]
+    fn fig1_d_to_true_path_matches_paper() {
+        let ast = fig1_ast();
+        let ctxs = context_between(&ast, "d", "true");
+        // Two `d` occurrences reach `true`; the short one is path II of §2.
+        let short = ctxs.iter().map(|c| c.path.len()).min().unwrap();
+        let p = ctxs.iter().find(|c| c.path.len() == short).unwrap();
+        assert_eq!(p.path.to_string(), "SymbolRef ↑ Assign= ↓ True");
+    }
+
+    #[test]
+    fn fig5_length_and_width_match_paper() {
+        let ast = fig5_ast();
+        let a = ast.leaves()[0];
+        let d = ast.leaves()[3];
+        let (path, width) = path_between(&ast, a, d);
+        assert_eq!(path.len(), 4, "Fig. 5: the a–d path has length 4");
+        assert_eq!(width, 3, "Fig. 5: the a–d path has width 3");
+        assert_eq!(
+            path.to_string(),
+            "SymbolVar ↑ VarDef ↑ Var ↓ VarDef ↓ SymbolVar"
+        );
+    }
+
+    #[test]
+    fn width_limit_prunes_distant_siblings() {
+        let ast = fig5_ast();
+        let narrow = leaf_pair_contexts(&ast, &ExtractionConfig::with_limits(16, 1));
+        // width-1 keeps only adjacent declarations: a-b, b-c, c-d.
+        assert_eq!(narrow.len(), 3);
+        let wide = leaf_pair_contexts(&ast, &ExtractionConfig::with_limits(16, 3));
+        assert_eq!(wide.len(), 6);
+    }
+
+    #[test]
+    fn length_limit_prunes_long_paths() {
+        let ast = fig1_ast();
+        let all = leaf_pair_contexts(&ast, &ExtractionConfig::with_limits(16, 16));
+        let short = leaf_pair_contexts(&ast, &ExtractionConfig::with_limits(3, 16));
+        assert!(short.len() < all.len());
+        assert!(short.iter().all(|c| c.path.len() <= 3));
+    }
+
+    #[test]
+    fn ancestor_descendant_paths_have_width_zero() {
+        let ast = fig1_ast();
+        let d = ast.leaves()[0];
+        let root = ast.root();
+        let (path, width) = path_between(&ast, d, root);
+        assert_eq!(width, 0);
+        assert_eq!(path.to_string(), "SymbolRef ↑ UnaryPrefix! ↑ While ↑ Toplevel");
+    }
+
+    #[test]
+    fn semi_paths_walk_to_ancestors() {
+        let ast = fig1_ast();
+        let cfg = ExtractionConfig::with_limits(2, 3).semi_paths(true);
+        let semis = semi_path_contexts(&ast, &cfg);
+        // Every semi-path is pure-up and at most 2 edges.
+        assert!(!semis.is_empty());
+        for s in &semis {
+            assert!(s.path.len() <= 2);
+            assert!(s
+                .path
+                .directions()
+                .iter()
+                .all(|&d| d == Direction::Up));
+            assert!(matches!(s.end, PathEnd::Node(_)));
+        }
+        // The d-leaf yields `SymbolRef ↑ UnaryPrefix!` among them.
+        assert!(semis
+            .iter()
+            .any(|s| s.display_triple() == "⟨d, SymbolRef ↑ UnaryPrefix!, UnaryPrefix!⟩"));
+    }
+
+    #[test]
+    fn contexts_to_node_targets_a_nonterminal() {
+        let ast = fig1_ast();
+        // Find the Assign= node.
+        let assign = ast
+            .preorder()
+            .find(|&n| ast.kind(n).as_str() == "Assign=")
+            .unwrap();
+        let ctxs = contexts_to_node(&ast, assign, &ExtractionConfig::with_limits(8, 8));
+        assert!(ctxs
+            .iter()
+            .any(|c| c.display_triple() == "⟨d, SymbolRef ↑ Assign=, Assign=⟩"));
+        assert!(ctxs
+            .iter()
+            .any(|c| c.display_triple() == "⟨true, True ↑ Assign=, Assign=⟩"));
+        // `d` under UnaryPrefix! reaches the Assign= too, going up then
+        // down: SymbolRef ↑ UnaryPrefix! ↑ While ↓ If ↓ Assign= (4 edges).
+        assert!(ctxs.iter().any(|c| {
+            c.start.as_str() == "d" && c.path.len() == 4
+        }));
+    }
+
+    #[test]
+    fn extract_merges_semi_paths_when_enabled() {
+        let ast = fig1_ast();
+        let plain = extract(&ast, &ExtractionConfig::with_limits(8, 3));
+        let with_semis = extract(&ast, &ExtractionConfig::with_limits(8, 3).semi_paths(true));
+        assert!(with_semis.len() > plain.len());
+    }
+
+    #[test]
+    fn occurrences_pair_once_per_unordered_pair() {
+        let ast = fig5_ast();
+        let ctxs = leaf_pair_contexts(&ast, &ExtractionConfig::with_limits(16, 16));
+        // C(4, 2) = 6 pairs.
+        assert_eq!(ctxs.len(), 6);
+        let names: Vec<(String, String)> = ctxs
+            .iter()
+            .map(|c| (c.start.as_str().to_owned(), c.end.as_str().to_owned()))
+            .collect();
+        assert!(names.contains(&("a".into(), "d".into())));
+        assert!(!names.contains(&("d".into(), "a".into())));
+    }
+
+    #[test]
+    fn element_occurrence_values_survive_extraction() {
+        let ast = fig1_ast();
+        let d = Symbol::new("d");
+        assert_eq!(ast.leaves_with_value(d).len(), 2);
+    }
+}

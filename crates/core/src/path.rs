@@ -1,0 +1,246 @@
+//! AST paths (Definition 4.2).
+//!
+//! An AST path of length `k` is a sequence `n₁ d₁ … n_k d_k n_{k+1}` of
+//! nodes joined by movement directions. [`AstPath`] stores the node *kinds*
+//! along the walk together with the directions; the concrete node ids stay
+//! with the [`PathContext`](crate::PathContext) that produced the path, so
+//! equal walks through different trees compare equal — which is exactly
+//! what lets paths "repeat across programs but also discriminate between
+//! different programs" (paper §4.1).
+
+use pigeon_ast::Kind;
+use std::fmt;
+
+/// One movement step in an AST path: towards the root or away from it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Direction {
+    /// Move to the parent (`↑`).
+    Up,
+    /// Move to a child (`↓`).
+    Down,
+}
+
+impl Direction {
+    /// The arrow glyph used by the paper.
+    pub fn arrow(self) -> char {
+        match self {
+            Direction::Up => '↑',
+            Direction::Down => '↓',
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.arrow())
+    }
+}
+
+/// A concrete AST path: `k+1` node kinds joined by `k` directions.
+///
+/// Invariant: `kinds.len() == dirs.len() + 1`, and the direction sequence
+/// of any path produced by walking a tree is a (possibly empty) run of
+/// [`Direction::Up`] followed by a (possibly empty) run of
+/// [`Direction::Down`] — paths climb to the lowest common ancestor and
+/// descend from it.
+///
+/// ```
+/// use pigeon_core::{AstPath, Direction};
+/// use pigeon_ast::Kind;
+/// let p = AstPath::new(
+///     vec![Kind::new("SymbolRef"), Kind::new("Assign="), Kind::new("True")],
+///     vec![Direction::Up, Direction::Down],
+/// );
+/// assert_eq!(p.len(), 2);
+/// assert_eq!(p.to_string(), "SymbolRef ↑ Assign= ↓ True");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct AstPath {
+    kinds: Vec<Kind>,
+    dirs: Vec<Direction>,
+}
+
+impl AstPath {
+    /// Creates a path from its node kinds and directions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kinds.len() != dirs.len() + 1` or if `kinds` is empty.
+    pub fn new(kinds: Vec<Kind>, dirs: Vec<Direction>) -> Self {
+        assert!(!kinds.is_empty(), "a path visits at least one node");
+        assert_eq!(
+            kinds.len(),
+            dirs.len() + 1,
+            "a path of k edges visits k+1 nodes"
+        );
+        AstPath { kinds, dirs }
+    }
+
+    /// The length `k`: the number of edges (movements) in the path.
+    ///
+    /// This is the quantity bounded by the `max_length` hyper-parameter
+    /// (paper §4.2).
+    pub fn len(&self) -> usize {
+        self.dirs.len()
+    }
+
+    /// Whether the path is a single node with no movement.
+    pub fn is_empty(&self) -> bool {
+        self.dirs.is_empty()
+    }
+
+    /// The node kinds visited, in walk order (`n₁ … n_{k+1}`).
+    pub fn kinds(&self) -> &[Kind] {
+        &self.kinds
+    }
+
+    /// The movement directions (`d₁ … d_k`).
+    pub fn directions(&self) -> &[Direction] {
+        &self.dirs
+    }
+
+    /// The kind of the first node `n₁` (`start(p)` in the paper).
+    pub fn start_kind(&self) -> Kind {
+        self.kinds[0]
+    }
+
+    /// The kind of the last node `n_{k+1}` (`end(p)` in the paper).
+    pub fn end_kind(&self) -> Kind {
+        *self.kinds.last().expect("paths are non-empty")
+    }
+
+    /// Index into [`kinds`](Self::kinds) of the *top* node: the
+    /// hierarchically highest node, where the walk turns from going up to
+    /// going down (paper §5.6, the "first-top-last" abstraction).
+    ///
+    /// For a pure-up path this is the last node; for a pure-down path the
+    /// first; for a single-node path, index 0.
+    pub fn top_index(&self) -> usize {
+        self.dirs
+            .iter()
+            .position(|&d| d == Direction::Down)
+            .unwrap_or(self.dirs.len())
+    }
+
+    /// The kind of the top node.
+    pub fn top_kind(&self) -> Kind {
+        self.kinds[self.top_index()]
+    }
+
+    /// The reversed walk: from `n_{k+1}` back to `n₁`, with directions
+    /// flipped. Extraction uses this to derive the `b→a` path from the
+    /// `a→b` path without re-walking the tree.
+    pub fn reversed(&self) -> AstPath {
+        let kinds = self.kinds.iter().rev().copied().collect();
+        let dirs = self
+            .dirs
+            .iter()
+            .rev()
+            .map(|d| match d {
+                Direction::Up => Direction::Down,
+                Direction::Down => Direction::Up,
+            })
+            .collect();
+        AstPath { kinds, dirs }
+    }
+}
+
+impl fmt::Display for AstPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, k) in self.kinds.iter().enumerate() {
+            if i > 0 {
+                write!(f, " {} ", self.dirs[i - 1].arrow())?;
+            }
+            write!(f, "{k}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for AstPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AstPath({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(s: &str) -> Kind {
+        Kind::new(s)
+    }
+
+    fn fig1_path() -> AstPath {
+        AstPath::new(
+            vec![
+                k("SymbolRef"),
+                k("UnaryPrefix!"),
+                k("While"),
+                k("If"),
+                k("Assign="),
+                k("SymbolRef"),
+            ],
+            vec![
+                Direction::Up,
+                Direction::Up,
+                Direction::Down,
+                Direction::Down,
+                Direction::Down,
+            ],
+        )
+    }
+
+    #[test]
+    fn fig1_renders_like_the_paper() {
+        assert_eq!(
+            fig1_path().to_string(),
+            "SymbolRef ↑ UnaryPrefix! ↑ While ↓ If ↓ Assign= ↓ SymbolRef"
+        );
+    }
+
+    #[test]
+    fn length_counts_edges() {
+        assert_eq!(fig1_path().len(), 5);
+    }
+
+    #[test]
+    fn top_is_the_turning_point() {
+        let p = fig1_path();
+        assert_eq!(p.top_index(), 2);
+        assert_eq!(p.top_kind(), k("While"));
+    }
+
+    #[test]
+    fn top_of_pure_up_path_is_last() {
+        let p = AstPath::new(
+            vec![k("SymbolRef"), k("Assign="), k("If")],
+            vec![Direction::Up, Direction::Up],
+        );
+        assert_eq!(p.top_kind(), k("If"));
+    }
+
+    #[test]
+    fn top_of_single_node_path_is_itself() {
+        let p = AstPath::new(vec![k("SymbolRef")], vec![]);
+        assert!(p.is_empty());
+        assert_eq!(p.top_kind(), k("SymbolRef"));
+    }
+
+    #[test]
+    fn reversed_flips_direction_and_order() {
+        let p = fig1_path();
+        let r = p.reversed();
+        assert_eq!(
+            r.to_string(),
+            "SymbolRef ↑ Assign= ↑ If ↑ While ↓ UnaryPrefix! ↓ SymbolRef"
+        );
+        assert_eq!(r.reversed(), p);
+    }
+
+    #[test]
+    #[should_panic(expected = "k+1 nodes")]
+    fn mismatched_lengths_panic() {
+        let _ = AstPath::new(vec![k("A")], vec![Direction::Up]);
+    }
+}

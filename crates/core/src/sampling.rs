@@ -1,0 +1,87 @@
+//! Downsampling of path-context occurrences (§5.5, Fig. 11).
+//!
+//! After extraction, each *occurrence* of a path-context is kept with
+//! probability `p` (and dropped with probability `1 − p`). The paper shows
+//! this trades training time for accuracy very favourably: `p = 0.8` gave
+//! identical accuracy at ~25% less training time, and even `p = 0.2` still
+//! beat the hand-crafted baseline.
+
+use rand::Rng;
+
+/// Keeps each element of `items` independently with probability
+/// `keep_prob`, preserving relative order of survivors.
+///
+/// # Panics
+///
+/// Panics unless `0.0 <= keep_prob <= 1.0`.
+pub fn downsample<T, R: Rng>(items: Vec<T>, keep_prob: f64, rng: &mut R) -> Vec<T> {
+    assert!(
+        (0.0..=1.0).contains(&keep_prob),
+        "keep probability must be in [0, 1], got {keep_prob}"
+    );
+    if keep_prob >= 1.0 {
+        return items;
+    }
+    items
+        .into_iter()
+        .filter(|_| rng.gen::<f64>() < keep_prob)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn p_one_keeps_everything() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let v: Vec<u32> = (0..100).collect();
+        assert_eq!(downsample(v.clone(), 1.0, &mut rng), v);
+    }
+
+    #[test]
+    fn p_zero_keeps_nothing() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let v: Vec<u32> = (0..100).collect();
+        assert!(downsample(v, 0.0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn survivor_count_tracks_p() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let v: Vec<u32> = (0..10_000).collect();
+        let kept = downsample(v, 0.8, &mut rng).len();
+        assert!((7_600..=8_400).contains(&kept), "kept {kept} of 10000 at p=0.8");
+    }
+
+    #[test]
+    fn order_is_preserved() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let kept = downsample((0..1000).collect::<Vec<u32>>(), 0.5, &mut rng);
+        assert!(kept.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn sampling_is_deterministic_under_a_seed() {
+        let a = downsample(
+            (0..1000).collect::<Vec<u32>>(),
+            0.5,
+            &mut SmallRng::seed_from_u64(9),
+        );
+        let b = downsample(
+            (0..1000).collect::<Vec<u32>>(),
+            0.5,
+            &mut SmallRng::seed_from_u64(9),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "keep probability")]
+    fn out_of_range_p_panics() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let _ = downsample(vec![1], 1.5, &mut rng);
+    }
+}

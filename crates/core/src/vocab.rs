@@ -1,0 +1,256 @@
+//! Vocabularies: dense interning of abstract paths and labels.
+//!
+//! Learning models index features by small integers. [`Interner`] maps any
+//! hashable item to a dense `u32` id; [`PathVocab`] specialises it to
+//! abstracted paths, applying the configured [`Abstraction`] on the way in
+//! so that consumers only ever see abstract path ids.
+
+use crate::abstraction::{AbstractPath, Abstraction};
+use crate::path::AstPath;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+/// A dense id assigned to an abstracted path by a [`PathVocab`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PathId(pub u32);
+
+/// Generic append-only interner from items to dense `u32` ids.
+///
+/// ```
+/// use pigeon_core::Interner;
+/// let mut i: Interner<String> = Interner::new();
+/// let a = i.intern("done".to_owned());
+/// assert_eq!(i.intern("done".to_owned()), a);
+/// assert_eq!(i.resolve(a), "done");
+/// assert_eq!(i.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Interner<T> {
+    map: HashMap<T, u32>,
+    items: Vec<T>,
+}
+
+impl<T: Eq + Hash + Clone> Interner<T> {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Interner {
+            map: HashMap::new(),
+            items: Vec::new(),
+        }
+    }
+
+    /// Returns the id of `item`, allocating the next dense id if new.
+    pub fn intern(&mut self, item: T) -> u32 {
+        if let Some(&id) = self.map.get(&item) {
+            return id;
+        }
+        let id = self.items.len() as u32;
+        self.items.push(item.clone());
+        self.map.insert(item, id);
+        id
+    }
+
+    /// Returns the id of `item` if it was interned before.
+    pub fn get(&self, item: &T) -> Option<u32> {
+        self.map.get(item).copied()
+    }
+
+    /// The item with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this interner.
+    pub fn resolve(&self, id: u32) -> &T {
+        &self.items[id as usize]
+    }
+
+    /// Number of distinct items interned.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether nothing was interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterates `(id, item)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &T)> {
+        self.items.iter().enumerate().map(|(i, t)| (i as u32, t))
+    }
+}
+
+impl<T: Eq + Hash + Clone> Default for Interner<T> {
+    fn default() -> Self {
+        Interner::new()
+    }
+}
+
+/// A vocabulary of abstract paths under a fixed [`Abstraction`].
+///
+/// This is where the bias–variance dial of §5.6 physically lives: the
+/// number of distinct ids this vocabulary hands out *is* the number of
+/// distinct path features the model will have.
+///
+/// ```
+/// use pigeon_core::{Abstraction, AstPath, Direction, PathVocab};
+/// use pigeon_ast::Kind;
+///
+/// let mut v = PathVocab::new(Abstraction::FirstLast);
+/// let p1 = AstPath::new(
+///     vec![Kind::new("A"), Kind::new("M"), Kind::new("B")],
+///     vec![Direction::Up, Direction::Down],
+/// );
+/// let p2 = AstPath::new(
+///     vec![Kind::new("A"), Kind::new("N"), Kind::new("B")],
+///     vec![Direction::Up, Direction::Down],
+/// );
+/// // first-last cannot tell the two apart:
+/// assert_eq!(v.intern(&p1), v.intern(&p2));
+/// assert_eq!(v.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PathVocab {
+    abstraction: Abstraction,
+    inner: Interner<AbstractPath>,
+}
+
+impl PathVocab {
+    /// An empty vocabulary that abstracts with `abstraction`.
+    pub fn new(abstraction: Abstraction) -> Self {
+        PathVocab {
+            abstraction,
+            inner: Interner::new(),
+        }
+    }
+
+    /// The abstraction applied to every interned path.
+    pub fn abstraction(&self) -> Abstraction {
+        self.abstraction
+    }
+
+    /// Abstracts `path` and returns the id of its abstract image.
+    pub fn intern(&mut self, path: &AstPath) -> PathId {
+        PathId(self.inner.intern(self.abstraction.apply(path)))
+    }
+
+    /// The id of `path`'s abstraction if seen before (for test-time
+    /// lookups, which must not grow the vocabulary).
+    pub fn get(&self, path: &AstPath) -> Option<PathId> {
+        self.inner.get(&self.abstraction.apply(path)).map(PathId)
+    }
+
+    /// The abstract path behind an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this vocabulary.
+    pub fn resolve(&self, id: PathId) -> &AbstractPath {
+        self.inner.resolve(id.0)
+    }
+
+    /// Number of distinct abstract paths.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+impl fmt::Display for PathVocab {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PathVocab({} paths under {})",
+            self.len(),
+            self.abstraction
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::Direction;
+    use pigeon_ast::Kind;
+
+    fn path(kinds: &[&str]) -> AstPath {
+        let ks: Vec<Kind> = kinds.iter().map(|s| Kind::new(s)).collect();
+        let n = ks.len() - 1;
+        AstPath::new(ks, vec![Direction::Up; n])
+    }
+
+    #[test]
+    fn interner_assigns_dense_ids() {
+        let mut i: Interner<u64> = Interner::new();
+        assert_eq!(i.intern(10), 0);
+        assert_eq!(i.intern(20), 1);
+        assert_eq!(i.intern(10), 0);
+        assert_eq!(i.len(), 2);
+        assert_eq!(*i.resolve(1), 20);
+        assert_eq!(i.get(&20), Some(1));
+        assert_eq!(i.get(&30), None);
+    }
+
+    #[test]
+    fn full_vocab_distinguishes_all() {
+        let mut v = PathVocab::new(Abstraction::Full);
+        let a = v.intern(&path(&["A", "B", "C"]));
+        let b = v.intern(&path(&["A", "X", "C"]));
+        assert_ne!(a, b);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn no_path_vocab_has_one_id() {
+        let mut v = PathVocab::new(Abstraction::NoPath);
+        let a = v.intern(&path(&["A", "B", "C"]));
+        let b = v.intern(&path(&["D", "E"]));
+        assert_eq!(a, b);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn get_does_not_grow() {
+        let mut v = PathVocab::new(Abstraction::Full);
+        v.intern(&path(&["A", "B"]));
+        assert_eq!(v.get(&path(&["A", "B"])).is_some(), true);
+        assert_eq!(v.get(&path(&["Z", "Q"])), None);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn coarser_abstraction_never_yields_more_ids() {
+        let paths = [
+            path(&["A", "B", "C"]),
+            path(&["A", "X", "C"]),
+            path(&["A", "B", "C", "D"]),
+            path(&["Q", "B", "C"]),
+        ];
+        let mut prev = usize::MAX;
+        for a in [
+            Abstraction::Full,
+            Abstraction::NoArrows,
+            Abstraction::FirstTopLast,
+            Abstraction::FirstLast,
+            Abstraction::Top,
+            Abstraction::NoPath,
+        ] {
+            let mut v = PathVocab::new(a);
+            for p in &paths {
+                v.intern(p);
+            }
+            assert!(
+                v.len() <= prev.max(v.len()),
+                "sanity: vocabulary sizes are comparable"
+            );
+            prev = v.len();
+        }
+        // The last (NoPath) has exactly one id.
+        assert_eq!(prev, 1);
+    }
+}

@@ -1,0 +1,438 @@
+//! Abstract program idioms.
+//!
+//! An idiom is a language-independent code pattern — "loop until a flag
+//! turns true", "count the elements matching a target" — whose variables
+//! have well-defined [`Role`]s. The per-language generators render each
+//! idiom into concrete syntax; the naming model supplies the identifiers.
+//! Several idioms are lifted straight from the paper's figures (the
+//! `done` loop of Fig. 1, the counting method of Fig. 9, the
+//! url/request/callback function of Fig. 8, the Popen wrapper of Fig. 7).
+
+use crate::names::{weighted_choice, NamePool, Role};
+use rand::Rng;
+
+/// The catalogue of generated code patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IdiomKind {
+    /// `flag = false; while (!flag) { if (cond()) flag = true; }` (Fig. 1).
+    WaitFlag,
+    /// Count elements equal to a target (Fig. 9).
+    CountMatches,
+    /// Sum numeric elements of a collection.
+    SumAmounts,
+    /// Scan for the first matching element and return it.
+    FindElement,
+    /// Concatenate a label and a key into a message string.
+    BuildMessage,
+    /// `request.open('GET', url); request.send(callback)` (Fig. 8).
+    HttpSend,
+    /// Guarded resource read with an error handler.
+    TryRead,
+    /// Collect the elements satisfying a predicate.
+    FilterCollection,
+    /// Index-based loop reading `element = collection[index]` (Fig. 4).
+    IndexLoop,
+    /// Track the maximum element of a collection.
+    MaxLoop,
+    /// Read fields off a config object.
+    ReadConfig,
+    /// Walk a linked structure via a cursor node.
+    WalkNodes,
+    /// `flag = false; if (config.cond) flag = true; return flag;` — the
+    /// short-range twin of [`IdiomKind::WaitFlag`]: identical declaration
+    /// and assignment contexts, no loop. Distinguishing the two flags
+    /// requires paths long enough to reach (or miss) the `While`.
+    GuardFlag,
+    /// The paper's Fig. 9 `count` method: a classic indexed for-loop with
+    /// a nested if incrementing a counter. Counter and index share
+    /// `= 0` initialisers and `++` updates at short range.
+    NestedCount,
+    /// `attempts = 0; while (!check()) attempts++;` — the counter's
+    /// short-range twin: identical declaration and increment statements,
+    /// distinguishable from [`IdiomKind::NestedCount`]'s counter only by
+    /// the loop structure around it.
+    RetryLoop,
+    /// `pos = 0; while (buffer[pos] != 0) pos++;` — the loop index's
+    /// short-range twin: same subscripting surface, different enclosing
+    /// construct.
+    ScanBuffer,
+}
+
+impl IdiomKind {
+    /// Every idiom, for sweeps and exhaustiveness tests.
+    pub const ALL: [IdiomKind; 16] = [
+        IdiomKind::WaitFlag,
+        IdiomKind::CountMatches,
+        IdiomKind::SumAmounts,
+        IdiomKind::FindElement,
+        IdiomKind::BuildMessage,
+        IdiomKind::HttpSend,
+        IdiomKind::TryRead,
+        IdiomKind::FilterCollection,
+        IdiomKind::IndexLoop,
+        IdiomKind::MaxLoop,
+        IdiomKind::ReadConfig,
+        IdiomKind::WalkNodes,
+        IdiomKind::GuardFlag,
+        IdiomKind::NestedCount,
+        IdiomKind::RetryLoop,
+        IdiomKind::ScanBuffer,
+    ];
+
+    /// The named variable slots this idiom binds, with their roles.
+    /// Slot order is the declaration order in the rendered code.
+    pub fn slots(self) -> &'static [(&'static str, Role)] {
+        match self {
+            IdiomKind::WaitFlag => &[("flag", Role::Flag)],
+            IdiomKind::CountMatches => &[
+                ("counter", Role::Counter),
+                ("collection", Role::Collection),
+                ("element", Role::Element),
+                ("target", Role::Target),
+            ],
+            IdiomKind::SumAmounts => &[
+                ("sum", Role::Sum),
+                ("collection", Role::Collection),
+                ("amount", Role::Amount),
+            ],
+            IdiomKind::FindElement => &[
+                ("result", Role::ResultValue),
+                ("collection", Role::Collection),
+                ("element", Role::Element),
+                ("target", Role::Target),
+            ],
+            IdiomKind::BuildMessage => &[
+                ("message", Role::Message),
+                ("key", Role::KeyName),
+            ],
+            IdiomKind::HttpSend => &[
+                ("url", Role::Url),
+                ("request", Role::Request),
+                ("callback", Role::Callback),
+            ],
+            IdiomKind::TryRead => &[
+                ("data", Role::Data),
+                ("file", Role::FileName),
+                ("error", Role::ErrorValue),
+            ],
+            IdiomKind::FilterCollection => &[
+                ("result", Role::ResultValue),
+                ("collection", Role::Collection),
+                ("element", Role::Element),
+            ],
+            IdiomKind::IndexLoop => &[
+                ("index", Role::LoopIndex),
+                ("collection", Role::Collection),
+                ("element", Role::Element),
+                ("size", Role::Size),
+            ],
+            IdiomKind::MaxLoop => &[
+                ("max", Role::ResultValue),
+                ("collection", Role::Collection),
+                ("element", Role::Element),
+            ],
+            IdiomKind::ReadConfig => &[
+                ("config", Role::Config),
+                ("size", Role::Size),
+                ("url", Role::Url),
+            ],
+            IdiomKind::WalkNodes => &[
+                ("node", Role::Node),
+                ("counter", Role::Counter),
+            ],
+            IdiomKind::GuardFlag => &[
+                ("flag", Role::GuardFlag),
+                ("config", Role::Config),
+            ],
+            IdiomKind::NestedCount => &[
+                ("counter", Role::Counter),
+                ("index", Role::LoopIndex),
+                ("collection", Role::Collection),
+                ("target", Role::Target),
+            ],
+            IdiomKind::RetryLoop => &[("attempts", Role::Attempts)],
+            IdiomKind::ScanBuffer => &[
+                ("cursor", Role::Cursor),
+                ("collection", Role::Collection),
+            ],
+        }
+    }
+
+    /// The slots rendered as function parameters (the rest are locals).
+    pub fn param_slots(self) -> &'static [&'static str] {
+        match self {
+            IdiomKind::WaitFlag => &[],
+            IdiomKind::CountMatches => &["collection", "target"],
+            IdiomKind::SumAmounts => &["collection"],
+            IdiomKind::FindElement => &["collection", "target"],
+            IdiomKind::BuildMessage => &["key"],
+            IdiomKind::HttpSend => &["url", "request", "callback"],
+            IdiomKind::TryRead => &["file"],
+            IdiomKind::FilterCollection => &["collection"],
+            IdiomKind::IndexLoop => &["collection"],
+            IdiomKind::MaxLoop => &["collection"],
+            IdiomKind::ReadConfig => &["config"],
+            IdiomKind::WalkNodes => &["node"],
+            IdiomKind::GuardFlag => &["config"],
+            IdiomKind::NestedCount => &["collection", "target"],
+            IdiomKind::RetryLoop => &[],
+            IdiomKind::ScanBuffer => &["collection"],
+        }
+    }
+
+    /// The weighted method-name distribution for a function whose primary
+    /// behaviour is this idiom.
+    pub fn method_names(self) -> &'static [(&'static str, u32)] {
+        match self {
+            IdiomKind::WaitFlag => &[
+                ("waitUntilDone", 58),
+                ("run", 14),
+                ("poll", 12),
+                ("process", 9),
+                ("execute", 7),
+            ],
+            IdiomKind::CountMatches => &[
+                ("count", 60),
+                ("countMatches", 14),
+                ("countItems", 10),
+                ("tally", 8),
+                ("getCount", 8),
+            ],
+            IdiomKind::SumAmounts => &[
+                ("sum", 60),
+                ("total", 12),
+                ("sumValues", 12),
+                ("computeTotal", 8),
+                ("accumulate", 8),
+            ],
+            IdiomKind::FindElement => &[
+                ("find", 60),
+                ("search", 14),
+                ("lookup", 10),
+                ("findItem", 8),
+                ("locate", 8),
+            ],
+            IdiomKind::BuildMessage => &[
+                ("format", 58),
+                ("buildMessage", 14),
+                ("describe", 12),
+                ("render", 8),
+                ("toText", 8),
+            ],
+            IdiomKind::HttpSend => &[
+                ("send", 60),
+                ("fetch", 14),
+                ("request", 10),
+                ("get", 8),
+                ("post", 8),
+            ],
+            IdiomKind::TryRead => &[
+                ("load", 58),
+                ("read", 16),
+                ("readFile", 10),
+                ("loadData", 8),
+                ("open", 8),
+            ],
+            IdiomKind::FilterCollection => &[
+                ("filter", 62),
+                ("select", 12),
+                ("collect", 10),
+                ("pick", 8),
+                ("filterItems", 8),
+            ],
+            IdiomKind::IndexLoop => &[
+                ("each", 58),
+                ("forEach", 14),
+                ("visit", 12),
+                ("apply", 8),
+                ("scan", 8),
+            ],
+            IdiomKind::MaxLoop => &[
+                ("max", 60),
+                ("findMax", 14),
+                ("largest", 10),
+                ("maximum", 8),
+                ("best", 8),
+            ],
+            IdiomKind::ReadConfig => &[
+                ("configure", 58),
+                ("setup", 14),
+                ("init", 12),
+                ("applyConfig", 8),
+                ("prepare", 8),
+            ],
+            IdiomKind::WalkNodes => &[
+                ("walk", 60),
+                ("traverse", 14),
+                ("visitAll", 10),
+                ("follow", 8),
+                ("chase", 8),
+            ],
+            IdiomKind::GuardFlag => &[
+                ("isEnabled", 58),
+                ("checkState", 14),
+                ("canRun", 12),
+                ("shouldRun", 8),
+                ("guard", 8),
+            ],
+            IdiomKind::NestedCount => &[
+                ("count", 60),
+                ("countMatches", 14),
+                ("countItems", 10),
+                ("tally", 8),
+                ("getCount", 8),
+            ],
+            IdiomKind::RetryLoop => &[
+                ("retry", 56),
+                ("waitFor", 16),
+                ("spin", 12),
+                ("attempt", 8),
+                ("keepTrying", 8),
+            ],
+            IdiomKind::ScanBuffer => &[
+                ("scan", 56),
+                ("seek", 16),
+                ("skipTo", 12),
+                ("advance", 8),
+                ("consume", 8),
+            ],
+        }
+    }
+
+    /// Samples a method name for a function built around this idiom.
+    pub fn sample_method_name<R: Rng>(self, rng: &mut R) -> &'static str {
+        weighted_choice(self.method_names(), rng)
+    }
+}
+
+/// One concrete instantiation of an idiom: the chosen name per slot.
+#[derive(Debug, Clone)]
+pub struct IdiomInstance {
+    /// Which pattern this is.
+    pub kind: IdiomKind,
+    /// `(slot, chosen name, role)` in slot order. The role recorded is the
+    /// slot's true role even when name noise picked an off-role name.
+    pub bindings: Vec<(&'static str, String, Role)>,
+}
+
+impl IdiomInstance {
+    /// Instantiates `kind`, drawing a name for each slot from `pool`.
+    ///
+    /// With probability `name_noise` per slot, the name is drawn from a
+    /// random *other* role instead — modelling the idiosyncratic naming
+    /// that caps real-world accuracy well below 100%.
+    pub fn generate<R: Rng>(
+        kind: IdiomKind,
+        pool: &mut NamePool,
+        name_noise: f64,
+        rng: &mut R,
+    ) -> Self {
+        let bindings = kind
+            .slots()
+            .iter()
+            .map(|&(slot, role)| {
+                let effective = if rng.gen::<f64>() < name_noise {
+                    Role::ALL[rng.gen_range(0..Role::ALL.len())]
+                } else {
+                    role
+                };
+                (slot, pool.draw(effective, rng), role)
+            })
+            .collect();
+        IdiomInstance { kind, bindings }
+    }
+
+    /// The chosen name of `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the idiom has no such slot.
+    pub fn name(&self, slot: &str) -> &str {
+        &self
+            .bindings
+            .iter()
+            .find(|(s, _, _)| *s == slot)
+            .unwrap_or_else(|| panic!("{:?} has no slot {slot}", self.kind))
+            .1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_idioms_have_slots_and_method_names() {
+        for kind in IdiomKind::ALL {
+            assert!(!kind.slots().is_empty(), "{kind:?} has no slots");
+            assert!(!kind.method_names().is_empty());
+        }
+    }
+
+    #[test]
+    fn slot_names_are_unique_per_idiom() {
+        for kind in IdiomKind::ALL {
+            let mut names: Vec<_> = kind.slots().iter().map(|&(s, _)| s).collect();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), kind.slots().len(), "{kind:?} repeats a slot");
+        }
+    }
+
+    #[test]
+    fn noiseless_instances_draw_from_the_slot_role() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for kind in IdiomKind::ALL {
+            let mut pool = NamePool::new();
+            let inst = IdiomInstance::generate(kind, &mut pool, 0.0, &mut rng);
+            for (slot, name, role) in &inst.bindings {
+                // Either a role name or a numbered collision fallback.
+                let base: String =
+                    name.trim_end_matches(|c: char| c.is_ascii_digit()).to_owned();
+                assert!(
+                    role.admits(&base),
+                    "{kind:?}.{slot} drew `{name}` outside {role:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn name_lookup_by_slot() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut pool = NamePool::new();
+        let inst = IdiomInstance::generate(IdiomKind::WaitFlag, &mut pool, 0.0, &mut rng);
+        assert!(Role::Flag.admits(inst.name("flag")));
+    }
+
+    #[test]
+    #[should_panic(expected = "has no slot")]
+    fn unknown_slot_panics() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut pool = NamePool::new();
+        let inst = IdiomInstance::generate(IdiomKind::WaitFlag, &mut pool, 0.0, &mut rng);
+        let _ = inst.name("nope");
+    }
+
+    #[test]
+    fn generation_is_deterministic_under_seed() {
+        let a = {
+            let mut rng = SmallRng::seed_from_u64(9);
+            let mut pool = NamePool::new();
+            IdiomInstance::generate(IdiomKind::CountMatches, &mut pool, 0.2, &mut rng)
+                .bindings
+        };
+        let b = {
+            let mut rng = SmallRng::seed_from_u64(9);
+            let mut pool = NamePool::new();
+            IdiomInstance::generate(IdiomKind::CountMatches, &mut pool, 0.2, &mut rng)
+                .bindings
+        };
+        assert_eq!(
+            a.iter().map(|(_, n, _)| n.clone()).collect::<Vec<_>>(),
+            b.iter().map(|(_, n, _)| n.clone()).collect::<Vec<_>>()
+        );
+    }
+}

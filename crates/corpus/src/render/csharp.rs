@@ -1,0 +1,249 @@
+//! C# renderer. Functions render as class methods (the caller wraps them
+//! in a class declaration).
+
+use super::Helpers;
+use crate::idiom::{IdiomInstance, IdiomKind};
+
+fn return_type(kind: IdiomKind) -> &'static str {
+    match kind {
+        IdiomKind::WaitFlag | IdiomKind::HttpSend | IdiomKind::IndexLoop
+        | IdiomKind::ReadConfig => "void",
+        IdiomKind::CountMatches | IdiomKind::SumAmounts | IdiomKind::MaxLoop
+        | IdiomKind::WalkNodes | IdiomKind::NestedCount | IdiomKind::RetryLoop
+        | IdiomKind::ScanBuffer => "int",
+        IdiomKind::FindElement => "Item",
+        IdiomKind::GuardFlag => "bool",
+        IdiomKind::BuildMessage | IdiomKind::TryRead => "string",
+        IdiomKind::FilterCollection => "List<Item>",
+    }
+}
+
+fn param_type(kind: IdiomKind, slot: &str) -> &'static str {
+    match (kind, slot) {
+        (IdiomKind::CountMatches, "collection") => "List<int>",
+        (IdiomKind::CountMatches, "target") => "int",
+        (IdiomKind::SumAmounts, "collection") => "List<int>",
+        (IdiomKind::FindElement, "collection") => "List<Item>",
+        (IdiomKind::FindElement, "target") => "string",
+        (IdiomKind::BuildMessage, "key") => "string",
+        (IdiomKind::HttpSend, "url") => "string",
+        (IdiomKind::HttpSend, "request") => "HttpRequest",
+        (IdiomKind::HttpSend, "callback") => "Callback",
+        (IdiomKind::TryRead, "file") => "string",
+        (IdiomKind::FilterCollection, "collection") => "List<Item>",
+        (IdiomKind::IndexLoop, "collection") => "int[]",
+        (IdiomKind::MaxLoop, "collection") => "int[]",
+        (IdiomKind::ReadConfig, "config") => "Config",
+        (IdiomKind::GuardFlag, "config") => "Config",
+        (IdiomKind::NestedCount, "collection") => "int[]",
+        (IdiomKind::ScanBuffer, "collection") => "int[]",
+        (IdiomKind::NestedCount, "target") => "int",
+        (IdiomKind::WalkNodes, "node") => "Node",
+        _ => "object",
+    }
+}
+
+/// Renders one method built around `inst`, named `fn_name`, indented for
+/// inclusion in a class body.
+pub fn method(fn_name: &str, inst: &IdiomInstance, h: &Helpers) -> String {
+    let params = inst
+        .kind
+        .param_slots()
+        .iter()
+        .map(|s| format!("{} {}", param_type(inst.kind, s), inst.name(s)))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let mut out = format!(
+        "    public {} {}({}) {{\n",
+        return_type(inst.kind),
+        fn_name,
+        params
+    );
+    body(inst, h, &mut out);
+    out.push_str("    }\n");
+    out
+}
+
+fn body(inst: &IdiomInstance, h: &Helpers, out: &mut String) {
+    let n = |slot: &str| inst.name(slot).to_owned();
+    match inst.kind {
+        IdiomKind::WaitFlag => {
+            let flag = n("flag");
+            out.push_str(&format!("        bool {flag} = false;\n"));
+            out.push_str(&format!("        while (!{flag}) {{\n"));
+            out.push_str(&format!("            if ({}()) {{\n", h.check));
+            out.push_str(&format!("                {flag} = true;\n"));
+            out.push_str("            }\n        }\n");
+        }
+        IdiomKind::CountMatches => {
+            let (c, coll, el, t) = (n("counter"), n("collection"), n("element"), n("target"));
+            out.push_str(&format!("        int {c} = 0;\n"));
+            out.push_str(&format!("        foreach (var {el} in {coll}) {{\n"));
+            out.push_str(&format!(
+                "            if ({el} == {t}) {{\n                {c}++;\n            }}\n"
+            ));
+            out.push_str(&format!("        }}\n        return {c};\n"));
+        }
+        IdiomKind::SumAmounts => {
+            let (s, coll, a) = (n("sum"), n("collection"), n("amount"));
+            out.push_str(&format!("        int {s} = 0;\n"));
+            out.push_str(&format!("        foreach (var {a} in {coll}) {{\n"));
+            out.push_str(&format!("            {s} += {a};\n        }}\n"));
+            out.push_str(&format!("        return {s};\n"));
+        }
+        IdiomKind::FindElement => {
+            let (r, coll, el, t) = (n("result"), n("collection"), n("element"), n("target"));
+            out.push_str(&format!("        Item {r} = null;\n"));
+            out.push_str(&format!("        foreach (var {el} in {coll}) {{\n"));
+            out.push_str(&format!(
+                "            if ({el}.{} == {t}) {{\n                {r} = {el};\n                break;\n            }}\n",
+                capitalize(&h.id_prop)
+            ));
+            out.push_str(&format!("        }}\n        return {r};\n"));
+        }
+        IdiomKind::BuildMessage => {
+            let (m, k) = (n("message"), n("key"));
+            out.push_str(&format!("        string {m} = \"value: \" + {k};\n"));
+            out.push_str(&format!("        {}({m});\n", capitalize(&h.log)));
+            out.push_str(&format!("        return {m};\n"));
+        }
+        IdiomKind::HttpSend => {
+            let (u, r, cb) = (n("url"), n("request"), n("callback"));
+            out.push_str(&format!("        {r}.Open(\"GET\", {u}, false);\n"));
+            out.push_str(&format!("        {r}.Send({cb});\n"));
+        }
+        IdiomKind::TryRead => {
+            let (d, f, e) = (n("data"), n("file"), n("error"));
+            out.push_str("        try {\n");
+            out.push_str(&format!(
+                "            string {d} = {}({f});\n",
+                capitalize(&h.read)
+            ));
+            out.push_str(&format!("            return {d};\n"));
+            out.push_str(&format!("        }} catch (IOException {e}) {{\n"));
+            out.push_str(&format!(
+                "            {}({e});\n            return null;\n        }}\n",
+                capitalize(&h.log)
+            ));
+        }
+        IdiomKind::FilterCollection => {
+            let (r, coll, el) = (n("result"), n("collection"), n("element"));
+            out.push_str(&format!(
+                "        var {r} = new List<Item>();\n"
+            ));
+            out.push_str(&format!("        foreach (var {el} in {coll}) {{\n"));
+            out.push_str(&format!(
+                "            if ({el}.{}) {{\n                {r}.Add({el});\n            }}\n",
+                capitalize(&h.pred_prop)
+            ));
+            out.push_str(&format!("        }}\n        return {r};\n"));
+        }
+        IdiomKind::IndexLoop => {
+            let (i, coll, el, s) = (n("index"), n("collection"), n("element"), n("size"));
+            out.push_str(&format!("        int {s} = {coll}.Length;\n"));
+            out.push_str(&format!(
+                "        for (int {i} = 0; {i} < {s}; {i}++) {{\n"
+            ));
+            out.push_str(&format!("            var {el} = {coll}[{i}];\n"));
+            out.push_str(&format!(
+                "            {}({el});\n        }}\n",
+                capitalize(&h.consume)
+            ));
+        }
+        IdiomKind::MaxLoop => {
+            let (m, coll, el) = (n("max"), n("collection"), n("element"));
+            out.push_str(&format!("        int {m} = {coll}[0];\n"));
+            out.push_str(&format!("        foreach (var {el} in {coll}) {{\n"));
+            out.push_str(&format!(
+                "            if ({el} > {m}) {{\n                {m} = {el};\n            }}\n"
+            ));
+            out.push_str(&format!("        }}\n        return {m};\n"));
+        }
+        IdiomKind::ReadConfig => {
+            let (c, s, u) = (n("config"), n("size"), n("url"));
+            out.push_str(&format!("        int {s} = {c}.Size;\n"));
+            out.push_str(&format!("        string {u} = {c}.Endpoint;\n"));
+            out.push_str(&format!("        {}({s}, {u});\n", capitalize(&h.init)));
+        }
+        IdiomKind::GuardFlag => {
+            let (flag, c) = (n("flag"), n("config"));
+            out.push_str(&format!("        bool {flag} = false;\n"));
+            out.push_str(&format!("        if ({c}.{}) {{\n", capitalize(&h.pred_prop)));
+            out.push_str(&format!("            {flag} = true;\n        }}\n"));
+            out.push_str(&format!("        return {flag};\n"));
+        }
+        IdiomKind::NestedCount => {
+            let (c, i, coll, t) = (n("counter"), n("index"), n("collection"), n("target"));
+            out.push_str(&format!("        int {c} = 0;\n"));
+            out.push_str(&format!(
+                "        for (int {i} = 0; {i} < {coll}.Length; {i}++) {{\n"
+            ));
+            out.push_str(&format!(
+                "            if ({coll}[{i}] == {t}) {{\n                {c}++;\n            }}\n"
+            ));
+            out.push_str(&format!("        }}\n        return {c};\n"));
+        }
+        IdiomKind::RetryLoop => {
+            let a = n("attempts");
+            out.push_str(&format!("        int {a} = 0;\n"));
+            out.push_str(&format!("        while (!{}()) {{\n", capitalize(&h.check)));
+            out.push_str(&format!("            {a}++;\n        }}\n"));
+            out.push_str(&format!("        return {a};\n"));
+        }
+        IdiomKind::ScanBuffer => {
+            let (p, coll) = (n("cursor"), n("collection"));
+            out.push_str(&format!("        int {p} = 0;\n"));
+            out.push_str(&format!("        while ({coll}[{p}] != 0) {{\n"));
+            out.push_str(&format!("            {p}++;\n        }}\n"));
+            out.push_str(&format!("        return {p};\n"));
+        }
+        IdiomKind::WalkNodes => {
+            let (nd, c) = (n("node"), n("counter"));
+            out.push_str(&format!("        int {c} = 0;\n"));
+            out.push_str(&format!("        while ({nd} != null) {{\n"));
+            out.push_str(&format!(
+                "            {c}++;\n            {nd} = {nd}.Next;\n        }}\n"
+            ));
+            out.push_str(&format!("        return {c};\n"));
+        }
+    }
+}
+
+/// C# surface convention: helper methods and properties are PascalCase.
+fn capitalize(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) => c.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::names::NamePool;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn every_idiom_renders_parseable_csharp() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let h = Helpers::sample(&mut rng);
+        for kind in IdiomKind::ALL {
+            let mut pool = NamePool::new();
+            for kw in pigeon_csharp::KEYWORDS {
+                pool.reserve(kw);
+            }
+            let inst = IdiomInstance::generate(kind, &mut pool, 0.0, &mut rng);
+            let src = format!("class W {{\n{}}}\n", method("F", &inst, &h));
+            pigeon_csharp::parse(&src)
+                .unwrap_or_else(|e| panic!("{kind:?} rendered unparseable C#: {e}\n{src}"));
+        }
+    }
+
+    #[test]
+    fn capitalize_handles_edges() {
+        assert_eq!(capitalize("use"), "Use");
+        assert_eq!(capitalize(""), "");
+    }
+}

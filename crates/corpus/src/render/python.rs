@@ -1,0 +1,176 @@
+//! Python renderer.
+
+use super::Helpers;
+use crate::idiom::{IdiomInstance, IdiomKind};
+
+/// Renders one function built around `inst`, named `fn_name`.
+pub fn function(fn_name: &str, inst: &IdiomInstance, h: &Helpers) -> String {
+    let params = inst
+        .kind
+        .param_slots()
+        .iter()
+        .map(|s| inst.name(s))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let mut out = format!("def {fn_name}({params}):\n");
+    body(inst, h, &mut out);
+    out
+}
+
+fn body(inst: &IdiomInstance, h: &Helpers, out: &mut String) {
+    let n = |slot: &str| inst.name(slot).to_owned();
+    match inst.kind {
+        IdiomKind::WaitFlag => {
+            let flag = n("flag");
+            out.push_str(&format!("    {flag} = False\n"));
+            out.push_str(&format!("    while not {flag}:\n"));
+            out.push_str(&format!("        if {}():\n", h.check));
+            out.push_str(&format!("            {flag} = True\n"));
+        }
+        IdiomKind::CountMatches => {
+            let (c, coll, el, t) = (n("counter"), n("collection"), n("element"), n("target"));
+            out.push_str(&format!("    {c} = 0\n"));
+            out.push_str(&format!("    for {el} in {coll}:\n"));
+            out.push_str(&format!("        if {el} == {t}:\n"));
+            out.push_str(&format!("            {c} += 1\n"));
+            out.push_str(&format!("    return {c}\n"));
+        }
+        IdiomKind::SumAmounts => {
+            let (s, coll, a) = (n("sum"), n("collection"), n("amount"));
+            out.push_str(&format!("    {s} = 0\n"));
+            out.push_str(&format!("    for {a} in {coll}:\n"));
+            out.push_str(&format!("        {s} += {a}\n"));
+            out.push_str(&format!("    return {s}\n"));
+        }
+        IdiomKind::FindElement => {
+            let (r, coll, el, t) = (n("result"), n("collection"), n("element"), n("target"));
+            out.push_str(&format!("    {r} = None\n"));
+            out.push_str(&format!("    for {el} in {coll}:\n"));
+            out.push_str(&format!("        if {el}.{} == {t}:\n", h.id_prop));
+            out.push_str(&format!("            {r} = {el}\n"));
+            out.push_str("            break\n");
+            out.push_str(&format!("    return {r}\n"));
+        }
+        IdiomKind::BuildMessage => {
+            let (m, k) = (n("message"), n("key"));
+            out.push_str(&format!("    {m} = 'value: ' + {k}\n"));
+            out.push_str(&format!("    {}({m})\n", h.log));
+            out.push_str(&format!("    return {m}\n"));
+        }
+        IdiomKind::HttpSend => {
+            let (u, r, cb) = (n("url"), n("request"), n("callback"));
+            out.push_str(&format!("    {r}.open('GET', {u}, False)\n"));
+            out.push_str(&format!("    {r}.send({cb})\n"));
+        }
+        IdiomKind::TryRead => {
+            let (d, f, e) = (n("data"), n("file"), n("error"));
+            out.push_str("    try:\n");
+            out.push_str(&format!("        {d} = {}({f})\n", h.read));
+            out.push_str(&format!("        return {d}\n"));
+            out.push_str(&format!("    except IOError as {e}:\n"));
+            out.push_str(&format!("        {}({e})\n", h.log));
+            out.push_str("        return None\n");
+        }
+        IdiomKind::FilterCollection => {
+            let (r, coll, el) = (n("result"), n("collection"), n("element"));
+            out.push_str(&format!("    {r} = []\n"));
+            out.push_str(&format!("    for {el} in {coll}:\n"));
+            out.push_str(&format!("        if {el}.{}:\n", h.pred_prop));
+            out.push_str(&format!("            {r}.append({el})\n"));
+            out.push_str(&format!("    return {r}\n"));
+        }
+        IdiomKind::IndexLoop => {
+            let (i, coll, el, s) = (n("index"), n("collection"), n("element"), n("size"));
+            out.push_str(&format!("    {s} = len({coll})\n"));
+            out.push_str(&format!("    for {i} in range({s}):\n"));
+            out.push_str(&format!("        {el} = {coll}[{i}]\n"));
+            out.push_str(&format!("        {}({el})\n", h.consume));
+        }
+        IdiomKind::MaxLoop => {
+            let (m, coll, el) = (n("max"), n("collection"), n("element"));
+            out.push_str(&format!("    {m} = {coll}[0]\n"));
+            out.push_str(&format!("    for {el} in {coll}:\n"));
+            out.push_str(&format!("        if {el} > {m}:\n"));
+            out.push_str(&format!("            {m} = {el}\n"));
+            out.push_str(&format!("    return {m}\n"));
+        }
+        IdiomKind::ReadConfig => {
+            let (c, s, u) = (n("config"), n("size"), n("url"));
+            out.push_str(&format!("    {s} = {c}.size\n"));
+            out.push_str(&format!("    {u} = {c}.endpoint\n"));
+            out.push_str(&format!("    {}({s}, {u})\n", h.init));
+        }
+        IdiomKind::GuardFlag => {
+            let (flag, c) = (n("flag"), n("config"));
+            out.push_str(&format!("    {flag} = False\n"));
+            out.push_str(&format!("    if {c}.{}:\n", h.pred_prop));
+            out.push_str(&format!("        {flag} = True\n"));
+            out.push_str(&format!("    return {flag}\n"));
+        }
+        IdiomKind::NestedCount => {
+            let (c, i, coll, t) = (n("counter"), n("index"), n("collection"), n("target"));
+            out.push_str(&format!("    {c} = 0\n"));
+            out.push_str(&format!("    for {i} in range(len({coll})):\n"));
+            out.push_str(&format!("        if {coll}[{i}] == {t}:\n"));
+            out.push_str(&format!("            {c} += 1\n"));
+            out.push_str(&format!("    return {c}\n"));
+        }
+        IdiomKind::RetryLoop => {
+            let a = n("attempts");
+            out.push_str(&format!("    {a} = 0\n"));
+            out.push_str(&format!("    while not {}():\n", h.check));
+            out.push_str(&format!("        {a} += 1\n"));
+            out.push_str(&format!("    return {a}\n"));
+        }
+        IdiomKind::ScanBuffer => {
+            let (p, coll) = (n("cursor"), n("collection"));
+            out.push_str(&format!("    {p} = 0\n"));
+            out.push_str(&format!("    while {coll}[{p}] != 0:\n"));
+            out.push_str(&format!("        {p} += 1\n"));
+            out.push_str(&format!("    return {p}\n"));
+        }
+        IdiomKind::WalkNodes => {
+            let (nd, c) = (n("node"), n("counter"));
+            out.push_str(&format!("    {c} = 0\n"));
+            out.push_str(&format!("    while {nd} is not None:\n"));
+            out.push_str(&format!("        {c} += 1\n"));
+            out.push_str(&format!("        {nd} = {nd}.next\n"));
+            out.push_str(&format!("    return {c}\n"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::names::NamePool;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn every_idiom_renders_parseable_python() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let h = Helpers::sample(&mut rng);
+        for kind in IdiomKind::ALL {
+            let mut pool = NamePool::new();
+            for kw in pigeon_python::KEYWORDS {
+                pool.reserve(kw);
+            }
+            let inst = IdiomInstance::generate(kind, &mut pool, 0.0, &mut rng);
+            let src = function("f", &inst, &h);
+            pigeon_python::parse(&src).unwrap_or_else(|e| {
+                panic!("{kind:?} rendered unparseable Python: {e}\n{src}")
+            });
+        }
+    }
+
+    #[test]
+    fn wait_flag_uses_not_operator() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let h = Helpers::sample(&mut rng);
+        let mut pool = NamePool::new();
+        let inst = IdiomInstance::generate(IdiomKind::WaitFlag, &mut pool, 0.0, &mut rng);
+        let ast = pigeon_python::parse(&function("run", &inst, &h)).unwrap();
+        assert!(pigeon_ast::sexp(&ast).contains("(While (UnaryOpNot"));
+    }
+}

@@ -1,0 +1,288 @@
+//! Typed-Java generation for the full-type prediction task (§5.3.3).
+//!
+//! The paper predicts *fully-qualified* expression types — e.g.
+//! `com.mysql.jdbc.Connection` rather than `org.apache.http.Connection` —
+//! for expressions whose type a global inference engine could solve.
+//! Our generator plays the role of that engine: it emits declarations
+//! whose ground-truth FQN it knows, including deliberately ambiguous
+//! simple names (two `Connection`s, two `Document`s) that can only be
+//! told apart from the surrounding usage paths.
+
+use crate::names::Role;
+use rand::Rng;
+
+/// One generatable declaration pattern with a known full type.
+#[derive(Debug, Clone, Copy)]
+pub struct TypeSpec {
+    /// The fully-qualified type name — the label to predict.
+    pub fqn: &'static str,
+    /// The surface type written in the declaration (without package).
+    pub surface: &'static str,
+    /// The initialiser expression; `$P` splices the first dependency's
+    /// parameter name.
+    pub init: &'static str,
+    /// Characteristic follow-up statements; `$V` splices the declared
+    /// variable.
+    pub uses: &'static [&'static str],
+    /// Method parameters the initialiser and uses refer to.
+    pub deps: &'static [(&'static str, &'static str)],
+    /// The naming role for the declared variable.
+    pub role: Role,
+    /// Relative frequency in the corpus.
+    pub weight: u32,
+}
+
+/// The type catalogue. `java.lang.String` carries ~24% of the mass so the
+/// paper's naive all-String baseline lands near its reported 24.1%.
+pub const TYPE_SPECS: &[TypeSpec] = &[
+    TypeSpec {
+        fqn: "java.lang.String",
+        surface: "String",
+        init: "$P.trim()",
+        uses: &["int n = $V.length();", "$V.toUpperCase();"],
+        deps: &[("raw", "String")],
+        role: Role::Message,
+        weight: 36,
+    },
+    TypeSpec {
+        fqn: "java.lang.Integer",
+        surface: "Integer",
+        init: "Integer.valueOf($P)",
+        uses: &["int v = $V.intValue();"],
+        deps: &[("raw", "String")],
+        role: Role::Counter,
+        weight: 8,
+    },
+    TypeSpec {
+        fqn: "java.util.ArrayList",
+        surface: "ArrayList<String>",
+        init: "new ArrayList<String>()",
+        uses: &["$V.add($P);", "int n = $V.size();"],
+        deps: &[("name", "String")],
+        role: Role::Collection,
+        weight: 10,
+    },
+    TypeSpec {
+        fqn: "java.util.HashMap",
+        surface: "HashMap<String, Integer>",
+        init: "new HashMap<String, Integer>()",
+        uses: &["$V.put($P, 1);", "$V.containsKey($P);"],
+        deps: &[("key", "String")],
+        role: Role::Config,
+        weight: 8,
+    },
+    TypeSpec {
+        fqn: "com.mysql.jdbc.Connection",
+        surface: "Connection",
+        init: "driver.connect($P)",
+        uses: &["$V.prepareStatement(query);", "$V.commit();"],
+        deps: &[("jdbcUrl", "String"), ("driver", "Driver"), ("query", "String")],
+        role: Role::Connection,
+        weight: 7,
+    },
+    TypeSpec {
+        fqn: "org.apache.http.Connection",
+        surface: "Connection",
+        init: "route.open($P)",
+        uses: &["$V.flush();", "$V.close();"],
+        deps: &[("timeout", "int"), ("route", "Route")],
+        role: Role::Connection,
+        weight: 7,
+    },
+    TypeSpec {
+        fqn: "java.io.File",
+        surface: "File",
+        init: "new File($P)",
+        uses: &["$V.exists();", "String base = $V.getName();"],
+        deps: &[("path", "String")],
+        role: Role::FileName,
+        weight: 8,
+    },
+    TypeSpec {
+        fqn: "java.io.BufferedReader",
+        surface: "BufferedReader",
+        init: "new BufferedReader($P)",
+        uses: &["String line = $V.readLine();"],
+        deps: &[("reader", "Reader")],
+        role: Role::Data,
+        weight: 6,
+    },
+    TypeSpec {
+        fqn: "java.lang.StringBuilder",
+        surface: "StringBuilder",
+        init: "new StringBuilder()",
+        uses: &["$V.append($P);", "String out = $V.toString();"],
+        deps: &[("text", "String")],
+        role: Role::Message,
+        weight: 7,
+    },
+    TypeSpec {
+        fqn: "java.util.Date",
+        surface: "Date",
+        init: "new Date()",
+        uses: &["long t = $V.getTime();"],
+        deps: &[],
+        role: Role::Temp,
+        weight: 5,
+    },
+    TypeSpec {
+        fqn: "java.net.URL",
+        surface: "URL",
+        init: "new URL($P)",
+        uses: &["$V.openStream();"],
+        deps: &[("address", "String")],
+        role: Role::Url,
+        weight: 6,
+    },
+    TypeSpec {
+        fqn: "org.w3c.dom.Document",
+        surface: "Document",
+        init: "builder.parse($P)",
+        uses: &["$V.getDocumentElement();"],
+        deps: &[("xml", "String"), ("builder", "DocumentBuilder")],
+        role: Role::Data,
+        weight: 4,
+    },
+    TypeSpec {
+        fqn: "org.jsoup.nodes.Document",
+        surface: "Document",
+        init: "Jsoup.parse($P)",
+        uses: &["$V.select(selector);", "$V.title();"],
+        deps: &[("html", "String"), ("selector", "String")],
+        role: Role::Data,
+        weight: 4,
+    },
+    TypeSpec {
+        fqn: "java.lang.Boolean",
+        surface: "Boolean",
+        init: "Boolean.valueOf($P)",
+        uses: &["$V.booleanValue();"],
+        deps: &[("raw", "String")],
+        role: Role::Flag,
+        weight: 6,
+    },
+    TypeSpec {
+        fqn: "java.sql.Date",
+        surface: "Date",
+        init: "new Date($P)",
+        uses: &["$V.toLocalDate();"],
+        deps: &[("millis", "long")],
+        role: Role::Temp,
+        weight: 4,
+    },
+    TypeSpec {
+        fqn: "java.util.logging.Logger",
+        surface: "Logger",
+        init: "Logger.getLogger($P)",
+        uses: &["$V.warning(text);", "$V.fine(text);"],
+        deps: &[("tag", "String"), ("text", "String")],
+        role: Role::Callback,
+        weight: 5,
+    },
+    TypeSpec {
+        fqn: "org.slf4j.Logger",
+        surface: "Logger",
+        init: "LoggerFactory.getLogger($P)",
+        uses: &["$V.warn(text);", "$V.debug(text);"],
+        deps: &[("tag", "String"), ("text", "String")],
+        role: Role::Callback,
+        weight: 5,
+    },
+    TypeSpec {
+        fqn: "java.util.List",
+        surface: "List",
+        init: "new ArrayList<String>()",
+        uses: &["$V.add($P);", "$V.isEmpty();"],
+        deps: &[("name", "String")],
+        role: Role::Collection,
+        weight: 6,
+    },
+    TypeSpec {
+        fqn: "java.awt.List",
+        surface: "List",
+        init: "new List(4)",
+        uses: &["$V.add($P);", "$V.setVisible(true);"],
+        deps: &[("name", "String")],
+        role: Role::Collection,
+        weight: 3,
+    },
+];
+
+/// Samples a type spec according to the catalogue weights.
+pub fn sample_spec<R: Rng>(rng: &mut R) -> &'static TypeSpec {
+    let total: u32 = TYPE_SPECS.iter().map(|s| s.weight).sum();
+    let mut roll = rng.gen_range(0..total);
+    for spec in TYPE_SPECS {
+        if roll < spec.weight {
+            return spec;
+        }
+        roll -= spec.weight;
+    }
+    unreachable!("roll bounded by total weight")
+}
+
+/// The share of `java.lang.String` declarations in the catalogue — the
+/// accuracy of the naive all-String baseline.
+pub fn string_share() -> f64 {
+    let total: u32 = TYPE_SPECS.iter().map(|s| s.weight).sum();
+    let string = TYPE_SPECS
+        .iter()
+        .find(|s| s.fqn == "java.lang.String")
+        .expect("catalogue contains String")
+        .weight;
+    f64::from(string) / f64::from(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn catalogue_has_ambiguous_simple_names() {
+        let connections: Vec<_> = TYPE_SPECS
+            .iter()
+            .filter(|s| s.surface == "Connection")
+            .collect();
+        assert_eq!(connections.len(), 2);
+        assert_ne!(connections[0].fqn, connections[1].fqn);
+        let documents: Vec<_> =
+            TYPE_SPECS.iter().filter(|s| s.surface == "Document").collect();
+        assert_eq!(documents.len(), 2);
+    }
+
+    #[test]
+    fn string_share_matches_paper_ballpark() {
+        // The paper's naive baseline scores 24.1%.
+        let share = string_share();
+        assert!((0.20..0.30).contains(&share), "String share = {share}");
+    }
+
+    #[test]
+    fn fqns_are_distinct() {
+        let mut fqns: Vec<_> = TYPE_SPECS.iter().map(|s| s.fqn).collect();
+        fqns.sort_unstable();
+        fqns.dedup();
+        assert_eq!(fqns.len(), TYPE_SPECS.len());
+    }
+
+    #[test]
+    fn sampling_covers_the_catalogue() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            seen.insert(sample_spec(&mut rng).fqn);
+        }
+        assert_eq!(seen.len(), TYPE_SPECS.len());
+    }
+
+    #[test]
+    fn every_use_mentions_the_variable() {
+        for spec in TYPE_SPECS {
+            for u in spec.uses {
+                assert!(u.contains("$V"), "{}: use `{u}` ignores the variable", spec.fqn);
+            }
+        }
+    }
+}

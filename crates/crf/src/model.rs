@@ -1,0 +1,334 @@
+//! The weight store, MAP inference, and top-k suggestion.
+
+use crate::instance::{Instance, NodeAdjacency};
+use std::collections::HashMap;
+
+/// Feature weights and label statistics of a trained CRF.
+///
+/// Scores are linear: the score of a joint assignment `y` is
+/// `Σ w[(path, y_a, y_b)]` over pairwise factors plus
+/// `Σ w[(path, y_a)]` over unary factors — Eq. 1 of the paper in log
+/// space, restricted to MAP queries (the partition function is never
+/// needed for prediction, matching Nice2Predict).
+#[derive(Debug, Clone, Default)]
+pub struct CrfModel {
+    /// Pairwise feature weights keyed by `(path, label_a, label_b)`.
+    pub(crate) pair_weights: HashMap<(u32, u32, u32), f32>,
+    /// Unary feature weights keyed by `(path, label)`.
+    pub(crate) unary_weights: HashMap<(u32, u32), f32>,
+    /// Training-corpus frequency of each label (smoothing prior and
+    /// global candidate source).
+    pub(crate) label_counts: Vec<u32>,
+    /// Candidate suggestions: `(path, other_label, side)` observed with
+    /// each gold label. `side` is 0 when the unknown is the factor's
+    /// `a` end, 1 when it is the `b` end.
+    pub(crate) candidates: HashMap<(u32, u32, u8), Vec<(u32, u32)>>,
+    /// Global fallback candidates (most frequent labels, descending).
+    pub(crate) global_candidates: Vec<u32>,
+    /// Maximum candidates considered per node during inference.
+    pub(crate) max_candidates: usize,
+    /// ICM sweeps per inference call.
+    pub(crate) max_passes: usize,
+}
+
+impl CrfModel {
+    /// Number of distinct pairwise features with non-zero weight.
+    pub fn num_pair_features(&self) -> usize {
+        self.pair_weights.len()
+    }
+
+    /// Number of distinct unary features with non-zero weight.
+    pub fn num_unary_features(&self) -> usize {
+        self.unary_weights.len()
+    }
+
+    fn pair_w(&self, path: u32, la: u32, lb: u32) -> f32 {
+        self.pair_weights
+            .get(&(path, la, lb))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    fn unary_w(&self, path: u32, l: u32) -> f32 {
+        self.unary_weights.get(&(path, l)).copied().unwrap_or(0.0)
+    }
+
+    /// A small tie-break prior favouring frequent labels.
+    fn prior(&self, label: u32) -> f32 {
+        let c = self
+            .label_counts
+            .get(label as usize)
+            .copied()
+            .unwrap_or(0);
+        1e-3 * (1.0 + f32::ln(1.0 + c as f32))
+    }
+
+    /// The candidate label set for one unknown node: per-factor
+    /// suggestions from training co-occurrence, then global frequent
+    /// labels, capped at `max_candidates`.
+    pub(crate) fn node_candidates(
+        &self,
+        inst: &Instance,
+        adj: &[NodeAdjacency],
+        labels: &[u32],
+        node: usize,
+    ) -> Vec<u32> {
+        let mut out: Vec<u32> = Vec::new();
+        let push = |l: u32, out: &mut Vec<u32>| {
+            if !out.contains(&l) && out.len() < self.max_candidates {
+                out.push(l);
+            }
+        };
+        for &f in &adj[node].pairwise {
+            let pf = inst.pairwise[f];
+            let (other, side) = if pf.a == node {
+                (pf.b, 0u8)
+            } else {
+                (pf.a, 1u8)
+            };
+            let other_label = labels[other];
+            if let Some(suggested) = self.candidates.get(&(pf.path, other_label, side)) {
+                for &(l, _) in suggested {
+                    push(l, &mut out);
+                }
+            }
+        }
+        for &l in &self.global_candidates {
+            push(l, &mut out);
+        }
+        out
+    }
+
+    /// The score of assigning `label` to `node` with every other node
+    /// held at `labels`. `loss_augment` adds a unit margin against the
+    /// gold label (loss-augmented inference for max-margin training).
+    pub(crate) fn node_score(
+        &self,
+        inst: &Instance,
+        adj: &[NodeAdjacency],
+        labels: &[u32],
+        node: usize,
+        label: u32,
+        loss_augment: bool,
+    ) -> f32 {
+        let mut s = self.prior(label);
+        for &f in &adj[node].pairwise {
+            let pf = inst.pairwise[f];
+            s += if pf.a == node {
+                self.pair_w(pf.path, label, labels[pf.b])
+            } else {
+                self.pair_w(pf.path, labels[pf.a], label)
+            };
+        }
+        for &f in &adj[node].unary {
+            s += self.unary_w(inst.unary[f].path, label);
+        }
+        if loss_augment && label != inst.nodes[node].label {
+            s += 1.0;
+        }
+        s
+    }
+
+    /// MAP inference by iterated conditional modes over the candidate
+    /// sets: initialise each unknown to its best unary+prior candidate,
+    /// then sweep until a fixpoint (or the sweep limit).
+    ///
+    /// Returns the full label vector; known nodes keep their labels.
+    pub fn predict(&self, inst: &Instance) -> Vec<u32> {
+        self.infer(inst, false)
+    }
+
+    pub(crate) fn infer(&self, inst: &Instance, loss_augment: bool) -> Vec<u32> {
+        let adj = inst.adjacency();
+        let mut labels: Vec<u32> = inst.nodes.iter().map(|n| n.label).collect();
+        let unknowns = inst.unknown_nodes();
+
+        // Blank out the unknowns first: their stored labels are gold (or a
+        // caller sentinel) and must never influence inference.
+        let blank = self.global_candidates.first().copied().unwrap_or(0);
+        for &u in &unknowns {
+            labels[u] = blank;
+        }
+        // Initialise unknowns ignoring each other: evidence-only pass.
+        for &u in &unknowns {
+            let cands = self.node_candidates(inst, &adj, &labels, u);
+            labels[u] = self.argmax(inst, &adj, &labels, u, &cands, loss_augment);
+        }
+        // ICM sweeps.
+        for _ in 0..self.max_passes {
+            let mut changed = false;
+            for &u in &unknowns {
+                let cands = self.node_candidates(inst, &adj, &labels, u);
+                let best = self.argmax(inst, &adj, &labels, u, &cands, loss_augment);
+                if best != labels[u] {
+                    labels[u] = best;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        labels
+    }
+
+    fn argmax(
+        &self,
+        inst: &Instance,
+        adj: &[NodeAdjacency],
+        labels: &[u32],
+        node: usize,
+        candidates: &[u32],
+        loss_augment: bool,
+    ) -> u32 {
+        let mut best = labels[node];
+        let mut best_score = f32::NEG_INFINITY;
+        for &c in candidates {
+            let s = self.node_score(inst, adj, labels, node, c, loss_augment);
+            if s > best_score {
+                best_score = s;
+                best = c;
+            }
+        }
+        if candidates.is_empty() {
+            // No evidence at all: the most frequent training label.
+            best = self.global_candidates.first().copied().unwrap_or(0);
+        }
+        best
+    }
+
+    /// The top-`k` candidate labels for one unknown node, scored with all
+    /// other nodes fixed at the MAP assignment — the paper's added
+    /// "top-k candidates suggestion" API (§5.1).
+    pub fn top_k(&self, inst: &Instance, node: usize, k: usize) -> Vec<(u32, f32)> {
+        let adj = inst.adjacency();
+        let labels = self.predict(inst);
+        let cands = self.node_candidates(inst, &adj, &labels, node);
+        let mut scored: Vec<(u32, f32)> = cands
+            .into_iter()
+            .map(|c| (c, self.node_score(inst, &adj, &labels, node, c, false)))
+            .collect();
+        scored.sort_by(|x, y| y.1.total_cmp(&x.1).then(x.0.cmp(&y.0)));
+        scored.truncate(k);
+        scored
+    }
+
+    /// The total (unnormalised log-)score of a full assignment; exposed
+    /// for tests and diagnostics.
+    pub fn assignment_score(&self, inst: &Instance, labels: &[u32]) -> f32 {
+        let mut s = 0.0;
+        for pf in &inst.pairwise {
+            s += self.pair_w(pf.path, labels[pf.a], labels[pf.b]);
+        }
+        for uf in &inst.unary {
+            s += self.unary_w(uf.path, labels[uf.node]);
+        }
+        for (i, n) in inst.nodes.iter().enumerate() {
+            if !n.known {
+                s += self.prior(labels[i]);
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Node;
+
+    /// A hand-weighted model: path 0 strongly links label pairs (1,2) and
+    /// (3,4); unary path 5 favours label 1.
+    fn toy_model() -> CrfModel {
+        let mut m = CrfModel {
+            max_candidates: 8,
+            max_passes: 4,
+            ..CrfModel::default()
+        };
+        m.pair_weights.insert((0, 1, 2), 5.0);
+        m.pair_weights.insert((0, 3, 4), 4.0);
+        m.unary_weights.insert((5, 1), 2.0);
+        m.label_counts = vec![1, 10, 10, 5, 5];
+        m.global_candidates = vec![1, 2, 3, 4, 0];
+        m
+    }
+
+    #[test]
+    fn prediction_uses_pairwise_evidence() {
+        let m = toy_model();
+        let mut inst = Instance::new(vec![Node::unknown(1), Node::known(2)]);
+        inst.add_pair(0, 1, 0);
+        assert_eq!(m.predict(&inst)[0], 1, "label 1 links to known 2 via path 0");
+    }
+
+    #[test]
+    fn prediction_uses_unary_evidence() {
+        let m = toy_model();
+        let mut inst = Instance::new(vec![Node::unknown(1)]);
+        inst.add_unary(0, 5);
+        assert_eq!(m.predict(&inst)[0], 1);
+    }
+
+    #[test]
+    fn isolated_node_gets_most_frequent_label() {
+        let m = toy_model();
+        let inst = Instance::new(vec![Node::unknown(3)]);
+        assert_eq!(m.predict(&inst)[0], 1, "global head candidate wins");
+    }
+
+    #[test]
+    fn icm_never_decreases_the_objective() {
+        let m = toy_model();
+        let mut inst = Instance::new(vec![
+            Node::unknown(1),
+            Node::unknown(2),
+            Node::known(2),
+        ]);
+        inst.add_pair(0, 2, 0);
+        inst.add_pair(0, 1, 0);
+        inst.add_unary(1, 5);
+        let init: Vec<u32> = inst.nodes.iter().map(|n| n.label).collect();
+        let map = m.predict(&inst);
+        assert!(
+            m.assignment_score(&inst, &map) >= m.assignment_score(&inst, &init) - 1e-6
+        );
+    }
+
+    #[test]
+    fn top_k_ranks_by_score_and_contains_map() {
+        let m = toy_model();
+        let mut inst = Instance::new(vec![Node::unknown(1), Node::known(2)]);
+        inst.add_pair(0, 1, 0);
+        let top = m.top_k(&inst, 0, 3);
+        assert_eq!(top[0].0, m.predict(&inst)[0]);
+        assert!(top.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn inference_never_reads_gold_labels_of_unknowns() {
+        // Two unknown nodes linked by a factor with a weight that would
+        // reward agreeing with the *gold* label of the neighbour. If
+        // inference leaked gold initialisations, node 0 would pick label 1
+        // when B's gold is 2; with the leak fixed, predictions must be
+        // identical whatever gold B carries.
+        let mut m = toy_model();
+        m.pair_weights.insert((9, 1, 2), 10.0);
+        let mut with_gold_2 = Instance::new(vec![Node::unknown(0), Node::unknown(2)]);
+        with_gold_2.add_pair(0, 1, 9);
+        let mut with_gold_4 = Instance::new(vec![Node::unknown(0), Node::unknown(4)]);
+        with_gold_4.add_pair(0, 1, 9);
+        assert_eq!(m.predict(&with_gold_2), m.predict(&with_gold_4));
+    }
+
+    #[test]
+    fn loss_augmentation_can_flip_a_weak_prediction() {
+        let mut m = toy_model();
+        // Weak preference (0.5) for gold label 1 on unary path 6.
+        m.unary_weights.insert((6, 1), 0.5);
+        let mut inst = Instance::new(vec![Node::unknown(1)]);
+        inst.add_unary(0, 6);
+        assert_eq!(m.infer(&inst, false)[0], 1);
+        // Under loss augmentation every non-gold label gains +1 > 0.5.
+        assert_ne!(m.infer(&inst, true)[0], 1);
+    }
+}

@@ -1,0 +1,140 @@
+//! Model persistence.
+//!
+//! Weights use tuple keys, which JSON objects cannot express directly, so
+//! serialization goes through a flat mirror struct of entry vectors.
+
+use crate::model::CrfModel;
+use serde::{Deserialize, Serialize};
+
+/// One serialised pairwise weight: `(path, label_a, label_b, weight)`.
+type PairEntry = (u32, u32, u32, f32);
+/// One serialised unary weight: `(path, label, weight)`.
+type UnaryEntry = (u32, u32, f32);
+/// One serialised candidate row: `(path, other_label, side, suggestions)`.
+type CandidateEntry = (u32, u32, u8, Vec<(u32, u32)>);
+
+/// The on-disk form of a [`CrfModel`].
+#[derive(Debug, Serialize, Deserialize)]
+struct ModelFile {
+    pair_weights: Vec<PairEntry>,
+    unary_weights: Vec<UnaryEntry>,
+    label_counts: Vec<u32>,
+    candidates: Vec<CandidateEntry>,
+    global_candidates: Vec<u32>,
+    max_candidates: usize,
+    max_passes: usize,
+}
+
+impl CrfModel {
+    /// Serialises the model to a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error (out-of-memory is the
+    /// only realistic failure for this data shape).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        let mut pair_weights: Vec<PairEntry> = self
+            .pair_weights
+            .iter()
+            .map(|(&(p, a, b), &w)| (p, a, b, w))
+            .collect();
+        pair_weights.sort_unstable_by_key(|&(p, a, b, _)| (p, a, b));
+        let mut unary_weights: Vec<UnaryEntry> = self
+            .unary_weights
+            .iter()
+            .map(|(&(p, l), &w)| (p, l, w))
+            .collect();
+        unary_weights.sort_unstable_by_key(|&(p, l, _)| (p, l));
+        let mut candidates: Vec<CandidateEntry> = self
+            .candidates
+            .iter()
+            .map(|(&(p, l, s), v)| (p, l, s, v.clone()))
+            .collect();
+        candidates.sort_unstable_by_key(|c| (c.0, c.1, c.2));
+        serde_json::to_string(&ModelFile {
+            pair_weights,
+            unary_weights,
+            label_counts: self.label_counts.clone(),
+            candidates,
+            global_candidates: self.global_candidates.clone(),
+            max_candidates: self.max_candidates,
+            max_passes: self.max_passes,
+        })
+    }
+
+    /// Restores a model serialised by [`CrfModel::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the `serde_json` error on malformed input.
+    pub fn from_json(json: &str) -> Result<CrfModel, serde_json::Error> {
+        let file: ModelFile = serde_json::from_str(json)?;
+        Ok(CrfModel {
+            pair_weights: file
+                .pair_weights
+                .into_iter()
+                .map(|(p, a, b, w)| ((p, a, b), w))
+                .collect(),
+            unary_weights: file
+                .unary_weights
+                .into_iter()
+                .map(|(p, l, w)| ((p, l), w))
+                .collect(),
+            label_counts: file.label_counts,
+            candidates: file
+                .candidates
+                .into_iter()
+                .map(|(p, l, s, v)| ((p, l, s), v))
+                .collect(),
+            global_candidates: file.global_candidates,
+            max_candidates: file.max_candidates,
+            max_passes: file.max_passes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{Instance, Node};
+    use crate::train::{train, CrfConfig};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn round_trip_preserves_predictions() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let instances: Vec<Instance> = (0..150)
+            .map(|_| {
+                let path = rng.gen_range(0..8u32);
+                let mut inst = Instance::new(vec![
+                    Node::unknown(path % 4),
+                    Node::known(4 + path % 2),
+                ]);
+                inst.add_pair(0, 1, path);
+                inst.add_unary(0, 100 + path);
+                inst
+            })
+            .collect();
+        let model = train(&instances, 6, &CrfConfig::default());
+        let json = model.to_json().unwrap();
+        let restored = CrfModel::from_json(&json).unwrap();
+        for inst in &instances {
+            assert_eq!(model.predict(inst), restored.predict(inst));
+        }
+        assert_eq!(model.num_pair_features(), restored.num_pair_features());
+    }
+
+    #[test]
+    fn serialisation_is_stable() {
+        let mut inst = Instance::new(vec![Node::unknown(0), Node::known(1)]);
+        inst.add_pair(0, 1, 3);
+        let model = train(&[inst], 2, &CrfConfig::default());
+        assert_eq!(model.to_json().unwrap(), model.to_json().unwrap());
+    }
+
+    #[test]
+    fn malformed_json_errors() {
+        assert!(CrfModel::from_json("{not json").is_err());
+    }
+}

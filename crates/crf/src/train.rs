@@ -1,0 +1,337 @@
+//! Max-margin training (structured perceptron subgradient on the
+//! margin-rescaled objective), as in Nice2Predict.
+//!
+//! Each update runs **loss-augmented MAP** under the current weights and
+//! moves weights toward the gold assignment's features and away from the
+//! violating assignment's — the subgradient of the structured hinge loss.
+//! Weight averaging over updates gives the stability of the averaged
+//! perceptron without per-feature regularisation bookkeeping.
+
+use crate::instance::Instance;
+use crate::model::CrfModel;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CrfConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Step size for each subgradient update.
+    pub learning_rate: f32,
+    /// ICM sweeps per inference call.
+    pub max_passes: usize,
+    /// Cap on candidate labels per node during inference.
+    pub max_candidates: usize,
+    /// Number of globally frequent labels always in the candidate set.
+    pub global_candidates: usize,
+    /// Suggestions kept per `(path, other_label, side)` key.
+    pub suggestions_per_key: usize,
+    /// Whether unary factors participate (the paper's §5.1 extension;
+    /// disabling them is the ablation knob).
+    pub use_unary: bool,
+    /// Shuffling seed.
+    pub seed: u64,
+}
+
+impl Default for CrfConfig {
+    fn default() -> Self {
+        CrfConfig {
+            epochs: 8,
+            learning_rate: 0.1,
+            max_passes: 6,
+            max_candidates: 48,
+            global_candidates: 16,
+            suggestions_per_key: 12,
+            use_unary: true,
+            seed: 0x0C4F_5EED,
+        }
+    }
+}
+
+/// Trains a CRF on `instances`, whose labels range over `0..num_labels`.
+///
+/// # Panics
+///
+/// Panics if any instance references a label `>= num_labels`.
+pub fn train(instances: &[Instance], num_labels: u32, cfg: &CrfConfig) -> CrfModel {
+    let instances: Vec<Instance> = if cfg.use_unary {
+        instances.to_vec()
+    } else {
+        instances
+            .iter()
+            .map(|i| Instance {
+                nodes: i.nodes.clone(),
+                pairwise: i.pairwise.clone(),
+                unary: Vec::new(),
+            })
+            .collect()
+    };
+
+    let mut model = CrfModel {
+        max_candidates: cfg.max_candidates,
+        max_passes: cfg.max_passes,
+        ..CrfModel::default()
+    };
+    build_statistics(&mut model, &instances, num_labels, cfg);
+
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut order: Vec<usize> = (0..instances.len()).collect();
+
+    // Averaged weights: accumulate w after every epoch.
+    let mut pair_sum: HashMap<(u32, u32, u32), f64> = HashMap::new();
+    let mut unary_sum: HashMap<(u32, u32), f64> = HashMap::new();
+
+    for _epoch in 0..cfg.epochs {
+        order.shuffle(&mut rng);
+        for &idx in &order {
+            let inst = &instances[idx];
+            let gold: Vec<u32> = inst.nodes.iter().map(|n| n.label).collect();
+            let predicted = model.infer(inst, true);
+            if predicted == gold {
+                continue;
+            }
+            // Subgradient step: +lr toward gold features, -lr away from
+            // the violator, only where they disagree.
+            for pf in &inst.pairwise {
+                let g = (pf.path, gold[pf.a], gold[pf.b]);
+                let p = (pf.path, predicted[pf.a], predicted[pf.b]);
+                if g != p {
+                    *model.pair_weights.entry(g).or_insert(0.0) += cfg.learning_rate;
+                    *model.pair_weights.entry(p).or_insert(0.0) -= cfg.learning_rate;
+                }
+            }
+            for uf in &inst.unary {
+                let g = (uf.path, gold[uf.node]);
+                let p = (uf.path, predicted[uf.node]);
+                if g != p {
+                    *model.unary_weights.entry(g).or_insert(0.0) += cfg.learning_rate;
+                    *model.unary_weights.entry(p).or_insert(0.0) -= cfg.learning_rate;
+                }
+            }
+        }
+        for (&k, &w) in &model.pair_weights {
+            *pair_sum.entry(k).or_insert(0.0) += f64::from(w);
+        }
+        for (&k, &w) in &model.unary_weights {
+            *unary_sum.entry(k).or_insert(0.0) += f64::from(w);
+        }
+    }
+
+    // Replace final weights by the epoch average.
+    let denom = cfg.epochs.max(1) as f64;
+    model.pair_weights = pair_sum
+        .into_iter()
+        .map(|(k, w)| (k, (w / denom) as f32))
+        .filter(|&(_, w)| w != 0.0)
+        .collect();
+    model.unary_weights = unary_sum
+        .into_iter()
+        .map(|(k, w)| (k, (w / denom) as f32))
+        .filter(|&(_, w)| w != 0.0)
+        .collect();
+    model
+}
+
+/// First pass over the data: label counts, global candidates, and the
+/// per-feature candidate suggestion index.
+fn build_statistics(
+    model: &mut CrfModel,
+    instances: &[Instance],
+    num_labels: u32,
+    cfg: &CrfConfig,
+) {
+    let mut counts = vec![0u32; num_labels as usize];
+    let mut suggestions: HashMap<(u32, u32, u8), HashMap<u32, u32>> = HashMap::new();
+
+    for inst in instances {
+        for node in &inst.nodes {
+            assert!(
+                node.label < num_labels,
+                "label {} out of range {num_labels}",
+                node.label
+            );
+            if !node.known {
+                counts[node.label as usize] += 1;
+            }
+        }
+        for pf in &inst.pairwise {
+            let (la, lb) = (inst.nodes[pf.a].label, inst.nodes[pf.b].label);
+            if !inst.nodes[pf.a].known {
+                *suggestions
+                    .entry((pf.path, lb, 0))
+                    .or_default()
+                    .entry(la)
+                    .or_insert(0) += 1;
+            }
+            if !inst.nodes[pf.b].known {
+                *suggestions
+                    .entry((pf.path, la, 1))
+                    .or_default()
+                    .entry(lb)
+                    .or_insert(0) += 1;
+            }
+        }
+    }
+
+    let mut by_freq: Vec<u32> = (0..num_labels).collect();
+    by_freq.sort_by_key(|&l| std::cmp::Reverse(counts[l as usize]));
+    by_freq.truncate(cfg.global_candidates);
+    model.global_candidates = by_freq;
+    model.label_counts = counts;
+
+    model.candidates = suggestions
+        .into_iter()
+        .map(|(key, by_label)| {
+            let mut v: Vec<(u32, u32)> = by_label.into_iter().collect();
+            v.sort_by_key(|&(l, c)| (std::cmp::Reverse(c), l));
+            v.truncate(cfg.suggestions_per_key);
+            (key, v)
+        })
+        .collect();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Node;
+    use rand::Rng;
+
+    /// A learnable toy world: the label of an unknown node is a function
+    /// of the path connecting it to a known node — path p links unknowns
+    /// of label (p mod L) to knowns of label (p mod 3).
+    fn toy_world(
+        n_instances: usize,
+        n_paths: u32,
+        n_labels: u32,
+        seed: u64,
+    ) -> Vec<Instance> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n_instances)
+            .map(|_| {
+                let path = rng.gen_range(0..n_paths);
+                let gold = path % n_labels;
+                let known = n_labels + (path % 3);
+                let mut inst =
+                    Instance::new(vec![Node::unknown(gold), Node::known(known)]);
+                inst.add_pair(0, 1, path);
+                inst
+            })
+            .collect()
+    }
+
+    #[test]
+    fn training_learns_a_path_determined_mapping() {
+        let num_labels = 5 + 3;
+        let train_set = toy_world(400, 20, 5, 1);
+        let test_set = toy_world(100, 20, 5, 2);
+        let model = train(&train_set, num_labels, &CrfConfig::default());
+        let mut correct = 0;
+        for inst in &test_set {
+            if model.predict(inst)[0] == inst.nodes[0].label {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 95, "learned {correct}/100");
+    }
+
+    #[test]
+    fn unary_factors_improve_a_unary_determined_world() {
+        // Gold label equals the unary path id; pairwise evidence is noise.
+        let mut rng = SmallRng::seed_from_u64(3);
+        let make = |rng: &mut SmallRng| -> Vec<Instance> {
+            (0..300)
+                .map(|_| {
+                    let path = rng.gen_range(0..6u32);
+                    let mut inst = Instance::new(vec![
+                        Node::unknown(path),
+                        Node::known(6 + rng.gen_range(0..2)),
+                    ]);
+                    inst.add_unary(0, path);
+                    inst.add_pair(0, 1, 99);
+                    inst
+                })
+                .collect()
+        };
+        let train_set = make(&mut rng);
+        let test_set = make(&mut rng);
+        let with = train(&train_set, 8, &CrfConfig::default());
+        let without = train(
+            &train_set,
+            8,
+            &CrfConfig {
+                use_unary: false,
+                ..CrfConfig::default()
+            },
+        );
+        let acc = |m: &CrfModel| {
+            test_set
+                .iter()
+                .filter(|i| m.predict(i)[0] == i.nodes[0].label)
+                .count()
+        };
+        assert!(
+            acc(&with) > acc(&without) + 50,
+            "unary {} vs no-unary {}",
+            acc(&with),
+            acc(&without)
+        );
+    }
+
+    #[test]
+    fn joint_inference_propagates_between_unknowns() {
+        // Two unknowns: A is pinned by a known via path 0; B is only
+        // linked to A via path 1, with gold(B) = gold(A) + 2.
+        let mut rng = SmallRng::seed_from_u64(5);
+        let make = |rng: &mut SmallRng| -> Vec<Instance> {
+            (0..400)
+                .map(|_| {
+                    let a = rng.gen_range(0..2u32);
+                    let b = a + 2;
+                    let mut inst = Instance::new(vec![
+                        Node::unknown(a),
+                        Node::unknown(b),
+                        Node::known(4 + a),
+                    ]);
+                    inst.add_pair(0, 2, a);
+                    inst.add_pair(0, 1, 10);
+                    inst
+                })
+                .collect()
+        };
+        let train_set = make(&mut rng);
+        let test_set = make(&mut rng);
+        let model = train(&train_set, 6, &CrfConfig::default());
+        let mut correct_b = 0;
+        for inst in &test_set {
+            let labels = model.predict(inst);
+            if labels[1] == inst.nodes[1].label {
+                correct_b += 1;
+            }
+        }
+        assert!(
+            correct_b >= 350,
+            "joint inference solved only {correct_b}/400 B nodes"
+        );
+    }
+
+    #[test]
+    fn training_is_deterministic_under_a_seed() {
+        let train_set = toy_world(100, 10, 4, 7);
+        let a = train(&train_set, 7, &CrfConfig::default());
+        let b = train(&train_set, 7, &CrfConfig::default());
+        let test = toy_world(50, 10, 4, 8);
+        for inst in &test {
+            assert_eq!(a.predict(inst), b.predict(inst));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_label_panics() {
+        let inst = Instance::new(vec![Node::unknown(9)]);
+        let _ = train(&[inst], 3, &CrfConfig::default());
+    }
+}

@@ -1,0 +1,262 @@
+//! Evaluation metrics (§5.2 of the paper).
+//!
+//! The headline metric is **normalised exact match**: case-insensitive
+//! and ignoring non-alphanumeric characters, so `totalCount` matches
+//! `total_count`. For the comparison against Allamanis et al. the paper
+//! also reports **precision/recall/F1 over sub-tokens** (`getCount` →
+//! `get`, `count`). An unknown ("UNK") gold label always counts as an
+//! incorrect prediction.
+
+/// Normalises a name for exact-match comparison: lowercase, with every
+/// non-alphanumeric character removed.
+///
+/// ```
+/// use pigeon_eval::normalize_name;
+/// assert_eq!(normalize_name("totalCount"), normalize_name("total_count"));
+/// assert_ne!(normalize_name("done"), normalize_name("count"));
+/// ```
+pub fn normalize_name(name: &str) -> String {
+    name.chars()
+        .filter(|c| c.is_ascii_alphanumeric())
+        .map(|c| c.to_ascii_lowercase())
+        .collect()
+}
+
+/// Whether `predicted` exactly matches `gold` under normalisation.
+pub fn exact_match(predicted: &str, gold: &str) -> bool {
+    let p = normalize_name(predicted);
+    !p.is_empty() && p == normalize_name(gold)
+}
+
+/// Splits a name into lowercase sub-tokens at camelCase humps, digits and
+/// separator characters.
+///
+/// ```
+/// use pigeon_eval::subtokens;
+/// assert_eq!(subtokens("getTotalCount"), ["get", "total", "count"]);
+/// assert_eq!(subtokens("total_count"), ["total", "count"]);
+/// assert_eq!(subtokens("HTTPServer2"), ["httpserver", "2"]);
+/// ```
+pub fn subtokens(name: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut prev: Option<char> = None;
+    for c in name.chars() {
+        if !c.is_ascii_alphanumeric() {
+            if !cur.is_empty() {
+                out.push(std::mem::take(&mut cur));
+            }
+            prev = None;
+            continue;
+        }
+        let hump = c.is_ascii_uppercase()
+            && prev.is_some_and(|p| p.is_ascii_lowercase());
+        let digit_boundary = !cur.is_empty()
+            && prev.is_some_and(|p| p.is_ascii_digit() != c.is_ascii_digit());
+        if hump || digit_boundary {
+            out.push(std::mem::take(&mut cur));
+        }
+        cur.push(c.to_ascii_lowercase());
+        prev = Some(c);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Sub-token precision, recall and F1 of one prediction, with
+/// multiplicity (bag semantics).
+pub fn subtoken_prf(predicted: &str, gold: &str) -> (f64, f64, f64) {
+    let p = subtokens(predicted);
+    let g = subtokens(gold);
+    if p.is_empty() || g.is_empty() {
+        return (0.0, 0.0, 0.0);
+    }
+    let mut remaining = g.clone();
+    let mut hits = 0usize;
+    for t in &p {
+        if let Some(i) = remaining.iter().position(|r| r == t) {
+            remaining.swap_remove(i);
+            hits += 1;
+        }
+    }
+    let precision = hits as f64 / p.len() as f64;
+    let recall = hits as f64 / g.len() as f64;
+    let f1 = if hits == 0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    (precision, recall, f1)
+}
+
+/// Accumulates per-prediction outcomes into corpus-level scores.
+#[derive(Debug, Clone, Default)]
+pub struct Scoreboard {
+    correct: usize,
+    total: usize,
+    topk_correct: usize,
+    f1_sum: f64,
+    oov: usize,
+}
+
+impl Scoreboard {
+    /// An empty scoreboard.
+    pub fn new() -> Self {
+        Scoreboard::default()
+    }
+
+    /// Records one prediction. `top_k` optionally carries the ranked
+    /// candidate list for top-k accuracy.
+    pub fn record(&mut self, predicted: &str, gold: &str, top_k: Option<&[String]>) {
+        self.total += 1;
+        if exact_match(predicted, gold) {
+            self.correct += 1;
+        }
+        if let Some(candidates) = top_k {
+            if candidates.iter().any(|c| exact_match(c, gold)) {
+                self.topk_correct += 1;
+            }
+        }
+        self.f1_sum += subtoken_prf(predicted, gold).2;
+    }
+
+    /// Records a gold label that the model cannot express (out of
+    /// vocabulary): always wrong, per §5.2.
+    pub fn record_oov(&mut self) {
+        self.total += 1;
+        self.oov += 1;
+    }
+
+    /// Marks the most recent [`record`](Scoreboard::record) as an
+    /// out-of-vocabulary gold (scored normally — normalised variants may
+    /// still match — but tracked for the §5.3 OoV statistics).
+    pub fn note_oov(&mut self) {
+        self.oov += 1;
+    }
+
+    /// The fraction of predictions whose gold label was out of
+    /// vocabulary (the paper reports 5–15% across its datasets).
+    pub fn oov_rate(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.oov as f64 / self.total as f64
+    }
+
+    /// Exact-match accuracy in `[0, 1]`.
+    pub fn accuracy(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.correct as f64 / self.total as f64
+    }
+
+    /// Top-k accuracy in `[0, 1]` over the predictions that supplied
+    /// candidate lists.
+    pub fn topk_accuracy(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.topk_correct as f64 / self.total as f64
+    }
+
+    /// Mean sub-token F1 in `[0, 1]`.
+    pub fn f1(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.f1_sum / self.total as f64
+    }
+
+    /// Number of predictions recorded.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Number of exact-match hits.
+    pub fn correct(&self) -> usize {
+        self.correct
+    }
+
+    /// Merges another scoreboard into this one.
+    pub fn merge(&mut self, other: &Scoreboard) {
+        self.correct += other.correct;
+        self.total += other.total;
+        self.topk_correct += other.topk_correct;
+        self.f1_sum += other.f1_sum;
+        self.oov += other.oov;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalisation_matches_paper_example() {
+        assert!(exact_match("totalCount", "total_count"));
+        assert!(exact_match("DONE", "done"));
+        assert!(!exact_match("msg", "message"));
+        assert!(!exact_match("", "x"));
+    }
+
+    #[test]
+    fn subtoken_splitting() {
+        assert_eq!(subtokens("multithreadedHttpConnectionManager").len(), 4);
+        assert_eq!(subtokens("i"), ["i"]);
+        assert_eq!(subtokens("__"), Vec::<String>::new());
+        assert_eq!(subtokens("a1b"), ["a", "1", "b"]);
+    }
+
+    #[test]
+    fn prf_partial_credit() {
+        // Paper example: getFoo vs get<UNK> gives partial precision and
+        // recall; here getCount vs countItems shares `count`.
+        let (p, r, f1) = subtoken_prf("getCount", "countItems");
+        assert!((p - 0.5).abs() < 1e-9);
+        assert!((r - 0.5).abs() < 1e-9);
+        assert!((f1 - 0.5).abs() < 1e-9);
+        assert_eq!(subtoken_prf("done", "done"), (1.0, 1.0, 1.0));
+        assert_eq!(subtoken_prf("done", "count").2, 0.0);
+    }
+
+    #[test]
+    fn prf_respects_multiplicity() {
+        let (p, _, _) = subtoken_prf("aA", "a");
+        assert!((p - 0.5).abs() < 1e-9, "duplicate prediction counted once");
+    }
+
+    #[test]
+    fn scoreboard_aggregates() {
+        let mut s = Scoreboard::new();
+        s.record("done", "done", Some(&["done".into(), "found".into()]));
+        s.record("msg", "message", Some(&["text".into(), "message".into()]));
+        s.record_oov();
+        assert_eq!(s.total(), 3);
+        assert!((s.oov_rate() - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(s.correct(), 1);
+        assert!((s.accuracy() - 1.0 / 3.0).abs() < 1e-9);
+        assert!((s.topk_accuracy() - 2.0 / 3.0).abs() < 1e-9);
+        assert!(s.f1() > 0.0);
+    }
+
+    #[test]
+    fn scoreboard_merge() {
+        let mut a = Scoreboard::new();
+        a.record("x", "x", None);
+        let mut b = Scoreboard::new();
+        b.record("y", "z", None);
+        a.merge(&b);
+        assert_eq!(a.total(), 2);
+        assert_eq!(a.correct(), 1);
+    }
+
+    #[test]
+    fn empty_scoreboard_is_zero() {
+        let s = Scoreboard::new();
+        assert_eq!(s.accuracy(), 0.0);
+        assert_eq!(s.f1(), 0.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Parameter sweeps behind the paper's figures.
+
+use crate::features::Representation;
+use crate::tasks::{run_name_experiment, NameExperiment};
+use pigeon_core::{Abstraction, ExtractionConfig};
+use pigeon_corpus::{CorpusConfig, Language};
+
+/// One cell of the Fig. 10 grid: accuracy at a length/width combination.
+#[derive(Debug, Clone, Copy)]
+pub struct LengthWidthCell {
+    /// `max_length` value.
+    pub max_length: usize,
+    /// `max_width` value.
+    pub max_width: usize,
+    /// Variable-name accuracy at this setting.
+    pub accuracy: f64,
+}
+
+/// Fig. 10: JavaScript variable-name accuracy over the
+/// `max_length × max_width` grid.
+pub fn length_width_sweep(
+    corpus: &CorpusConfig,
+    lengths: &[usize],
+    widths: &[usize],
+) -> Vec<LengthWidthCell> {
+    let mut out = Vec::new();
+    for &w in widths {
+        for &l in lengths {
+            // Leafwise only: semi-paths would blur the length axis
+            // because a short-capped leafwise set still gets ancestor
+            // context through them; the figure isolates the §4.2
+            // hyper-parameters.
+            let exp = NameExperiment {
+                corpus: *corpus,
+                extraction: ExtractionConfig::with_limits(l, w),
+                ..NameExperiment::var_names(Language::JavaScript)
+            };
+            out.push(LengthWidthCell {
+                max_length: l,
+                max_width: w,
+                accuracy: run_name_experiment(&exp).accuracy,
+            });
+        }
+    }
+    out
+}
+
+/// One point of the Fig. 11 curve: accuracy and training time at a
+/// keep-probability.
+#[derive(Debug, Clone, Copy)]
+pub struct DownsamplePoint {
+    /// Probability of keeping each path-context occurrence.
+    pub keep_prob: f64,
+    /// Variable-name accuracy.
+    pub accuracy: f64,
+    /// CRF training seconds.
+    pub train_secs: f64,
+}
+
+/// Fig. 11: downsampling keep-probability vs accuracy and training time
+/// (JavaScript variable names).
+pub fn downsample_sweep(corpus: &CorpusConfig, probs: &[f64]) -> Vec<DownsamplePoint> {
+    probs
+        .iter()
+        .map(|&p| {
+            let exp = NameExperiment {
+                corpus: *corpus,
+                keep_prob: p,
+                ..NameExperiment::var_names(Language::JavaScript)
+            };
+            let out = run_name_experiment(&exp);
+            DownsamplePoint {
+                keep_prob: p,
+                accuracy: out.accuracy,
+                train_secs: out.train_secs,
+            }
+        })
+        .collect()
+}
+
+/// One point of the Fig. 12 trade-off: an abstraction level's accuracy
+/// and training time.
+#[derive(Debug, Clone, Copy)]
+pub struct AbstractionPoint {
+    /// The abstraction level.
+    pub abstraction: Abstraction,
+    /// Java variable-name accuracy.
+    pub accuracy: f64,
+    /// CRF training seconds.
+    pub train_secs: f64,
+    /// Distinct relation features (the model-size proxy).
+    pub n_features: usize,
+}
+
+/// Fig. 12: accuracy vs training time across the abstraction levels of
+/// §5.6 (Java variable names, identical corpus and settings per level).
+pub fn abstraction_sweep(corpus: &CorpusConfig) -> Vec<AbstractionPoint> {
+    Abstraction::ALL
+        .iter()
+        .map(|&a| {
+            let exp = NameExperiment {
+                corpus: *corpus,
+                representation: Representation::AstPaths(a),
+                ..NameExperiment::var_names(Language::Java)
+            };
+            let out = run_name_experiment(&exp);
+            AbstractionPoint {
+                abstraction: a,
+                accuracy: out.accuracy,
+                train_secs: out.train_secs,
+                n_features: out.n_features,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CorpusConfig {
+        CorpusConfig::default().with_files(250)
+    }
+
+    #[test]
+    fn length_sweep_shows_gain_from_longer_paths() {
+        let cells = length_width_sweep(&tiny(), &[2, 3], &[3]);
+        assert_eq!(cells.len(), 2);
+        let short = cells.iter().find(|c| c.max_length == 2).unwrap();
+        let long = cells.iter().find(|c| c.max_length == 3).unwrap();
+        assert!(
+            long.accuracy > short.accuracy,
+            "length 3 ({:.3}) should beat length 2 ({:.3})",
+            long.accuracy,
+            short.accuracy
+        );
+    }
+
+    #[test]
+    fn abstraction_sweep_orders_no_path_last() {
+        let points = abstraction_sweep(&tiny());
+        assert_eq!(points.len(), 7);
+        let full = points
+            .iter()
+            .find(|p| p.abstraction == Abstraction::Full)
+            .unwrap();
+        let none = points
+            .iter()
+            .find(|p| p.abstraction == Abstraction::NoPath)
+            .unwrap();
+        assert!(
+            full.accuracy > none.accuracy + 0.02,
+            "full {:.3} vs no-path {:.3}",
+            full.accuracy,
+            none.accuracy
+        );
+        assert!(full.n_features > none.n_features);
+    }
+
+    #[test]
+    fn downsample_sweep_produces_monotone_sizes() {
+        let points = downsample_sweep(&tiny(), &[0.2, 1.0]);
+        assert_eq!(points.len(), 2);
+        assert!(points[1].accuracy >= points[0].accuracy - 0.15);
+    }
+}

@@ -1,0 +1,142 @@
+//! Validation-set hyper-parameter tuning (§4.2 of the paper).
+//!
+//! "We tune the optimal values of width and length by grid search of
+//! combinations on a validation set of programs and choose the
+//! combination that yields the highest accuracy … The tuning process …
+//! should be separate for each language and task." This module implements
+//! exactly that: the corpus is split train/validation/test, the grid is
+//! scored on the validation split only, and the winning combination is
+//! returned for a final test-set run.
+
+use crate::tasks::{run_name_experiment, NameExperiment, TaskOutcome};
+use pigeon_core::ExtractionConfig;
+
+/// The outcome of a grid search: the winning parameters and the grid.
+#[derive(Debug, Clone)]
+pub struct TuneResult {
+    /// The winning `max_length`.
+    pub max_length: usize,
+    /// The winning `max_width`.
+    pub max_width: usize,
+    /// Validation accuracy of the winner.
+    pub valid_accuracy: f64,
+    /// Every `(length, width, validation accuracy)` cell scored.
+    pub grid: Vec<(usize, usize, f64)>,
+}
+
+/// Grid-searches `lengths × widths` for `base`, scoring each combination
+/// on a validation split carved out of the experiment's training
+/// fraction. The experiment's other settings (language, task,
+/// representation, CRF config) are held fixed.
+///
+/// # Panics
+///
+/// Panics if `lengths` or `widths` is empty.
+pub fn tune_parameters(
+    base: &NameExperiment,
+    lengths: &[usize],
+    widths: &[usize],
+) -> TuneResult {
+    assert!(
+        !lengths.is_empty() && !widths.is_empty(),
+        "the grid needs at least one cell"
+    );
+    // Validation scoring: shrink the training fraction and test on the
+    // held-out slice *before* the real test split (which run_name_experiment
+    // defines as everything after train_frac). Using a smaller train_frac
+    // makes the experiment's "test" split play the validation role; the
+    // caller then evaluates the winner with the original fractions on data
+    // the search never saw.
+    let valid_frac = base.train_frac * 0.8;
+    let mut grid = Vec::new();
+    let mut best = (lengths[0], widths[0], f64::MIN);
+    for &w in widths {
+        for &l in lengths {
+            let mut exp = base.clone();
+            exp.extraction = ExtractionConfig {
+                max_length: l,
+                max_width: w,
+                semi_paths: base.extraction.semi_paths,
+            };
+            exp.train_frac = valid_frac;
+            // Only the validation prefix participates: shrink the corpus
+            // to the original training fraction so test data stays unseen.
+            exp.corpus = exp.corpus.with_files(
+                (base.corpus.files as f64 * base.train_frac).round() as usize,
+            );
+            let out = run_name_experiment(&exp);
+            grid.push((l, w, out.accuracy));
+            if out.accuracy > best.2 {
+                best = (l, w, out.accuracy);
+            }
+        }
+    }
+    TuneResult {
+        max_length: best.0,
+        max_width: best.1,
+        valid_accuracy: best.2,
+        grid,
+    }
+}
+
+/// Tunes `base` and runs the final experiment with the winning
+/// parameters on the untouched test split.
+pub fn tune_and_run(
+    base: &NameExperiment,
+    lengths: &[usize],
+    widths: &[usize],
+) -> (TuneResult, TaskOutcome) {
+    let tuned = tune_parameters(base, lengths, widths);
+    let mut exp = base.clone();
+    exp.extraction = ExtractionConfig {
+        max_length: tuned.max_length,
+        max_width: tuned.max_width,
+        semi_paths: base.extraction.semi_paths,
+    };
+    let outcome = run_name_experiment(&exp);
+    (tuned, outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pigeon_corpus::{CorpusConfig, Language};
+
+    #[test]
+    fn tuning_scans_the_whole_grid_and_picks_its_argmax() {
+        let base = NameExperiment {
+            corpus: CorpusConfig::default().with_files(120),
+            ..NameExperiment::var_names(Language::JavaScript)
+        };
+        let result = tune_parameters(&base, &[2, 3], &[2, 3]);
+        assert_eq!(result.grid.len(), 4);
+        let max = result
+            .grid
+            .iter()
+            .map(|&(_, _, a)| a)
+            .fold(f64::MIN, f64::max);
+        assert_eq!(result.valid_accuracy, max);
+        assert!(result
+            .grid
+            .contains(&(result.max_length, result.max_width, result.valid_accuracy)));
+    }
+
+    #[test]
+    fn tune_and_run_reports_on_unseen_data() {
+        let base = NameExperiment {
+            corpus: CorpusConfig::default().with_files(120),
+            ..NameExperiment::var_names(Language::Python)
+        };
+        let (tuned, outcome) = tune_and_run(&base, &[3], &[3]);
+        assert_eq!((tuned.max_length, tuned.max_width), (3, 3));
+        assert!(outcome.n_test > 20);
+        assert!(outcome.accuracy > 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn empty_grid_panics() {
+        let base = NameExperiment::var_names(Language::Java);
+        let _ = tune_parameters(&base, &[], &[1]);
+    }
+}

@@ -1,0 +1,306 @@
+//! word2vec-based variable naming (§3.2, Table 3).
+//!
+//! Three context definitions are compared, holding the SGNS learner
+//! fixed:
+//!
+//! * **token stream** — the surrounding source tokens in a ±window, the
+//!   context NLP uses and the paper's weakest row (20.6%);
+//! * **path-neighbours, no-paths** — the values at the far ends of the
+//!   element's path-contexts, with the path identity hidden (23.2%);
+//! * **AST paths** — the full `(path, far value)` pair (40.4%).
+//!
+//! Prediction is the paper's Eq. 4 over the whole word vocabulary.
+
+use crate::elements::{classify_elements, ElementClass};
+use crate::metrics::Scoreboard;
+use pigeon_core::{leaf_pair_contexts, Abstraction, ExtractionConfig, Interner};
+use pigeon_corpus::{generate, CorpusConfig, Language};
+use pigeon_word2vec::{train as train_sgns, SgnsConfig, SgnsModel};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// The context definition fed to SGNS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum W2vContext {
+    /// Linear token window of the given radius.
+    TokenStream {
+        /// Tokens on each side of an occurrence.
+        window: usize,
+    },
+    /// Far-end values of path-contexts, path identity hidden.
+    PathNeighbours,
+    /// Far-end values *with* the abstracted path.
+    AstPaths(Abstraction),
+}
+
+impl W2vContext {
+    /// Display name matching the paper's Table 3 rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            W2vContext::TokenStream { .. } => "linear token-stream",
+            W2vContext::PathNeighbours => "path-neighbors, no-paths",
+            W2vContext::AstPaths(_) => "AST paths",
+        }
+    }
+}
+
+/// Configuration of one word2vec experiment.
+#[derive(Debug, Clone)]
+pub struct W2vExperiment {
+    /// Evaluation language (the paper runs Table 3 on JavaScript).
+    pub language: Language,
+    /// Context definition under test.
+    pub context: W2vContext,
+    /// Corpus generation parameters.
+    pub corpus: CorpusConfig,
+    /// Path limits (for the path-based contexts).
+    pub extraction: ExtractionConfig,
+    /// SGNS training parameters.
+    pub sgns: SgnsConfig,
+    /// Fraction of documents used for training.
+    pub train_frac: f64,
+}
+
+impl W2vExperiment {
+    /// The Table 3 setting: JavaScript variable names, best path params.
+    pub fn table3(context: W2vContext) -> Self {
+        W2vExperiment {
+            language: Language::JavaScript,
+            context,
+            corpus: CorpusConfig::default(),
+            extraction: ExtractionConfig::with_limits(7, 3),
+            sgns: SgnsConfig::default(),
+            train_frac: 0.8,
+        }
+    }
+}
+
+/// The contexts of every unknown variable element in one document, as
+/// rendered strings keyed by the element's name.
+fn document_contexts(
+    exp: &W2vExperiment,
+    source: &str,
+) -> Vec<(String, Vec<String>)> {
+    let ast = exp
+        .language
+        .parse(source)
+        .expect("generated documents parse");
+    let elements = classify_elements(exp.language, &ast);
+    let unknown: HashMap<&str, usize> = elements
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.class == ElementClass::Variable)
+        .map(|(i, e)| (e.name.as_str(), i))
+        .collect();
+    let mut contexts: Vec<(String, Vec<String>)> = elements
+        .iter()
+        .filter(|e| e.class == ElementClass::Variable)
+        .map(|e| (e.name.clone(), Vec::new()))
+        .collect();
+    let slot: HashMap<String, usize> = contexts
+        .iter()
+        .enumerate()
+        .map(|(i, (n, _))| (n.clone(), i))
+        .collect();
+
+    match exp.context {
+        W2vContext::TokenStream { window } => {
+            let tokens: Vec<String> = pigeon_js::tokenize(source)
+                .expect("generated documents tokenize")
+                .into_iter()
+                .filter(|t| t.kind != pigeon_js::TokenKind::Eof)
+                .map(|t| t.text)
+                .collect();
+            for (i, tok) in tokens.iter().enumerate() {
+                let Some(&s) = slot.get(tok.as_str()) else {
+                    continue;
+                };
+                let lo = i.saturating_sub(window);
+                let hi = (i + window + 1).min(tokens.len());
+                for (j, other) in tokens[lo..hi].iter().enumerate() {
+                    if lo + j != i {
+                        contexts[s].1.push(format!("tok:{other}"));
+                    }
+                }
+            }
+        }
+        W2vContext::PathNeighbours | W2vContext::AstPaths(_) => {
+            // Element-occurrence leaves of each unknown element.
+            let leaf_owner: HashMap<pigeon_ast::NodeId, usize> = elements
+                .iter()
+                .filter(|e| unknown.contains_key(e.name.as_str()))
+                .flat_map(|e| {
+                    let s = slot[e.name.as_str()];
+                    e.occurrences.iter().map(move |&l| (l, s))
+                })
+                .collect();
+            for ctx in leaf_pair_contexts(&ast, &exp.extraction) {
+                for (leaf, far, flip) in [
+                    (ctx.start_node, ctx.end, false),
+                    (ctx.end_node, ctx.start, true),
+                ] {
+                    let Some(&s) = leaf_owner.get(&leaf) else {
+                        continue;
+                    };
+                    let rendered = match exp.context {
+                        W2vContext::PathNeighbours => format!("nb:{far}"),
+                        W2vContext::AstPaths(a) => {
+                            let p = if flip {
+                                a.apply(&ctx.path.reversed()).to_string()
+                            } else {
+                                a.apply(&ctx.path).to_string()
+                            };
+                            format!("{p}|{far}")
+                        }
+                        W2vContext::TokenStream { .. } => unreachable!(),
+                    };
+                    contexts[s].1.push(rendered);
+                }
+            }
+        }
+    }
+    contexts
+}
+
+/// A trained embedding together with its vocabularies, for qualitative
+/// inspection (the paper's Table 4b synonym clusters).
+#[derive(Debug)]
+pub struct W2vBundle {
+    /// The trained SGNS embeddings.
+    pub model: SgnsModel,
+    /// Word (name) vocabulary.
+    pub words: Interner<String>,
+    /// Context vocabulary.
+    pub contexts: Interner<String>,
+    /// Wall-clock training seconds.
+    pub train_secs: f64,
+}
+
+/// Trains SGNS on the training split of `exp`'s corpus and returns the
+/// model with its vocabularies.
+pub fn train_w2v(exp: &W2vExperiment) -> W2vBundle {
+    assert!(
+        !matches!(exp.context, W2vContext::TokenStream { .. })
+            || exp.language == Language::JavaScript,
+        "the token-stream baseline is implemented for JavaScript (Table 3)"
+    );
+    let corpus = generate(exp.language, &exp.corpus);
+    let (train_corpus, _, _) = corpus.split(exp.train_frac, 0.0);
+
+    let mut words: Interner<String> = Interner::new();
+    let mut ctxs: Interner<String> = Interner::new();
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    for doc in &train_corpus.docs {
+        for (name, contexts) in document_contexts(exp, &doc.source) {
+            let w = words.intern(name);
+            for c in contexts {
+                pairs.push((w, ctxs.intern(c)));
+            }
+        }
+    }
+    let started = Instant::now();
+    let model: SgnsModel = train_sgns(&pairs, words.len(), ctxs.len(), &exp.sgns);
+    W2vBundle {
+        model,
+        words,
+        contexts: ctxs,
+        train_secs: started.elapsed().as_secs_f64(),
+    }
+}
+
+/// Runs a Table 3 experiment: train SGNS on the training split's
+/// (name, context) pairs, predict names on the test split via Eq. 4.
+pub fn run_w2v_experiment(exp: &W2vExperiment) -> crate::TaskOutcome {
+    let W2vBundle {
+        model,
+        words,
+        contexts: ctxs,
+        train_secs,
+    } = train_w2v(exp);
+    let corpus = generate(exp.language, &exp.corpus);
+    let (_, _, test_corpus) = corpus.split(exp.train_frac, 0.0);
+
+    let mut board = Scoreboard::new();
+    for doc in &test_corpus.docs {
+        for (gold, contexts) in document_contexts(exp, &doc.source) {
+            let ids: Vec<u32> = contexts
+                .iter()
+                .filter_map(|c| ctxs.get(c))
+                .collect();
+            if ids.is_empty() {
+                board.record_oov();
+                continue;
+            }
+            let ranked = model.predict(&ids, None);
+            let top: Vec<String> = ranked
+                .iter()
+                .take(5)
+                .map(|&(w, _)| words.resolve(w).clone())
+                .collect();
+            let predicted = top.first().cloned().unwrap_or_default();
+            board.record(&predicted, &gold, Some(&top));
+        }
+    }
+
+    crate::TaskOutcome {
+        accuracy: board.accuracy(),
+        topk_accuracy: board.topk_accuracy(),
+        f1: board.f1(),
+        n_test: board.total(),
+        train_secs,
+        n_features: ctxs.len(),
+        n_labels: words.len(),
+        oov_rate: board.oov_rate(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(context: W2vContext) -> W2vExperiment {
+        W2vExperiment {
+            corpus: CorpusConfig::default().with_files(150),
+            ..W2vExperiment::table3(context)
+        }
+    }
+
+    #[test]
+    fn paths_beat_token_stream_and_neighbours() {
+        let paths = run_w2v_experiment(&small(W2vContext::AstPaths(Abstraction::Full)));
+        let neighbours = run_w2v_experiment(&small(W2vContext::PathNeighbours));
+        let tokens = run_w2v_experiment(&small(W2vContext::TokenStream { window: 2 }));
+        assert!(paths.n_test > 50);
+        assert!(
+            paths.accuracy > neighbours.accuracy,
+            "paths {:.3} <= neighbours {:.3}",
+            paths.accuracy,
+            neighbours.accuracy
+        );
+        assert!(
+            paths.accuracy > tokens.accuracy,
+            "paths {:.3} <= tokens {:.3}",
+            paths.accuracy,
+            tokens.accuracy
+        );
+    }
+
+    #[test]
+    fn token_contexts_are_windowed() {
+        let exp = small(W2vContext::TokenStream { window: 1 });
+        let ctxs = document_contexts(&exp, "var done = false;");
+        let done = ctxs.iter().find(|(n, _)| n == "done").unwrap();
+        assert_eq!(done.1, vec!["tok:var".to_owned(), "tok:=".to_owned()]);
+    }
+
+    #[test]
+    fn path_contexts_attach_to_both_ends() {
+        let exp = small(W2vContext::AstPaths(Abstraction::Full));
+        let ctxs = document_contexts(&exp, "var a = b;");
+        // `a` and `b` are both variables... b is a bare reference, so only
+        // `a` is a declared variable element here.
+        let a = ctxs.iter().find(|(n, _)| n == "a").unwrap();
+        assert_eq!(a.1.len(), 1);
+        assert!(a.1[0].contains("SymbolVar"));
+    }
+}

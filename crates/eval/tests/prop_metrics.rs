@@ -1,0 +1,79 @@
+//! Property tests for the evaluation metrics.
+
+use pigeon_eval::{exact_match, normalize_name, subtoken_prf, subtokens};
+use proptest::prelude::*;
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[A-Za-z0-9_]{0,20}"
+}
+
+proptest! {
+    /// Normalisation is idempotent and produces only lowercase
+    /// alphanumerics.
+    #[test]
+    fn normalisation_is_idempotent(name in name_strategy()) {
+        let once = normalize_name(&name);
+        prop_assert_eq!(normalize_name(&once), once.clone());
+        prop_assert!(once.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+    }
+
+    /// Exact match is reflexive for names with any alphanumeric content,
+    /// and symmetric always.
+    #[test]
+    fn exact_match_is_reflexive_and_symmetric(a in name_strategy(), b in name_strategy()) {
+        if !normalize_name(&a).is_empty() {
+            prop_assert!(exact_match(&a, &a));
+        }
+        prop_assert_eq!(exact_match(&a, &b), exact_match(&b, &a));
+    }
+
+    /// Case and separators never affect equality: the paper's
+    /// `totalCount == total_count` rule generalised.
+    #[test]
+    fn separators_are_invisible(a in "[a-z]{1,6}", b in "[a-z]{1,6}") {
+        let camel = format!("{a}{}{}", b[..1].to_uppercase(), &b[1..]);
+        let snake = format!("{a}_{b}");
+        prop_assert!(exact_match(&camel, &snake));
+    }
+
+    /// Subtokens reassemble to the normalised name.
+    #[test]
+    fn subtokens_partition_the_name(name in name_strategy()) {
+        let joined: String = subtokens(&name).concat();
+        prop_assert_eq!(joined, normalize_name(&name));
+    }
+
+    /// Precision/recall/F1 stay in [0, 1]; F1 is 1 exactly on equal
+    /// bags and 0 exactly on disjoint ones.
+    #[test]
+    fn prf_bounds(a in name_strategy(), b in name_strategy()) {
+        let (p, r, f1) = subtoken_prf(&a, &b);
+        for v in [p, r, f1] {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+        let (sa, sb) = (subtokens(&a), subtokens(&b));
+        if !sa.is_empty() && sa == sb {
+            prop_assert_eq!(f1, 1.0);
+        }
+        if !sa.is_empty() && !sb.is_empty() && sa.iter().all(|t| !sb.contains(t)) {
+            prop_assert_eq!(f1, 0.0);
+        }
+    }
+
+    /// F1 is symmetric.
+    #[test]
+    fn f1_is_symmetric(a in name_strategy(), b in name_strategy()) {
+        let (_, _, ab) = subtoken_prf(&a, &b);
+        let (_, _, ba) = subtoken_prf(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-12);
+    }
+
+    /// Exact match implies perfect F1 (the finer metric dominates).
+    #[test]
+    fn exact_match_implies_f1_one(a in name_strategy()) {
+        if exact_match(&a, &a) {
+            let (_, _, f1) = subtoken_prf(&a, &a);
+            prop_assert_eq!(f1, 1.0);
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Ignored-by-default tuning probes used to pick the experiment defaults
+//! (run with `cargo test -p pigeon-eval --release --test tuning -- --ignored --nocapture`).
+
+use pigeon_corpus::{CorpusConfig, Language};
+use pigeon_eval::*;
+
+#[test]
+#[ignore]
+fn method_length_tuning() {
+    for lang in [Language::JavaScript, Language::Java, Language::Python] {
+        for (len, w) in [(5usize, 3usize), (6, 3), (7, 3), (8, 3)] {
+            let out = run_name_experiment(&NameExperiment {
+                corpus: CorpusConfig::default().with_files(500),
+                extraction: pigeon_core::ExtractionConfig::with_limits(len, w),
+                ..NameExperiment::method_names(lang)
+            });
+            println!("{lang:12} methods L{len}/W{w}: {:.3}", out.accuracy);
+        }
+    }
+}
+
+#[test]
+#[ignore]
+fn var_sanity_after_drivers() {
+    for lang in Language::ALL {
+        let out = run_name_experiment(&NameExperiment {
+            corpus: CorpusConfig::default().with_files(500),
+            ..NameExperiment::var_names(lang)
+        });
+        println!("{lang:12} vars: {:.3}", out.accuracy);
+    }
+}
+
+#[test]
+#[ignore]
+fn semi_path_ablation() {
+    for task in ["vars", "methods"] {
+        for semi in [false, true] {
+            let mut exp = if task == "vars" {
+                NameExperiment::var_names(Language::JavaScript)
+            } else {
+                NameExperiment::method_names(Language::JavaScript)
+            };
+            exp.corpus = CorpusConfig::default().with_files(500);
+            exp.extraction.semi_paths = semi;
+            let out = run_name_experiment(&exp);
+            println!("{task} semi={semi}: {:.3}", out.accuracy);
+        }
+    }
+}
+
+#[test]
+#[ignore]
+fn fig10_shape_check() {
+    let corpus = CorpusConfig::default().with_files(500);
+    let cells = length_width_sweep(&corpus, &[2, 3, 4, 5, 6], &[3]);
+    for c in cells {
+        println!("L{} = {:.3}", c.max_length, c.accuracy);
+    }
+}
+
+#[test]
+#[ignore]
+fn var_retune() {
+    println!();
+    for lang in Language::ALL {
+        for (len, w) in [(3usize, 2usize), (3, 3), (4, 3), (4, 4)] {
+            let mut exp = NameExperiment::var_names(lang);
+            exp.corpus = CorpusConfig::default().with_files(500);
+            exp.extraction = pigeon_core::ExtractionConfig::with_limits(len, w).semi_paths(true);
+            let out = run_name_experiment(&exp);
+            println!("{lang:12} L{len}/W{w}: {:.3}", out.accuracy);
+        }
+    }
+}
+
+#[test]
+#[ignore]
+fn nopath_gap_check() {
+    for lang in [Language::JavaScript, Language::Java, Language::Python] {
+        let base = NameExperiment {
+            corpus: CorpusConfig::default().with_files(800),
+            ..NameExperiment::var_names(lang)
+        };
+        let paths = run_name_experiment(&base);
+        let nopath = run_name_experiment(&base.clone().with_representation(Representation::NoPaths));
+        println!("{lang:12} paths={:.3} nopath={:.3} gap={:+.1}", paths.accuracy, nopath.accuracy, 100.0*(paths.accuracy-nopath.accuracy));
+    }
+}
+
+#[test]
+#[ignore]
+fn relations_gap_check() {
+    let base = NameExperiment {
+        corpus: CorpusConfig::default().with_files(800),
+        ..NameExperiment::var_names(Language::JavaScript)
+    };
+    let paths = run_name_experiment(&base);
+    let relations = run_name_experiment(&base.clone().with_representation(Representation::Relations));
+    let nopath = run_name_experiment(&base.clone().with_representation(Representation::NoPaths));
+    println!(
+        "paths={:.3} relations={:.3} nopath={:.3}",
+        paths.accuracy, relations.accuracy, nopath.accuracy
+    );
+}

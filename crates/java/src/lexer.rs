@@ -1,0 +1,307 @@
+//! Tokenizer for the Java subset.
+
+use std::fmt;
+
+/// The lexical category of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TokenKind {
+    /// An identifier or keyword.
+    Ident,
+    /// An integer or floating-point literal.
+    Number,
+    /// A string literal (text excludes the quotes).
+    String,
+    /// A character literal (text excludes the quotes).
+    Char,
+    /// A punctuation or operator token.
+    Punct,
+    /// End of input.
+    Eof,
+}
+
+/// One lexical token with its text and byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Lexical category.
+    pub kind: TokenKind,
+    /// The token's source text (for strings/chars: unquoted contents).
+    pub text: String,
+    /// Byte offset of the first character in the source.
+    pub offset: u32,
+}
+
+/// An error produced while tokenizing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset the error occurred at.
+    pub offset: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Java keywords recognised by the parser.
+pub const KEYWORDS: &[&str] = &[
+    "package", "import", "public", "private", "protected", "static", "final", "abstract",
+    "class", "interface", "extends", "implements", "void", "int", "long", "short", "byte",
+    "float", "double", "boolean", "char", "if", "else", "while", "do", "for", "return",
+    "break", "continue", "new", "this", "super", "null", "true", "false", "try", "catch",
+    "finally", "throw", "throws", "switch", "case", "default", "instanceof", "synchronized",
+];
+
+/// Whether `text` is a reserved word.
+pub fn is_keyword(text: &str) -> bool {
+    KEYWORDS.contains(&text)
+}
+
+/// The primitive type keywords.
+pub const PRIMITIVES: &[&str] = &[
+    "int", "long", "short", "byte", "float", "double", "boolean", "char", "void",
+];
+
+const PUNCT2: &[&str] = &[
+    "==", "!=", "<=", ">=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=", "%=", "->", "::",
+];
+const PUNCT1: &[char] = &[
+    '(', ')', '{', '}', '[', ']', ';', ',', '.', '=', '<', '>', '+', '-', '*', '/', '%', '!',
+    '?', ':', '&', '|', '^', '~', '@',
+];
+
+/// Tokenizes `source`, skipping whitespace and comments.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on unterminated literals or comments, or on a
+/// character outside the subset's alphabet.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '/' && i + 1 < bytes.len() {
+            match bytes[i + 1] as char {
+                '/' => {
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                    continue;
+                }
+                '*' => {
+                    let start = i;
+                    i += 2;
+                    loop {
+                        if i + 1 >= bytes.len() {
+                            return Err(LexError {
+                                message: "unterminated block comment".into(),
+                                offset: start as u32,
+                            });
+                        }
+                        if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                            i += 2;
+                            break;
+                        }
+                        i += 1;
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        let offset = i as u32;
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: source[start..i].to_owned(),
+                offset,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() {
+                let ch = bytes[i] as char;
+                let decimal_point = ch == '.'
+                    && i + 1 < bytes.len()
+                    && (bytes[i + 1] as char).is_ascii_digit();
+                if ch.is_ascii_alphanumeric() || ch == '_' || decimal_point {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            tokens.push(Token {
+                kind: TokenKind::Number,
+                text: source[start..i].to_owned(),
+                offset,
+            });
+            continue;
+        }
+        if c == '"' || c == '\'' {
+            let quote = c;
+            let start = i;
+            i += 1;
+            let mut text = String::new();
+            loop {
+                if i >= bytes.len() {
+                    return Err(LexError {
+                        message: format!(
+                            "unterminated {} literal",
+                            if quote == '"' { "string" } else { "char" }
+                        ),
+                        offset: start as u32,
+                    });
+                }
+                let ch = bytes[i] as char;
+                if ch == quote {
+                    i += 1;
+                    break;
+                }
+                if ch == '\\' && i + 1 < bytes.len() {
+                    let esc = bytes[i + 1] as char;
+                    text.push(match esc {
+                        'n' => '\n',
+                        't' => '\t',
+                        'r' => '\r',
+                        '0' => '\0',
+                        other => other,
+                    });
+                    i += 2;
+                    continue;
+                }
+                text.push(ch);
+                i += 1;
+            }
+            tokens.push(Token {
+                kind: if quote == '"' {
+                    TokenKind::String
+                } else {
+                    TokenKind::Char
+                },
+                text,
+                offset,
+            });
+            continue;
+        }
+        let rest = &source[i..];
+        if let Some(p) = PUNCT2.iter().find(|p| rest.starts_with(**p)) {
+            tokens.push(Token {
+                kind: TokenKind::Punct,
+                text: (*p).to_owned(),
+                offset,
+            });
+            i += p.len();
+            continue;
+        }
+        if PUNCT1.contains(&c) {
+            tokens.push(Token {
+                kind: TokenKind::Punct,
+                text: c.to_string(),
+                offset,
+            });
+            i += 1;
+            continue;
+        }
+        return Err(LexError {
+            message: format!("unexpected character {c:?}"),
+            offset,
+        });
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        text: String::new(),
+        offset: bytes.len() as u32,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        tokenize(src)
+            .unwrap()
+            .into_iter()
+            .filter(|t| t.kind != TokenKind::Eof)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn basic_java_line() {
+        assert_eq!(
+            texts("int count = 0;"),
+            ["int", "count", "=", "0", ";"]
+        );
+    }
+
+    #[test]
+    fn char_and_string_literals() {
+        let toks = tokenize("char c = 'x'; String s = \"hi\";").unwrap();
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Char && t.text == "x"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::String && t.text == "hi"));
+    }
+
+    #[test]
+    fn escapes_in_char_literal() {
+        let toks = tokenize("'\\n'").unwrap();
+        assert_eq!(toks[0].text, "\n");
+    }
+
+    #[test]
+    fn numbers_with_suffixes_and_decimals() {
+        assert_eq!(texts("1L 2.5 3.5f 0x1F"), ["1L", "2.5", "3.5f", "0x1F"]);
+    }
+
+    #[test]
+    fn generics_tokens() {
+        assert_eq!(
+            texts("List<Integer> xs"),
+            ["List", "<", "Integer", ">", "xs"]
+        );
+    }
+
+    #[test]
+    fn arrow_and_double_colon() {
+        assert_eq!(texts("x -> y::z"), ["x", "->", "y", "::", "z"]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(texts("a /* x */ b // y\n c"), ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn unterminated_char_errors() {
+        assert!(tokenize("'a").is_err());
+    }
+
+    #[test]
+    fn keyword_table() {
+        assert!(is_keyword("instanceof"));
+        assert!(!is_keyword("count"));
+        assert!(PRIMITIVES.contains(&"boolean"));
+    }
+}

@@ -1,0 +1,12 @@
+//! Robustness: the frontend never panics, it returns `Err` on garbage.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn parse_never_panics_on_printable_ascii(src in "[ -~\\n\\t]{0,200}") {
+        let _ = pigeon_java::parse(&src);
+    }
+}

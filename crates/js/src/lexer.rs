@@ -1,0 +1,306 @@
+//! Tokenizer for the JavaScript subset.
+
+use std::fmt;
+
+/// The lexical category of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TokenKind {
+    /// An identifier or keyword (keywords are distinguished by text).
+    Ident,
+    /// A numeric literal.
+    Number,
+    /// A string literal (text excludes the quotes).
+    String,
+    /// A punctuation or operator token.
+    Punct,
+    /// End of input.
+    Eof,
+}
+
+/// One lexical token with its text and byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Lexical category.
+    pub kind: TokenKind,
+    /// The token's source text (for strings: the unquoted contents).
+    pub text: String,
+    /// Byte offset of the first character in the source.
+    pub offset: u32,
+}
+
+/// An error produced while tokenizing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset the error occurred at.
+    pub offset: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// JavaScript keywords recognised by the parser.
+pub const KEYWORDS: &[&str] = &[
+    "var", "let", "const", "function", "return", "if", "else", "while", "do", "for", "break",
+    "continue", "new", "typeof", "delete", "in", "of", "null", "true", "false", "this",
+    "instanceof", "switch", "case", "default", "try", "catch", "finally", "throw",
+];
+
+/// Whether `text` is a reserved word.
+pub fn is_keyword(text: &str) -> bool {
+    KEYWORDS.contains(&text)
+}
+
+const PUNCT3: &[&str] = &["===", "!==", "**=", "..."];
+const PUNCT2: &[&str] = &[
+    "==", "!=", "<=", ">=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=", "%=", "=>", "**",
+];
+const PUNCT1: &[char] = &[
+    '(', ')', '{', '}', '[', ']', ';', ',', '.', '=', '<', '>', '+', '-', '*', '/', '%', '!',
+    '?', ':', '&', '|', '^', '~',
+];
+
+/// Tokenizes `source`, skipping whitespace and comments. The final token
+/// is always [`TokenKind::Eof`].
+///
+/// # Errors
+///
+/// Returns [`LexError`] on an unterminated string or comment, or on a
+/// character outside the subset's alphabet.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < bytes.len() {
+            match bytes[i + 1] as char {
+                '/' => {
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                    continue;
+                }
+                '*' => {
+                    let start = i;
+                    i += 2;
+                    loop {
+                        if i + 1 >= bytes.len() {
+                            return Err(LexError {
+                                message: "unterminated block comment".into(),
+                                offset: start as u32,
+                            });
+                        }
+                        if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                            i += 2;
+                            break;
+                        }
+                        i += 1;
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        let offset = i as u32;
+        if c.is_ascii_alphabetic() || c == '_' || c == '$' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric()
+                    || bytes[i] == b'_'
+                    || bytes[i] == b'$')
+            {
+                i += 1;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: source[start..i].to_owned(),
+                offset,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'.')
+            {
+                // Stop a trailing `.` that begins a method call: `1.toFixed`
+                // is not in the subset, so a simple scan suffices.
+                i += 1;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Number,
+                text: source[start..i].to_owned(),
+                offset,
+            });
+            continue;
+        }
+        if c == '"' || c == '\'' {
+            let quote = c;
+            let start = i;
+            i += 1;
+            let mut text = String::new();
+            loop {
+                if i >= bytes.len() {
+                    return Err(LexError {
+                        message: "unterminated string literal".into(),
+                        offset: start as u32,
+                    });
+                }
+                let ch = bytes[i] as char;
+                if ch == quote {
+                    i += 1;
+                    break;
+                }
+                if ch == '\\' && i + 1 < bytes.len() {
+                    let esc = bytes[i + 1] as char;
+                    text.push(match esc {
+                        'n' => '\n',
+                        't' => '\t',
+                        'r' => '\r',
+                        other => other,
+                    });
+                    i += 2;
+                    continue;
+                }
+                text.push(ch);
+                i += 1;
+            }
+            tokens.push(Token {
+                kind: TokenKind::String,
+                text,
+                offset,
+            });
+            continue;
+        }
+        // Punctuation: longest match first.
+        let rest = &source[i..];
+        if let Some(p) = PUNCT3.iter().find(|p| rest.starts_with(**p)) {
+            tokens.push(Token {
+                kind: TokenKind::Punct,
+                text: (*p).to_owned(),
+                offset,
+            });
+            i += p.len();
+            continue;
+        }
+        if let Some(p) = PUNCT2.iter().find(|p| rest.starts_with(**p)) {
+            tokens.push(Token {
+                kind: TokenKind::Punct,
+                text: (*p).to_owned(),
+                offset,
+            });
+            i += p.len();
+            continue;
+        }
+        if PUNCT1.contains(&c) {
+            tokens.push(Token {
+                kind: TokenKind::Punct,
+                text: c.to_string(),
+                offset,
+            });
+            i += 1;
+            continue;
+        }
+        return Err(LexError {
+            message: format!("unexpected character {c:?}"),
+            offset,
+        });
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        text: String::new(),
+        offset: bytes.len() as u32,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        tokenize(src)
+            .unwrap()
+            .into_iter()
+            .filter(|t| t.kind != TokenKind::Eof)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn idents_numbers_strings() {
+        assert_eq!(texts("var x = 42;"), ["var", "x", "=", "42", ";"]);
+        assert_eq!(texts("s = 'hi'"), ["s", "=", "hi"]);
+        assert_eq!(texts("s = \"a\\nb\""), ["s", "=", "a\nb"]);
+    }
+
+    #[test]
+    fn multi_char_punct_wins() {
+        assert_eq!(texts("a === b"), ["a", "===", "b"]);
+        assert_eq!(texts("a == b"), ["a", "==", "b"]);
+        assert_eq!(texts("i++ + 1"), ["i", "++", "+", "1"]);
+        assert_eq!(texts("f => g"), ["f", "=>", "g"]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(texts("a // line\n b"), ["a", "b"]);
+        assert_eq!(texts("a /* block \n more */ b"), ["a", "b"]);
+    }
+
+    #[test]
+    fn dollar_and_underscore_idents() {
+        assert_eq!(texts("$el _x"), ["$el", "_x"]);
+    }
+
+    #[test]
+    fn offsets_point_into_source() {
+        let toks = tokenize("ab cd").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 3);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        let err = tokenize("'abc").unwrap_err();
+        assert!(err.message.contains("unterminated string"));
+        assert_eq!(err.offset, 0);
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        let err = tokenize("/* abc").unwrap_err();
+        assert!(err.message.contains("unterminated block comment"));
+    }
+
+    #[test]
+    fn unknown_character_errors() {
+        let err = tokenize("a # b").unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+        assert_eq!(err.offset, 2);
+    }
+
+    #[test]
+    fn keywords_are_recognised() {
+        assert!(is_keyword("while"));
+        assert!(!is_keyword("whileish"));
+    }
+
+    #[test]
+    fn eof_is_last() {
+        let toks = tokenize("x").unwrap();
+        assert_eq!(toks.last().unwrap().kind, TokenKind::Eof);
+    }
+}

@@ -1,0 +1,50 @@
+//! Robustness: the frontend never panics, it returns `Err` on garbage.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn parse_never_panics_on_printable_ascii(src in "[ -~\\n\\t]{0,200}") {
+        let _ = pigeon_js::parse(&src);
+    }
+
+    #[test]
+    fn parse_never_panics_on_token_soup(
+        tokens in prop::collection::vec(
+            prop_oneof![
+                Just("var".to_owned()), Just("function".to_owned()),
+                Just("if".to_owned()), Just("while".to_owned()),
+                Just("(".to_owned()), Just(")".to_owned()),
+                Just("{".to_owned()), Just("}".to_owned()),
+                Just("=".to_owned()), Just(";".to_owned()),
+                Just("=>".to_owned()), Just("++".to_owned()),
+                "[a-z]{1,4}", "[0-9]{1,3}",
+            ],
+            0..40,
+        )
+    ) {
+        let src = tokens.join(" ");
+        let _ = pigeon_js::parse(&src);
+    }
+
+    #[test]
+    fn valid_programs_round_trip_through_reparse(
+        names in prop::collection::vec("vx[a-z]{0,4}", 1..5)
+    ) {
+        // Build a syntactically valid program from generated names; it
+        // must parse, and the leaf values must contain every name.
+        let body: String = names
+            .iter()
+            .map(|n| format!("var {n} = f({n}0);\n"))
+            .collect();
+        let ast = pigeon_js::parse(&body).unwrap();
+        for n in &names {
+            prop_assert!(ast
+                .leaves()
+                .iter()
+                .any(|&l| ast.value(l).unwrap().as_str() == n));
+        }
+    }
+}

@@ -1,0 +1,401 @@
+//! Indentation-aware tokenizer for the Python subset.
+//!
+//! Follows the CPython tokenizer's structure: a stack of indentation
+//! levels emits `Indent`/`Dedent` tokens at the start of logical lines,
+//! `Newline` tokens terminate logical lines, and both are suppressed
+//! inside brackets (implicit line joining).
+
+use std::fmt;
+
+/// The lexical category of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TokenKind {
+    /// An identifier or keyword.
+    Ident,
+    /// A numeric literal.
+    Number,
+    /// A string literal (text excludes the quotes).
+    String,
+    /// A punctuation or operator token.
+    Punct,
+    /// End of a logical line.
+    Newline,
+    /// Increase of indentation depth.
+    Indent,
+    /// Decrease of indentation depth.
+    Dedent,
+    /// End of input.
+    Eof,
+}
+
+/// One lexical token with its text and byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Lexical category.
+    pub kind: TokenKind,
+    /// The token's source text (empty for layout tokens).
+    pub text: String,
+    /// Byte offset of the first character in the source.
+    pub offset: u32,
+}
+
+/// An error produced while tokenizing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset the error occurred at.
+    pub offset: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Python keywords recognised by the parser.
+pub const KEYWORDS: &[&str] = &[
+    "def", "class", "return", "if", "elif", "else", "while", "for", "in", "break", "continue",
+    "pass", "import", "from", "as", "try", "except", "finally", "raise", "with", "not", "and",
+    "or", "is", "None", "True", "False", "lambda", "del", "global", "yield",
+];
+
+/// Whether `text` is a reserved word.
+pub fn is_keyword(text: &str) -> bool {
+    KEYWORDS.contains(&text)
+}
+
+const PUNCT2: &[&str] = &[
+    "==", "!=", "<=", ">=", "+=", "-=", "*=", "/=", "%=", "//", "**", "->",
+];
+const PUNCT1: &[char] = &[
+    '(', ')', '[', ']', '{', '}', ':', ',', '.', ';', '=', '<', '>', '+', '-', '*', '/', '%',
+    '@', '&', '|', '^', '~',
+];
+
+/// Tokenizes `source` with layout tokens.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on inconsistent dedents, unterminated strings, or
+/// characters outside the subset's alphabet.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = source.as_bytes();
+    let mut tokens: Vec<Token> = Vec::new();
+    let mut indents: Vec<usize> = vec![0];
+    let mut i = 0usize;
+    let mut bracket_depth = 0usize;
+    let mut at_line_start = true;
+
+    while i < bytes.len() {
+        if at_line_start && bracket_depth == 0 {
+            // Measure indentation; skip blank and comment-only lines.
+            let line_start = i;
+            let mut col = 0usize;
+            while i < bytes.len() && (bytes[i] == b' ' || bytes[i] == b'\t') {
+                col += if bytes[i] == b'\t' { 8 - col % 8 } else { 1 };
+                i += 1;
+            }
+            if i >= bytes.len() {
+                break;
+            }
+            if bytes[i] == b'\n' {
+                i += 1;
+                continue;
+            }
+            if bytes[i] == b'#' {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            let current = *indents.last().expect("indent stack never empty");
+            if col > current {
+                indents.push(col);
+                tokens.push(Token {
+                    kind: TokenKind::Indent,
+                    text: String::new(),
+                    offset: line_start as u32,
+                });
+            } else {
+                while col < *indents.last().expect("indent stack never empty") {
+                    indents.pop();
+                    tokens.push(Token {
+                        kind: TokenKind::Dedent,
+                        text: String::new(),
+                        offset: line_start as u32,
+                    });
+                }
+                if col != *indents.last().expect("indent stack never empty") {
+                    return Err(LexError {
+                        message: "inconsistent dedent".into(),
+                        offset: line_start as u32,
+                    });
+                }
+            }
+            at_line_start = false;
+        }
+
+        if i >= bytes.len() {
+            break;
+        }
+        let c = bytes[i] as char;
+        if c == '\n' {
+            i += 1;
+            if bracket_depth == 0 {
+                // Suppress empty logical lines.
+                if !matches!(
+                    tokens.last().map(|t| t.kind),
+                    None | Some(TokenKind::Newline) | Some(TokenKind::Indent)
+                        | Some(TokenKind::Dedent)
+                ) {
+                    tokens.push(Token {
+                        kind: TokenKind::Newline,
+                        text: String::new(),
+                        offset: (i - 1) as u32,
+                    });
+                }
+                at_line_start = true;
+            }
+            continue;
+        }
+        if c == ' ' || c == '\t' || c == '\r' {
+            i += 1;
+            continue;
+        }
+        if c == '#' {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == '\\' && i + 1 < bytes.len() && bytes[i + 1] == b'\n' {
+            // Explicit line joining.
+            i += 2;
+            continue;
+        }
+        let offset = i as u32;
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: source[start..i].to_owned(),
+                offset,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() {
+                let ch = bytes[i] as char;
+                let decimal_point = ch == '.'
+                    && i + 1 < bytes.len()
+                    && (bytes[i + 1] as char).is_ascii_digit();
+                if ch.is_ascii_alphanumeric() || ch == '_' || decimal_point {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            tokens.push(Token {
+                kind: TokenKind::Number,
+                text: source[start..i].to_owned(),
+                offset,
+            });
+            continue;
+        }
+        if c == '"' || c == '\'' {
+            let quote = c;
+            let start = i;
+            i += 1;
+            let mut text = String::new();
+            loop {
+                if i >= bytes.len() || bytes[i] == b'\n' {
+                    return Err(LexError {
+                        message: "unterminated string literal".into(),
+                        offset: start as u32,
+                    });
+                }
+                let ch = bytes[i] as char;
+                if ch == quote {
+                    i += 1;
+                    break;
+                }
+                if ch == '\\' && i + 1 < bytes.len() {
+                    let esc = bytes[i + 1] as char;
+                    text.push(match esc {
+                        'n' => '\n',
+                        't' => '\t',
+                        'r' => '\r',
+                        other => other,
+                    });
+                    i += 2;
+                    continue;
+                }
+                text.push(ch);
+                i += 1;
+            }
+            tokens.push(Token {
+                kind: TokenKind::String,
+                text,
+                offset,
+            });
+            continue;
+        }
+        let rest = &source[i..];
+        if let Some(p) = PUNCT2.iter().find(|p| rest.starts_with(**p)) {
+            tokens.push(Token {
+                kind: TokenKind::Punct,
+                text: (*p).to_owned(),
+                offset,
+            });
+            i += p.len();
+            continue;
+        }
+        if PUNCT1.contains(&c) {
+            match c {
+                '(' | '[' | '{' => bracket_depth += 1,
+                ')' | ']' | '}' => bracket_depth = bracket_depth.saturating_sub(1),
+                _ => {}
+            }
+            tokens.push(Token {
+                kind: TokenKind::Punct,
+                text: c.to_string(),
+                offset,
+            });
+            i += 1;
+            continue;
+        }
+        return Err(LexError {
+            message: format!("unexpected character {c:?}"),
+            offset,
+        });
+    }
+
+    // Terminate the last logical line and close open blocks.
+    if !matches!(
+        tokens.last().map(|t| t.kind),
+        None | Some(TokenKind::Newline) | Some(TokenKind::Dedent)
+    ) {
+        tokens.push(Token {
+            kind: TokenKind::Newline,
+            text: String::new(),
+            offset: bytes.len() as u32,
+        });
+    }
+    while indents.len() > 1 {
+        indents.pop();
+        tokens.push(Token {
+            kind: TokenKind::Dedent,
+            text: String::new(),
+            offset: bytes.len() as u32,
+        });
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        text: String::new(),
+        offset: bytes.len() as u32,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn simple_line() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("x = 1"),
+            [Ident, Punct, Number, Newline, Eof]
+        );
+    }
+
+    #[test]
+    fn indent_dedent_pairs() {
+        use TokenKind::*;
+        let src = "if x:\n    y = 1\nz = 2\n";
+        assert_eq!(
+            kinds(src),
+            [
+                Ident, Ident, Punct, Newline, // if x :
+                Indent, Ident, Punct, Number, Newline, // y = 1
+                Dedent, Ident, Punct, Number, Newline, // z = 2
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_blocks_fully_dedent_at_eof() {
+        let toks = tokenize("def f():\n    if x:\n        return 1\n").unwrap();
+        let dedents = toks.iter().filter(|t| t.kind == TokenKind::Dedent).count();
+        let indents = toks.iter().filter(|t| t.kind == TokenKind::Indent).count();
+        assert_eq!(dedents, indents);
+        assert_eq!(indents, 2);
+    }
+
+    #[test]
+    fn blank_and_comment_lines_do_not_affect_layout() {
+        let src = "if x:\n\n    # comment\n    y = 1\n";
+        let toks = tokenize(src).unwrap();
+        let indents = toks.iter().filter(|t| t.kind == TokenKind::Indent).count();
+        assert_eq!(indents, 1);
+    }
+
+    #[test]
+    fn brackets_suppress_newlines() {
+        let src = "f(a,\n  b)\n";
+        let toks = tokenize(src).unwrap();
+        let newlines = toks.iter().filter(|t| t.kind == TokenKind::Newline).count();
+        assert_eq!(newlines, 1);
+        assert!(toks.iter().all(|t| t.kind != TokenKind::Indent));
+    }
+
+    #[test]
+    fn inconsistent_dedent_is_an_error() {
+        let src = "if x:\n        y = 1\n    z = 2\n";
+        let err = tokenize(src).unwrap_err();
+        assert!(err.message.contains("inconsistent dedent"));
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        let toks = tokenize("s = 'a\\nb'").unwrap();
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::String && t.text == "a\nb"));
+    }
+
+    #[test]
+    fn unterminated_string_at_newline_errors() {
+        assert!(tokenize("s = 'abc\n").is_err());
+    }
+
+    #[test]
+    fn explicit_line_joining() {
+        let toks = tokenize("x = 1 + \\\n    2\n").unwrap();
+        let newlines = toks.iter().filter(|t| t.kind == TokenKind::Newline).count();
+        assert_eq!(newlines, 1);
+    }
+
+    #[test]
+    fn keywords_recognised() {
+        assert!(is_keyword("elif"));
+        assert!(is_keyword("None"));
+        assert!(!is_keyword("retcode"));
+    }
+}

@@ -1,0 +1,42 @@
+//! The representation is language-agnostic: one pipeline, four languages.
+//!
+//! Runs the variable-name task end to end in JavaScript, Java, Python and
+//! C# — a miniature of the paper's Table 2 top block — and shows that a
+//! single generic mechanism ("no special assumptions regarding the AST or
+//! the programming language", §2) drives all four.
+//!
+//! Run with: `cargo run --release --example cross_language`
+
+use pigeon::corpus::{CorpusConfig, Language};
+use pigeon::eval::{run_name_experiment, NameExperiment, Representation};
+
+fn main() {
+    let files = 400;
+    println!("Variable-name prediction, {files} files per language\n");
+    println!(
+        "{:<12} {:>10} {:>10} {:>8} {:>10}",
+        "Language", "AST paths", "no-paths", "tested", "train(s)"
+    );
+    for language in Language::ALL {
+        let base = NameExperiment {
+            corpus: CorpusConfig::default().with_files(files),
+            ..NameExperiment::var_names(language)
+        };
+        let paths = run_name_experiment(&base);
+        let no_paths = run_name_experiment(
+            &base.clone().with_representation(Representation::NoPaths),
+        );
+        println!(
+            "{:<12} {:>9.1}% {:>9.1}% {:>8} {:>10.1}",
+            language.name(),
+            100.0 * paths.accuracy,
+            100.0 * no_paths.accuracy,
+            paths.n_test,
+            paths.train_secs,
+        );
+    }
+    println!(
+        "\nAs in the paper's Table 2, AST paths beat the no-path bag-of-\
+         neighbours baseline in every language with the same generic pipeline."
+    );
+}

@@ -1,0 +1,87 @@
+//! Quickstart: extract AST paths from the paper's own example programs.
+//!
+//! Reproduces the paths shown in the paper's Fig. 1/2 (the `done` loop),
+//! Fig. 4 (`var item = array[i];`) and Fig. 5 (`var a, b, c, d;`), and
+//! demonstrates the abstraction levels of §5.6.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use pigeon::core::{
+    extract, path_between, Abstraction, ExtractionConfig, PathEnd,
+};
+
+fn main() {
+    // ---- Fig. 1: while (!d) { if (someCondition()) { d = true; } } ----
+    let fig1 = "while (!d) { if (someCondition()) { d = true; } }";
+    let ast = pigeon::js::parse(fig1).expect("Fig. 1 parses");
+    println!("Fig. 1 program: {fig1}\n");
+    println!("AST:\n{}", pigeon::ast::pretty(&ast));
+
+    let contexts = extract(&ast, &ExtractionConfig::with_limits(8, 3));
+    println!("Extracted {} path-contexts; those involving `d`:", contexts.len());
+    for ctx in &contexts {
+        let touches_d = ctx.start.as_str() == "d" || ctx.end.as_str() == "d";
+        if touches_d {
+            println!("  {}", ctx.display_triple());
+        }
+    }
+
+    // The headline path of the paper (path I of §2).
+    let d_to_d = contexts
+        .iter()
+        .find(|c| c.start.as_str() == "d" && c.end.as_str() == "d")
+        .expect("the two occurrences of d are connected");
+    println!("\nPath I of the paper (between the two occurrences of `d`):");
+    println!("  {}", d_to_d.path);
+    assert_eq!(
+        d_to_d.path.to_string(),
+        "SymbolRef ↑ UnaryPrefix! ↑ While ↓ If ↓ Assign= ↓ SymbolRef"
+    );
+
+    // Path II: d ↔ true.
+    let d_to_true = contexts
+        .iter()
+        .filter(|c| c.start.as_str() == "d" && c.end.as_str() == "true")
+        .min_by_key(|c| c.path.len())
+        .expect("d relates to true");
+    println!("Path II of the paper (d ↔ true):");
+    println!("  {}", d_to_true.path);
+
+    // ---- §5.6 abstractions applied to path I --------------------------
+    println!("\nAbstractions of path I (§5.6):");
+    for a in Abstraction::ALL {
+        println!("  {:15} {}", a.name(), a.apply(&d_to_d.path));
+    }
+
+    // ---- Fig. 4: var item = array[i]; ---------------------------------
+    let fig4 = "var item = array[i];";
+    let ast4 = pigeon::js::parse(fig4).expect("Fig. 4 parses");
+    let ctxs4 = extract(&ast4, &ExtractionConfig::default());
+    println!("\nFig. 4 program: {fig4}");
+    for ctx in &ctxs4 {
+        if ctx.start.as_str() == "item" && ctx.end.as_str() == "array" {
+            println!("  Example 4.5 path-context: {}", ctx.display_triple());
+        }
+    }
+
+    // ---- Fig. 5: length and width -------------------------------------
+    let fig5 = "var a, b, c, d;";
+    let ast5 = pigeon::js::parse(fig5).expect("Fig. 5 parses");
+    let leaves = ast5.leaves();
+    let (p, width) = path_between(&ast5, leaves[0], leaves[3]);
+    println!("\nFig. 5 program: {fig5}");
+    println!("  a–d path: {p}");
+    println!("  length = {} (paper: 4), width = {} (paper: 3)", p.len(), width);
+    assert_eq!((p.len(), width), (4, 3));
+
+    // Semi-paths and nonterminal ends also exist in the family:
+    let semi = extract(
+        &ast,
+        &ExtractionConfig::with_limits(3, 3).semi_paths(true),
+    );
+    let n_semi = semi
+        .iter()
+        .filter(|c| matches!(c.end, PathEnd::Node(_)))
+        .count();
+    println!("\nWith semi-paths enabled, {n_semi} terminal→ancestor contexts join the set.");
+}

@@ -1,0 +1,82 @@
+//! The paper's Fig. 7: recovering names in a stripped Python program.
+//!
+//! The paper shows `def sh3(c)` with single-letter names being renamed to
+//! `cmd`, `process`, `out`, `err`, `retcode`. We train a Python
+//! variable namer on the synthetic corpus and run it on a program of the
+//! same shape, printing the before/after the way the figure does.
+//!
+//! Run with: `cargo run --release --example stripped_python`
+
+use pigeon::corpus::{generate, CorpusConfig, Language};
+use pigeon::{Pigeon, PigeonConfig};
+
+fn main() {
+    println!("Training a Python variable namer…");
+    let corpus = generate(Language::Python, &CorpusConfig::default().with_files(800));
+    let sources: Vec<&str> = corpus.docs.iter().map(|d| d.source.as_str()).collect();
+    let namer =
+        Pigeon::train_variable_namer(Language::Python, &sources, &PigeonConfig::default())
+            .expect("training corpus parses");
+
+    // A stripped program in the corpus's dialect: a guarded read with an
+    // error handler plus a counting loop, all names minified.
+    let stripped = "\
+def f(p):
+    try:
+        d = fetch(p)
+        return d
+    except IOError as e:
+        report(e)
+        return None
+
+def g(xs, t):
+    c = 0
+    for i in range(len(xs)):
+        if xs[i] == t:
+            c += 1
+    return c
+";
+    println!("\nStripped program:\n{stripped}");
+    println!("Predicted names:");
+    let mut renamed = stripped.to_owned();
+    for p in namer.predict(stripped).expect("query parses") {
+        println!(
+            "  {:4} → {:12} (runners-up: {})",
+            p.current_name,
+            p.predicted_name,
+            p.candidates
+                .iter()
+                .skip(1)
+                .take(3)
+                .map(|(n, _)| n.as_str())
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+        renamed = rename_identifier(&renamed, &p.current_name, &p.predicted_name);
+    }
+    println!("\nRecovered program (cf. the paper's Fig. 7 right column):\n{renamed}");
+}
+
+/// Whole-word textual rename, good enough for display purposes.
+fn rename_identifier(source: &str, from: &str, to: &str) -> String {
+    let mut out = String::with_capacity(source.len());
+    let bytes: Vec<char> = source.chars().collect();
+    let fchars: Vec<char> = from.chars().collect();
+    let is_ident = |c: char| c.is_ascii_alphanumeric() || c == '_';
+    let mut i = 0;
+    while i < bytes.len() {
+        let matches = bytes[i..].starts_with(&fchars[..])
+            && (i == 0 || !is_ident(bytes[i - 1]))
+            && bytes
+                .get(i + fchars.len())
+                .map_or(true, |&c| !is_ident(c));
+        if matches {
+            out.push_str(to);
+            i += fchars.len();
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    out
+}

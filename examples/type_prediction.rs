@@ -1,0 +1,43 @@
+//! Full-type prediction for Java (§5.3.3 of the paper).
+//!
+//! Predicts *fully-qualified* types — `com.mysql.jdbc.Connection` vs
+//! `org.apache.http.Connection` — for expressions, using leaf→nonterminal
+//! AST paths, and compares against the paper's naive baseline that
+//! predicts `java.lang.String` everywhere.
+//!
+//! Run with: `cargo run --release --example type_prediction`
+
+use pigeon::corpus::CorpusConfig;
+use pigeon::eval::{naive_string_type_accuracy, run_type_experiment, TypeExperiment};
+
+fn main() {
+    let corpus = CorpusConfig::default().with_files(500);
+
+    println!("Full-type prediction on typed Java (length 4, width 1)…");
+    let paths = run_type_experiment(&TypeExperiment {
+        corpus,
+        ..TypeExperiment::default()
+    });
+    let naive = naive_string_type_accuracy(&corpus, 0.8);
+
+    println!("\n{:<28} {:>10}", "Model", "Accuracy");
+    println!(
+        "{:<28} {:>9.1}%   (paper: 69.1%)",
+        "AST paths + CRFs",
+        100.0 * paths.accuracy
+    );
+    println!(
+        "{:<28} {:>9.1}%   (paper: 24.1%)",
+        "naive java.lang.String",
+        100.0 * naive.accuracy
+    );
+    println!(
+        "\n{} expressions evaluated; {} distinct path features.",
+        paths.n_test, paths.n_features
+    );
+    println!(
+        "The catalogue contains deliberately ambiguous simple names \
+         (Connection, Document, Logger, Date, List): the short type name in \
+         the declaration is not enough, the surrounding usage paths are."
+    );
+}

@@ -1,0 +1,332 @@
+//! PIGEON: a general path-based representation for predicting program
+//! properties.
+//!
+//! This workspace reproduces *A General Path-Based Representation for
+//! Predicting Program Properties* (Alon, Zilberstein, Levy & Yahav, PLDI
+//! 2018) as a complete Rust system: four language frontends, the AST-path
+//! extraction at the heart of the paper, both learners it evaluates (a
+//! Nice2Predict-style CRF and SGNS word embeddings), the paper's
+//! baselines, and a benchmark harness regenerating every table and
+//! figure. See `DESIGN.md` for the system inventory and `EXPERIMENTS.md`
+//! for paper-vs-measured results.
+//!
+//! The crate re-exports each subsystem under a short module name and
+//! offers [`Pigeon`], a high-level facade covering the common use case:
+//! train a variable-name (or method-name) predictor on a corpus and query
+//! it on new programs.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pigeon::{corpus, Pigeon, PigeonConfig};
+//! use pigeon::corpus::{CorpusConfig, Language};
+//!
+//! // Train on a small synthetic JavaScript corpus…
+//! let training = corpus::generate(
+//!     Language::JavaScript,
+//!     &CorpusConfig::default().with_files(120),
+//! );
+//! let sources: Vec<&str> =
+//!     training.docs.iter().map(|d| d.source.as_str()).collect();
+//! let namer = Pigeon::train_variable_namer(
+//!     Language::JavaScript,
+//!     &sources,
+//!     &PigeonConfig::default(),
+//! ).unwrap();
+//!
+//! // …then ask it to name the paper's Fig. 1 variable `d`.
+//! let program = "function f() { var d = false; while (!d) { \
+//!                if (check()) { d = true; } } }";
+//! let predictions = namer.predict(program).unwrap();
+//! assert_eq!(predictions.len(), 1);
+//! assert_eq!(predictions[0].current_name, "d");
+//! assert!(!predictions[0].candidates.is_empty());
+//! ```
+
+pub use pigeon_ast as ast;
+pub use pigeon_core as core;
+pub use pigeon_corpus as corpus;
+pub use pigeon_crf as crf;
+pub use pigeon_csharp as csharp;
+pub use pigeon_eval as eval;
+pub use pigeon_java as java;
+pub use pigeon_js as js;
+pub use pigeon_python as python;
+pub use pigeon_word2vec as word2vec;
+
+use pigeon_core::{Abstraction, ExtractionConfig};
+use pigeon_corpus::Language;
+use pigeon_crf::{CrfConfig, CrfModel};
+use pigeon_eval::{
+    build_name_graph, extract_edge_features, ElementClass, Representation, Vocabs,
+};
+use std::fmt;
+
+/// Configuration of a [`Pigeon`] predictor.
+#[derive(Debug, Clone)]
+pub struct PigeonConfig {
+    /// Path length/width limits (§4.2 of the paper).
+    pub extraction: ExtractionConfig,
+    /// Path abstraction level (§5.6).
+    pub abstraction: Abstraction,
+    /// CRF training parameters.
+    pub crf: CrfConfig,
+    /// Candidates returned per prediction.
+    pub top_k: usize,
+}
+
+impl Default for PigeonConfig {
+    fn default() -> Self {
+        PigeonConfig {
+            extraction: ExtractionConfig::with_limits(4, 3),
+            abstraction: Abstraction::Full,
+            crf: CrfConfig::default(),
+            top_k: 8,
+        }
+    }
+}
+
+/// An error from the [`Pigeon`] facade: a source file failed to parse.
+#[derive(Debug, Clone)]
+pub struct PigeonError {
+    message: String,
+}
+
+impl fmt::Display for PigeonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for PigeonError {}
+
+/// One predicted name for a program element.
+#[derive(Debug, Clone)]
+pub struct Prediction {
+    /// The element's name as written in the query program (possibly
+    /// stripped/minified).
+    pub current_name: String,
+    /// The model's best suggestion.
+    pub predicted_name: String,
+    /// Ranked `(name, score)` candidates, best first — the paper's top-k
+    /// suggestion API (§5.1).
+    pub candidates: Vec<(String, f32)>,
+}
+
+/// A trained name predictor: the paper's PIGEON tool for one language and
+/// one task.
+#[derive(Debug)]
+pub struct Pigeon {
+    language: Language,
+    target: ElementClass,
+    config: PigeonConfig,
+    vocabs: Vocabs,
+    model: CrfModel,
+}
+
+impl Pigeon {
+    /// Trains a local-variable/parameter name predictor on `sources`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PigeonError`] when any training source fails to parse.
+    pub fn train_variable_namer(
+        language: Language,
+        sources: &[&str],
+        config: &PigeonConfig,
+    ) -> Result<Pigeon, PigeonError> {
+        Pigeon::train(language, ElementClass::Variable, sources, config)
+    }
+
+    /// Trains a method-name predictor on `sources`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PigeonError`] when any training source fails to parse.
+    pub fn train_method_namer(
+        language: Language,
+        sources: &[&str],
+        config: &PigeonConfig,
+    ) -> Result<Pigeon, PigeonError> {
+        Pigeon::train(language, ElementClass::Method, sources, config)
+    }
+
+    fn train(
+        language: Language,
+        target: ElementClass,
+        sources: &[&str],
+        config: &PigeonConfig,
+    ) -> Result<Pigeon, PigeonError> {
+        let mut vocabs = Vocabs::new();
+        let rep = Representation::AstPaths(config.abstraction);
+        let mut instances = Vec::with_capacity(sources.len());
+        for (i, source) in sources.iter().enumerate() {
+            let ast = language.parse(source).map_err(|e| PigeonError {
+                message: format!("training source {i}: {e}"),
+            })?;
+            let features = extract_edge_features(language, &ast, rep, &config.extraction);
+            let graph = build_name_graph(language, &ast, target, &features, &mut vocabs, true);
+            instances.push(graph.instance);
+        }
+        let model = pigeon_crf::train(&instances, vocabs.labels.len() as u32, &config.crf);
+        Ok(Pigeon {
+            language,
+            target,
+            config: config.clone(),
+            vocabs,
+            model,
+        })
+    }
+
+    /// The language this predictor was trained for.
+    pub fn language(&self) -> Language {
+        self.language
+    }
+
+    /// Serialises the trained predictor (model, vocabularies and
+    /// configuration) to JSON, for `pigeon predict --model`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        let labels: Vec<String> = self
+            .vocabs
+            .labels
+            .iter()
+            .map(|(_, s)| s.clone())
+            .collect();
+        let features: Vec<String> = self
+            .vocabs
+            .features
+            .iter()
+            .map(|(_, s)| s.clone())
+            .collect();
+        let file = serde_json::json!({
+            "language": self.language.name(),
+            "target": match self.target {
+                ElementClass::Variable => "variables",
+                ElementClass::Method => "methods",
+                ElementClass::Other => "other",
+            },
+            "max_length": self.config.extraction.max_length,
+            "max_width": self.config.extraction.max_width,
+            "semi_paths": self.config.extraction.semi_paths,
+            "abstraction": self.config.abstraction.name(),
+            "top_k": self.config.top_k,
+            "labels": labels,
+            "features": features,
+            "model": self.model.to_json().expect("model serialises"),
+        });
+        serde_json::to_string(&file)
+    }
+
+    /// Restores a predictor serialised by [`Pigeon::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PigeonError`] on malformed input.
+    pub fn from_json(json: &str) -> Result<Pigeon, PigeonError> {
+        let err = |m: &str| PigeonError {
+            message: format!("model file: {m}"),
+        };
+        let v: serde_json::Value =
+            serde_json::from_str(json).map_err(|e| err(&e.to_string()))?;
+        let str_field = |k: &str| -> Result<&str, PigeonError> {
+            v.get(k)
+                .and_then(|x| x.as_str())
+                .ok_or_else(|| err(&format!("missing field `{k}`")))
+        };
+        let num_field = |k: &str| -> Result<u64, PigeonError> {
+            v.get(k)
+                .and_then(|x| x.as_u64())
+                .ok_or_else(|| err(&format!("missing field `{k}`")))
+        };
+        let language = Language::from_name(str_field("language")?)
+            .ok_or_else(|| err("unknown language"))?;
+        let target = match str_field("target")? {
+            "variables" => ElementClass::Variable,
+            "methods" => ElementClass::Method,
+            _ => ElementClass::Other,
+        };
+        let abstraction = Abstraction::from_name(str_field("abstraction")?)
+            .ok_or_else(|| err("unknown abstraction"))?;
+        let mut vocabs = Vocabs::new();
+        for (key, vocab) in [("labels", &mut vocabs.labels), ("features", &mut vocabs.features)]
+        {
+            let items = v
+                .get(key)
+                .and_then(|x| x.as_array())
+                .ok_or_else(|| err(&format!("missing field `{key}`")))?;
+            for item in items {
+                let s = item.as_str().ok_or_else(|| err("non-string vocab item"))?;
+                vocab.intern(s.to_owned());
+            }
+        }
+        let model = CrfModel::from_json(str_field("model")?)
+            .map_err(|e| err(&e.to_string()))?;
+        let mut extraction = ExtractionConfig::with_limits(
+            num_field("max_length")? as usize,
+            num_field("max_width")? as usize,
+        );
+        extraction.semi_paths = v
+            .get("semi_paths")
+            .and_then(|x| x.as_bool())
+            .unwrap_or(false);
+        Ok(Pigeon {
+            language,
+            target,
+            config: PigeonConfig {
+                extraction,
+                abstraction,
+                crf: CrfConfig::default(),
+                top_k: num_field("top_k")? as usize,
+            },
+            vocabs,
+            model,
+        })
+    }
+
+    /// Predicts names for every target element of `source`, in
+    /// first-occurrence order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PigeonError`] when `source` fails to parse.
+    pub fn predict(&self, source: &str) -> Result<Vec<Prediction>, PigeonError> {
+        // The graph builder takes `&mut Vocabs` because the training path
+        // interns; with `train = false` lookups never insert, so a clone
+        // of the (small) vocabularies keeps the predictor immutable.
+        let mut vocabs = self.vocabs.clone();
+        let ast = self.language.parse(source).map_err(|e| PigeonError {
+            message: e,
+        })?;
+        let rep = Representation::AstPaths(self.config.abstraction);
+        let features =
+            extract_edge_features(self.language, &ast, rep, &self.config.extraction);
+        let graph = build_name_graph(
+            self.language,
+            &ast,
+            self.target,
+            &features,
+            &mut vocabs,
+            false,
+        );
+        let labels = self.model.predict(&graph.instance);
+        let mut out = Vec::new();
+        for &node in &graph.unknown_nodes {
+            let candidates: Vec<(String, f32)> = self
+                .model
+                .top_k(&graph.instance, node, self.config.top_k)
+                .into_iter()
+                .map(|(l, s)| (self.vocabs.label_name(l).to_owned(), s))
+                .collect();
+            out.push(Prediction {
+                current_name: graph.node_names[node].clone(),
+                predicted_name: self.vocabs.label_name(labels[node]).to_owned(),
+                candidates,
+            });
+        }
+        Ok(out)
+    }
+}

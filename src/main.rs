@@ -1,0 +1,270 @@
+//! The `pigeon` command-line tool: extract AST paths, generate corpora,
+//! train name predictors, and query them — the workflow of the paper's
+//! PIGEON tool as a CLI.
+//!
+//! ```text
+//! pigeon paths    --language js FILE              # print path-contexts
+//! pigeon generate --language js --files N DIR     # write a corpus
+//! pigeon train    --language js --out model.json FILE...
+//! pigeon predict  --model model.json FILE         # suggest names
+//! pigeon experiment --language js [--files N]     # quick accuracy run
+//! ```
+
+use pigeon::core::{extract, Abstraction, ExtractionConfig};
+use pigeon::corpus::{generate, CorpusConfig, Language};
+use pigeon::eval::{run_name_experiment, NameExperiment};
+use pigeon::{Pigeon, PigeonConfig};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("paths") => cmd_paths(&args[1..]),
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("train") => cmd_train(&args[1..]),
+        Some("predict") => cmd_predict(&args[1..]),
+        Some("experiment") => cmd_experiment(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{HELP}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`; try `pigeon help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const HELP: &str = "\
+pigeon — a general path-based representation for predicting program properties
+
+USAGE:
+  pigeon paths      --language LANG [--max-length N] [--max-width N]
+                    [--abstraction LEVEL] FILE
+  pigeon generate   --language LANG [--files N] [--seed N] DIR
+  pigeon train      --language LANG --out MODEL.json [--task vars|methods]
+                    [--synthetic N | FILE...]
+  pigeon predict    --model MODEL.json FILE
+  pigeon experiment --language LANG [--files N] [--task vars|methods]
+
+LANG: js | java | python | csharp
+LEVEL: full | no-arrows | forget-order | first-top-last | first-last | top | no-path
+";
+
+/// A parsed `--name value` flag list.
+type Flags = Vec<(String, String)>;
+
+/// Minimal flag parser: returns (flags, positionals).
+fn parse_flags(args: &[String]) -> Result<(Flags, Vec<String>), String> {
+    let mut flags = Vec::new();
+    let mut positional = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(name) = a.strip_prefix("--") {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("flag --{name} needs a value"))?;
+            flags.push((name.to_owned(), value.clone()));
+            i += 2;
+        } else {
+            positional.push(a.clone());
+            i += 1;
+        }
+    }
+    Ok((flags, positional))
+}
+
+fn flag<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    flags
+        .iter()
+        .rev()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn required_language(flags: &[(String, String)]) -> Result<Language, String> {
+    let name = flag(flags, "language").ok_or("--language is required")?;
+    Language::from_name(name).ok_or_else(|| format!("unknown language `{name}`"))
+}
+
+fn parse_usize(flags: &[(String, String)], name: &str, default: usize) -> Result<usize, String> {
+    match flag(flags, name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name} expects a number, got `{v}`")),
+    }
+}
+
+fn read_file(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_paths(args: &[String]) -> Result<(), String> {
+    let (flags, positional) = parse_flags(args)?;
+    let language = required_language(&flags)?;
+    let [file] = positional.as_slice() else {
+        return Err("expected exactly one FILE".into());
+    };
+    let max_length = parse_usize(&flags, "max-length", 7)?;
+    let max_width = parse_usize(&flags, "max-width", 3)?;
+    let abstraction = match flag(&flags, "abstraction") {
+        None => Abstraction::Full,
+        Some(name) => Abstraction::from_name(name)
+            .ok_or_else(|| format!("unknown abstraction `{name}`"))?,
+    };
+    let source = read_file(file)?;
+    let ast = language.parse(&source)?;
+    let contexts = extract(&ast, &ExtractionConfig::with_limits(max_length, max_width));
+    println!(
+        "{} path-contexts (max_length {max_length}, max_width {max_width}, α = {abstraction}):",
+        contexts.len()
+    );
+    for ctx in &contexts {
+        println!(
+            "⟨{}, {}, {}⟩",
+            ctx.start,
+            abstraction.apply(&ctx.path),
+            ctx.end
+        );
+    }
+    Ok(())
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let (flags, positional) = parse_flags(args)?;
+    let language = required_language(&flags)?;
+    let [dir] = positional.as_slice() else {
+        return Err("expected exactly one output DIR".into());
+    };
+    let files = parse_usize(&flags, "files", 100)?;
+    let seed = parse_usize(&flags, "seed", 0x9147_00D5)? as u64;
+    let corpus = generate(
+        language,
+        &CorpusConfig::default().with_files(files).with_seed(seed),
+    );
+    std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
+    let ext = match language {
+        Language::JavaScript => "js",
+        Language::Java => "java",
+        Language::Python => "py",
+        Language::CSharp => "cs",
+    };
+    for (i, doc) in corpus.docs.iter().enumerate() {
+        let path = Path::new(dir).join(format!("doc{i:05}.{ext}"));
+        std::fs::write(&path, &doc.source).map_err(|e| format!("{}: {e}", path.display()))?;
+    }
+    let stats = corpus.stats();
+    println!(
+        "wrote {} files ({:.1} KB, {} functions) to {dir}",
+        stats.files,
+        stats.bytes as f64 / 1024.0,
+        stats.functions
+    );
+    Ok(())
+}
+
+fn train_config(flags: &[(String, String)]) -> Result<PigeonConfig, String> {
+    let mut config = PigeonConfig::default();
+    config.extraction.max_length = parse_usize(flags, "max-length", 4)?;
+    config.extraction.max_width = parse_usize(flags, "max-width", 3)?;
+    Ok(config)
+}
+
+fn cmd_train(args: &[String]) -> Result<(), String> {
+    let (flags, positional) = parse_flags(args)?;
+    let language = required_language(&flags)?;
+    let out = flag(&flags, "out").ok_or("--out is required")?;
+    let task = flag(&flags, "task").unwrap_or("vars");
+    let config = train_config(&flags)?;
+
+    let sources: Vec<String> = if let Some(n) = flag(&flags, "synthetic") {
+        let n: usize = n
+            .parse()
+            .map_err(|_| format!("--synthetic expects a number, got `{n}`"))?;
+        generate(language, &CorpusConfig::default().with_files(n))
+            .docs
+            .into_iter()
+            .map(|d| d.source)
+            .collect()
+    } else if positional.is_empty() {
+        return Err("provide training FILEs or --synthetic N".into());
+    } else {
+        positional
+            .iter()
+            .map(|p| read_file(p))
+            .collect::<Result<_, _>>()?
+    };
+    let refs: Vec<&str> = sources.iter().map(String::as_str).collect();
+    let model = match task {
+        "vars" => Pigeon::train_variable_namer(language, &refs, &config),
+        "methods" => Pigeon::train_method_namer(language, &refs, &config),
+        other => return Err(format!("unknown task `{other}` (vars|methods)")),
+    }
+    .map_err(|e| e.to_string())?;
+    let json = model.to_json().map_err(|e| e.to_string())?;
+    std::fs::write(out, json).map_err(|e| format!("{out}: {e}"))?;
+    println!("trained on {} files; model saved to {out}", refs.len());
+    Ok(())
+}
+
+fn cmd_predict(args: &[String]) -> Result<(), String> {
+    let (flags, positional) = parse_flags(args)?;
+    let model_path = flag(&flags, "model").ok_or("--model is required")?;
+    let [file] = positional.as_slice() else {
+        return Err("expected exactly one FILE".into());
+    };
+    let model = Pigeon::from_json(&read_file(model_path)?).map_err(|e| e.to_string())?;
+    let source = read_file(file)?;
+    let predictions = model.predict(&source).map_err(|e| e.to_string())?;
+    if predictions.is_empty() {
+        println!("no predictable elements found");
+        return Ok(());
+    }
+    for p in predictions {
+        let top: Vec<&str> = p
+            .candidates
+            .iter()
+            .take(5)
+            .map(|(n, _)| n.as_str())
+            .collect();
+        println!(
+            "{:<16} → {:<16} (top: {})",
+            p.current_name,
+            p.predicted_name,
+            top.join(", ")
+        );
+    }
+    Ok(())
+}
+
+fn cmd_experiment(args: &[String]) -> Result<(), String> {
+    let (flags, _) = parse_flags(args)?;
+    let language = required_language(&flags)?;
+    let files = parse_usize(&flags, "files", 400)?;
+    let task = flag(&flags, "task").unwrap_or("vars");
+    let mut exp = match task {
+        "vars" => NameExperiment::var_names(language),
+        "methods" => NameExperiment::method_names(language),
+        other => return Err(format!("unknown task `{other}` (vars|methods)")),
+    };
+    exp.corpus = exp.corpus.with_files(files);
+    let out = run_name_experiment(&exp);
+    println!(
+        "{language} {task}: accuracy {:.1}%  top-{} {:.1}%  F1 {:.1}  ({} predictions, {} features, trained in {:.1}s)",
+        100.0 * out.accuracy,
+        exp.top_k,
+        100.0 * out.topk_accuracy,
+        100.0 * out.f1,
+        out.n_test,
+        out.n_features,
+        out.train_secs,
+    );
+    Ok(())
+}

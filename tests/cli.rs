@@ -1,0 +1,110 @@
+//! Integration tests for the `pigeon` CLI binary.
+
+use std::process::Command;
+
+fn pigeon() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pigeon"))
+}
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("pigeon-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn help_lists_every_command() {
+    let out = pigeon().arg("help").output().expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for cmd in ["paths", "generate", "train", "predict", "experiment"] {
+        assert!(text.contains(cmd), "help is missing `{cmd}`");
+    }
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let out = pigeon().arg("frobnicate").output().expect("runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown command"));
+}
+
+#[test]
+fn paths_prints_the_fig1_path() {
+    let dir = tmp_dir("paths");
+    let file = dir.join("fig1.js");
+    std::fs::write(&file, "while (!d) { if (someCondition()) { d = true; } }").unwrap();
+    let out = pigeon()
+        .args(["paths", "--language", "js"])
+        .arg(&file)
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("⟨d, SymbolRef ↑ UnaryPrefix! ↑ While ↓ If ↓ Assign= ↓ SymbolRef, d⟩"),
+        "missing headline path in:\n{text}"
+    );
+}
+
+#[test]
+fn generate_train_predict_round_trip() {
+    let dir = tmp_dir("pipeline");
+    let corpus_dir = dir.join("corpus");
+    let model = dir.join("model.json");
+    let query = dir.join("query.js");
+
+    let out = pigeon()
+        .args(["generate", "--language", "js", "--files", "120"])
+        .arg(&corpus_dir)
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let mut train = pigeon();
+    train.args(["train", "--language", "js", "--out"]).arg(&model);
+    for entry in std::fs::read_dir(&corpus_dir).unwrap() {
+        train.arg(entry.unwrap().path());
+    }
+    let out = train.output().expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(model.exists());
+
+    std::fs::write(
+        &query,
+        "function f(a, b, c) { b.open('GET', a, false); b.send(c); }",
+    )
+    .unwrap();
+    let out = pigeon()
+        .args(["predict", "--model"])
+        .arg(&model)
+        .arg(&query)
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    // Three parameters predicted, each with candidates.
+    assert_eq!(text.lines().count(), 3, "unexpected output:\n{text}");
+    assert!(text.contains("top:"));
+}
+
+#[test]
+fn predict_with_missing_model_fails_cleanly() {
+    let out = pigeon()
+        .args(["predict", "--model", "/nonexistent/model.json", "x.js"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn train_requires_sources() {
+    let out = pigeon()
+        .args(["train", "--language", "js", "--out", "/tmp/never.json"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--synthetic"));
+}

@@ -1,0 +1,68 @@
+//! Integration tests for the `Pigeon` facade: persistence and behaviour
+//! parity with the experiment drivers.
+
+use pigeon::corpus::{generate, CorpusConfig, Language};
+use pigeon::{Pigeon, PigeonConfig};
+
+fn trained_namer(language: Language, files: usize) -> Pigeon {
+    let corpus = generate(language, &CorpusConfig::default().with_files(files));
+    let sources: Vec<&str> = corpus.docs.iter().map(|d| d.source.as_str()).collect();
+    Pigeon::train_variable_namer(language, &sources, &PigeonConfig::default())
+        .expect("training corpus parses")
+}
+
+#[test]
+fn facade_json_round_trip_preserves_predictions() {
+    let namer = trained_namer(Language::JavaScript, 150);
+    let json = namer.to_json().expect("serialises");
+    let restored = Pigeon::from_json(&json).expect("deserialises");
+    assert_eq!(restored.language(), Language::JavaScript);
+
+    for query in [
+        "function f() { var d = false; while (!d) { if (go()) { d = true; } } }",
+        "function g(xs) { var n = 0; for (var x of xs) { n += x; } return n; }",
+        "function h(a, b, c) { b.open('GET', a, false); b.send(c); }",
+    ] {
+        let before = namer.predict(query).expect("parses");
+        let after = restored.predict(query).expect("parses");
+        assert_eq!(before.len(), after.len());
+        for (x, y) in before.iter().zip(&after) {
+            assert_eq!(x.current_name, y.current_name);
+            assert_eq!(x.predicted_name, y.predicted_name);
+            let xc: Vec<&String> = x.candidates.iter().map(|(n, _)| n).collect();
+            let yc: Vec<&String> = y.candidates.iter().map(|(n, _)| n).collect();
+            assert_eq!(xc, yc);
+        }
+    }
+}
+
+#[test]
+fn facade_rejects_garbage_model_files() {
+    assert!(Pigeon::from_json("{}").is_err());
+    assert!(Pigeon::from_json("not json at all").is_err());
+    assert!(Pigeon::from_json(r#"{"language": "klingon"}"#).is_err());
+}
+
+#[test]
+fn facade_surfaces_parse_errors() {
+    let namer = trained_namer(Language::JavaScript, 40);
+    let err = namer.predict("function { syntax error").unwrap_err();
+    assert!(err.to_string().contains("parse error"));
+}
+
+#[test]
+fn method_namer_targets_methods_not_variables() {
+    let corpus = generate(Language::Python, &CorpusConfig::default().with_files(150));
+    let sources: Vec<&str> = corpus.docs.iter().map(|d| d.source.as_str()).collect();
+    let namer = Pigeon::train_method_namer(
+        Language::Python,
+        &sources,
+        &PigeonConfig::default(),
+    )
+    .unwrap();
+    let query = "def m(xs, t):\n    c = 0\n    for x in xs:\n        if x == t:\n            \
+                 c += 1\n    return c\n";
+    let predictions = namer.predict(query).unwrap();
+    assert_eq!(predictions.len(), 1, "only the function name is unknown");
+    assert_eq!(predictions[0].current_name, "m");
+}

@@ -1,0 +1,97 @@
+//! End-to-end pipeline tests: generate → parse → extract → train →
+//! predict → score, across all four languages and both learners.
+
+use pigeon::corpus::{generate, CorpusConfig, Language};
+use pigeon::eval::{
+    run_name_experiment, run_type_experiment, run_w2v_experiment,
+    naive_string_type_accuracy, NameExperiment, Representation, TypeExperiment,
+    W2vContext, W2vExperiment,
+};
+use pigeon::core::Abstraction;
+
+fn small() -> CorpusConfig {
+    CorpusConfig::default().with_files(150)
+}
+
+#[test]
+fn variable_names_learn_in_every_language() {
+    for language in Language::ALL {
+        let out = run_name_experiment(&NameExperiment {
+            corpus: small(),
+            ..NameExperiment::var_names(language)
+        });
+        assert!(out.n_test > 50, "{language}: too few predictions");
+        assert!(
+            out.accuracy > 0.35,
+            "{language}: accuracy {:.3} too low for the pipeline to be sane",
+            out.accuracy
+        );
+        assert!(out.topk_accuracy >= out.accuracy);
+    }
+}
+
+#[test]
+fn paths_beat_no_paths_in_every_language() {
+    for language in Language::ALL {
+        let base = NameExperiment {
+            corpus: small(),
+            ..NameExperiment::var_names(language)
+        };
+        let paths = run_name_experiment(&base);
+        let no_paths = run_name_experiment(
+            &base.clone().with_representation(Representation::NoPaths),
+        );
+        assert!(
+            paths.accuracy > no_paths.accuracy,
+            "{language}: paths {:.3} <= no-paths {:.3}",
+            paths.accuracy,
+            no_paths.accuracy
+        );
+    }
+}
+
+#[test]
+fn type_prediction_beats_the_naive_baseline_by_a_wide_margin() {
+    let cfg = small();
+    let types = run_type_experiment(&TypeExperiment {
+        corpus: cfg,
+        ..TypeExperiment::default()
+    });
+    let naive = naive_string_type_accuracy(&cfg, 0.8);
+    // Paper shape: 69.1% vs 24.1% — nearly 3x.
+    assert!(
+        types.accuracy > 2.0 * naive.accuracy,
+        "types {:.3} vs naive {:.3}",
+        types.accuracy,
+        naive.accuracy
+    );
+}
+
+#[test]
+fn w2v_context_ordering_matches_table3() {
+    let mk = |context| W2vExperiment {
+        corpus: small(),
+        ..W2vExperiment::table3(context)
+    };
+    let paths = run_w2v_experiment(&mk(W2vContext::AstPaths(Abstraction::Full)));
+    let tokens = run_w2v_experiment(&mk(W2vContext::TokenStream { window: 2 }));
+    assert!(
+        paths.accuracy > tokens.accuracy,
+        "w2v paths {:.3} <= tokens {:.3}",
+        paths.accuracy,
+        tokens.accuracy
+    );
+}
+
+#[test]
+fn generated_corpora_parse_everywhere() {
+    for language in Language::ALL {
+        let corpus = generate(language, &CorpusConfig::default().with_files(40));
+        for doc in &corpus.docs {
+            let ast = language.parse(&doc.source).unwrap_or_else(|e| {
+                panic!("{language}: generated doc unparseable: {e}\n{}", doc.source)
+            });
+            ast.check_invariants().unwrap();
+        }
+    }
+}
