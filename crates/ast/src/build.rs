@@ -88,10 +88,7 @@ impl TreeNode {
 fn lower(b: &mut AstBuilder, node: TreeNode) {
     match node.value {
         Some(v) => {
-            assert!(
-                node.children.is_empty(),
-                "terminals cannot have children"
-            );
+            assert!(node.children.is_empty(), "terminals cannot have children");
             b.token(node.kind, v);
         }
         None => {
@@ -114,10 +111,7 @@ mod tests {
         let t = TreeNode::inner(
             "While",
             vec![
-                TreeNode::inner(
-                    "UnaryPrefix!",
-                    vec![TreeNode::leaf("SymbolRef", "d")],
-                ),
+                TreeNode::inner("UnaryPrefix!", vec![TreeNode::leaf("SymbolRef", "d")]),
                 TreeNode::nullary("Block"),
             ],
         );

@@ -466,10 +466,7 @@ mod tests {
     fn ancestors_walk_to_root() {
         let ast = fig1_ast();
         let d = ast.leaves()[0];
-        let kinds: Vec<_> = ast
-            .ancestors(d)
-            .map(|a| ast.kind(a).as_str())
-            .collect();
+        let kinds: Vec<_> = ast.ancestors(d).map(|a| ast.kind(a).as_str()).collect();
         assert_eq!(kinds, ["UnaryPrefix!", "While", "Toplevel"]);
     }
 

@@ -4,9 +4,7 @@
 
 use pigeon_bench::{bench_files, pct, Section};
 use pigeon_corpus::{CorpusConfig, Language};
-use pigeon_eval::{
-    length_width_sweep, run_name_experiment, NameExperiment, Representation,
-};
+use pigeon_eval::{length_width_sweep, run_name_experiment, NameExperiment, Representation};
 
 fn main() {
     let files = bench_files(700);

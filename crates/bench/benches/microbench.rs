@@ -2,9 +2,11 @@
 //! extraction, abstraction/interning, CRF inference and SGNS prediction.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pigeon::{Pigeon, PigeonConfig};
 use pigeon_core::{extract, Abstraction, ExtractionConfig, PathVocab};
 use pigeon_corpus::{generate, CorpusConfig, Language};
 use pigeon_crf::{train as train_crf, CrfConfig, Instance, Node};
+use pigeon_eval::parallel_map_indexed;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -81,13 +83,49 @@ fn toy_instances(n: usize, seed: u64) -> Vec<Instance> {
         .collect()
 }
 
+/// Serial vs parallel per-file parse + extraction over the 400-file
+/// synthetic JavaScript corpus: the workload `--jobs` parallelises.
+fn bench_parallel_extraction(c: &mut Criterion) {
+    let sources = corpus_sources(400);
+    let cfg = ExtractionConfig::with_limits(4, 3);
+    for jobs in [1usize, 4] {
+        c.bench_function(&format!("parse_extract_400_files_jobs{jobs}"), |b| {
+            b.iter(|| {
+                std::hint::black_box(parallel_map_indexed(&sources, jobs, |_, s| {
+                    let ast = pigeon_js::parse(s).expect("parses");
+                    extract(&ast, &cfg).len()
+                }))
+            })
+        });
+    }
+}
+
+/// Serial vs parallel end-to-end facade training (parse + extract fan
+/// out; vocabulary interning and CRF training stay sequential).
+fn bench_parallel_training(c: &mut Criterion) {
+    let sources = corpus_sources(400);
+    let refs: Vec<&str> = sources.iter().map(String::as_str).collect();
+    for jobs in [1usize, 4] {
+        let config = PigeonConfig {
+            jobs,
+            ..PigeonConfig::default()
+        };
+        c.bench_function(&format!("train_namer_400_files_jobs{jobs}"), |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    Pigeon::train_variable_namer(Language::JavaScript, &refs, &config)
+                        .expect("trains"),
+                )
+            })
+        });
+    }
+}
+
 fn bench_crf(c: &mut Criterion) {
     let train_set = toy_instances(300, 1);
     let test_set = toy_instances(100, 2);
     c.bench_function("crf_train_300_instances", |b| {
-        b.iter(|| {
-            std::hint::black_box(train_crf(&train_set, 15, &CrfConfig::default()))
-        })
+        b.iter(|| std::hint::black_box(train_crf(&train_set, 15, &CrfConfig::default())))
     });
     let model = train_crf(&train_set, 15, &CrfConfig::default());
     c.bench_function("crf_infer_100_instances", |b| {
@@ -125,6 +163,7 @@ fn bench_sgns(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_parsing, bench_extraction, bench_abstraction_interning, bench_crf, bench_sgns
+    targets = bench_parsing, bench_extraction, bench_parallel_extraction,
+        bench_parallel_training, bench_abstraction_interning, bench_crf, bench_sgns
 }
 criterion_main!(benches);

@@ -12,8 +12,8 @@
 use pigeon_bench::{bench_files, pct, Section};
 use pigeon_corpus::{CorpusConfig, Language};
 use pigeon_eval::{
-    naive_string_type_accuracy, rule_based_java_vars, run_name_experiment,
-    run_type_experiment, NameExperiment, Representation, TypeExperiment,
+    naive_string_type_accuracy, rule_based_java_vars, run_name_experiment, run_type_experiment,
+    NameExperiment, Representation, TypeExperiment,
 };
 
 fn main() {
@@ -32,12 +32,9 @@ fn main() {
         ..NameExperiment::var_names(Language::JavaScript)
     };
     let js_paths = run_name_experiment(&js);
-    let js_nopath = run_name_experiment(
-        &js.clone().with_representation(Representation::NoPaths),
-    );
-    let js_relations = run_name_experiment(
-        &js.clone().with_representation(Representation::Relations),
-    );
+    let js_nopath = run_name_experiment(&js.clone().with_representation(Representation::NoPaths));
+    let js_relations =
+        run_name_experiment(&js.clone().with_representation(Representation::Relations));
     println!(
         "{:<12} {:>22} {:>22} {:>12} {:>8}",
         "JavaScript",
@@ -64,7 +61,10 @@ fn main() {
         format!("{} rule-based", pct(java_rule.accuracy)),
         format!("{} 4-grams", pct(java_ngram.accuracy)),
         pct(java_paths.accuracy),
-        format!("{}/{}", java.extraction.max_length, java.extraction.max_width),
+        format!(
+            "{}/{}",
+            java.extraction.max_length, java.extraction.max_width
+        ),
     );
 
     let python = NameExperiment {
@@ -72,16 +72,18 @@ fn main() {
         ..NameExperiment::var_names(Language::Python)
     };
     let py_paths = run_name_experiment(&python);
-    let py_nopath = run_name_experiment(
-        &python.clone().with_representation(Representation::NoPaths),
-    );
+    let py_nopath =
+        run_name_experiment(&python.clone().with_representation(Representation::NoPaths));
     println!(
         "{:<12} {:>22} {:>22} {:>12} {:>8}",
         "Python",
         format!("{} no-paths", pct(py_nopath.accuracy)),
         "",
         pct(py_paths.accuracy),
-        format!("{}/{}", python.extraction.max_length, python.extraction.max_width),
+        format!(
+            "{}/{}",
+            python.extraction.max_length, python.extraction.max_width
+        ),
     );
 
     let csharp = NameExperiment {
@@ -95,7 +97,10 @@ fn main() {
         "-",
         "",
         pct(cs_paths.accuracy),
-        format!("{}/{}", csharp.extraction.max_length, csharp.extraction.max_width),
+        format!(
+            "{}/{}",
+            csharp.extraction.max_length, csharp.extraction.max_width
+        ),
     );
     println!(
         "\nPaper: JS 24.9 (no-paths) / 60.0 (UnuglifyJS) -> 67.3; Java 23.7 \
@@ -122,9 +127,7 @@ fn main() {
             ..NameExperiment::method_names(language)
         };
         let paths = run_name_experiment(&exp);
-        let nopath = run_name_experiment(
-            &exp.clone().with_representation(Representation::NoPaths),
-        );
+        let nopath = run_name_experiment(&exp.clone().with_representation(Representation::NoPaths));
         println!(
             "{:<12} {:>18} {:>12} {:>10} {:>14}",
             language.name(),

@@ -17,12 +17,9 @@ fn main() {
         &CorpusConfig::default().with_files(files),
     );
     let sources: Vec<&str> = corpus.docs.iter().map(|d| d.source.as_str()).collect();
-    let namer = Pigeon::train_variable_namer(
-        Language::JavaScript,
-        &sources,
-        &PigeonConfig::default(),
-    )
-    .expect("training corpus parses");
+    let namer =
+        Pigeon::train_variable_namer(Language::JavaScript, &sources, &PigeonConfig::default())
+            .expect("training corpus parses");
     let fig1 = "function f() { var d = false; while (!d) { if (check()) { d = true; } } }";
     for p in namer.predict(fig1).expect("Fig. 1a parses") {
         println!("candidates for `{}`:", p.current_name);

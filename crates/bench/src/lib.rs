@@ -39,6 +39,9 @@ impl Section {
 
     /// Prints the elapsed time.
     pub fn end(self) {
-        println!("[section took {:.1}s]", self.started.elapsed().as_secs_f64());
+        println!(
+            "[section took {:.1}s]",
+            self.started.elapsed().as_secs_f64()
+        );
     }
 }

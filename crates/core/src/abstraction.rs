@@ -191,14 +191,8 @@ mod tests {
 
     #[test]
     fn forget_order_sorts_kinds() {
-        let p1 = AstPath::new(
-            vec![k("B"), k("A")],
-            vec![Direction::Up],
-        );
-        let p2 = AstPath::new(
-            vec![k("A"), k("B")],
-            vec![Direction::Up],
-        );
+        let p1 = AstPath::new(vec![k("B"), k("A")], vec![Direction::Up]);
+        let p2 = AstPath::new(vec![k("A"), k("B")], vec![Direction::Up]);
         assert_eq!(
             Abstraction::ForgetOrder.apply(&p1),
             Abstraction::ForgetOrder.apply(&p2)

@@ -117,10 +117,7 @@ mod tests {
 
     #[test]
     fn flip_is_involutive() {
-        let path = AstPath::new(
-            vec![Kind::new("A"), Kind::new("B")],
-            vec![Direction::Up],
-        );
+        let path = AstPath::new(vec![Kind::new("A"), Kind::new("B")], vec![Direction::Up]);
         let ctx = PathContext {
             start: PathEnd::Value(Symbol::new("x")),
             path,

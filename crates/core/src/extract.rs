@@ -17,7 +17,8 @@
 
 use crate::context::{PathContext, PathEnd};
 use crate::path::{AstPath, Direction};
-use pigeon_ast::{Ast, NodeId};
+use pigeon_ast::{Ast, Kind, NodeId};
+use std::collections::HashMap;
 
 /// Hyper-parameters controlling which paths are extracted.
 ///
@@ -73,9 +74,7 @@ fn chain_to(ast: &Ast, node: NodeId, stop: NodeId) -> Vec<NodeId> {
     let mut chain = vec![node];
     let mut cur = node;
     while cur != stop {
-        cur = ast
-            .parent(cur)
-            .expect("stop must be an ancestor of node");
+        cur = ast.parent(cur).expect("stop must be an ancestor of node");
         chain.push(cur);
     }
     chain
@@ -119,27 +118,152 @@ pub fn path_between(ast: &Ast, a: NodeId, b: NodeId) -> (AstPath, usize) {
     (AstPath::new(kinds, dirs), width)
 }
 
+/// A surviving leaf pair discovered by the upward merge, before its
+/// path is materialized: leaf ordinals plus distances to the LCA.
+struct PendingPair {
+    a: u32,
+    b: u32,
+    /// Edges from leaf `a` up to the LCA.
+    up: u32,
+    /// Edges from the LCA down to leaf `b`.
+    down: u32,
+    lca: NodeId,
+}
+
 /// Extracts all leafwise path-contexts of `ast` within the config's
 /// limits. Each unordered pair of terminals is emitted once, oriented
 /// left-to-right in source order; use
 /// [`PathContext::flipped`] for the other orientation.
+///
+/// Implementation: a single bottom-up merge pass. Every node carries the
+/// leaves of its subtree (with their distance to the node) capped at
+/// `max_length - 1` edges; at each nonterminal, leaves from distinct
+/// children pair up exactly when their combined distance fits
+/// `max_length` and the children's sibling gap fits `max_width` — the
+/// node is their lowest common ancestor by construction. Pairs are
+/// pruned *before* any path is allocated, and identical kind-sequences
+/// are interned through a per-AST cache, unlike the former
+/// [`path_between`]-per-pair loop which re-walked the tree and
+/// re-allocated for all `O(leaves²)` candidates.
 pub fn leaf_pair_contexts(ast: &Ast, cfg: &ExtractionConfig) -> Vec<PathContext> {
+    if cfg.max_length < 2 {
+        // A leafwise path climbs at least one edge and descends at least
+        // one, so nothing can survive.
+        return Vec::new();
+    }
     let leaves = ast.leaves();
-    let mut out = Vec::new();
-    for (i, &a) in leaves.iter().enumerate() {
-        for &b in &leaves[i + 1..] {
-            let (path, width) = path_between(ast, a, b);
-            if path.len() > cfg.max_length || width > cfg.max_width {
+    if leaves.len() < 2 {
+        return Vec::new();
+    }
+    let mut leaf_ordinal = vec![u32::MAX; ast.len()];
+    for (i, &l) in leaves.iter().enumerate() {
+        leaf_ordinal[l.index()] = i as u32;
+    }
+
+    // Per-leaf ancestor kind chains, shared by every pair the leaf joins:
+    // chain[r] is the kind r edges above the leaf (chain[0] = the leaf).
+    // A leaf `max_length - 1` edges below its LCA is the farthest that
+    // can still pair, so deeper ancestors are never needed.
+    let chains: Vec<Vec<Kind>> = leaves
+        .iter()
+        .map(|&l| {
+            let mut chain = Vec::with_capacity(cfg.max_length);
+            chain.push(ast.kind(l));
+            for anc in ast.ancestors(l).take(cfg.max_length - 1) {
+                chain.push(ast.kind(anc));
+            }
+            chain
+        })
+        .collect();
+
+    // Bottom-up merge. The arena is in preorder, so walking indices in
+    // reverse visits every child before its parent. `subtree[v]` holds
+    // `(leaf ordinal, edges from leaf to v)` for the live leaves of v's
+    // subtree, in source order.
+    let mut subtree: Vec<Vec<(u32, u32)>> = vec![Vec::new(); ast.len()];
+    let mut pending: Vec<PendingPair> = Vec::new();
+    for raw in (0..ast.len() as u32).rev() {
+        let v = NodeId::from_raw(raw);
+        let ord = leaf_ordinal[v.index()];
+        if ord != u32::MAX {
+            subtree[v.index()] = vec![(ord, 0)];
+            continue;
+        }
+        let children = ast.children(v);
+        // Segments of already-merged children, tagged with their child
+        // index: the width of a pair meeting at `v` is the sibling gap
+        // between the two children the leaves came through.
+        let mut segs: Vec<(usize, Vec<(u32, u32)>)> = Vec::new();
+        for (cj, &c) in children.iter().enumerate() {
+            let mut child_leaves = std::mem::take(&mut subtree[c.index()]);
+            // Lift distances to `v`; a leaf farther than `max_length - 1`
+            // edges away can never complete a path (the other side costs
+            // at least one more edge), so it drops out here — before any
+            // pairing work.
+            child_leaves.retain_mut(|entry| {
+                entry.1 += 1;
+                (entry.1 as usize) < cfg.max_length
+            });
+            if child_leaves.is_empty() {
                 continue;
             }
-            out.push(PathContext {
-                start: PathEnd::Value(ast.value(a).expect("leaves carry values")),
-                path,
-                end: PathEnd::Value(ast.value(b).expect("leaves carry values")),
-                start_node: a,
-                end_node: b,
-            });
+            for &(ci, ref a_leaves) in &segs {
+                if cj - ci > cfg.max_width {
+                    continue;
+                }
+                for &(a_ord, a_rel) in a_leaves {
+                    for &(b_ord, b_rel) in &child_leaves {
+                        if (a_rel + b_rel) as usize <= cfg.max_length {
+                            pending.push(PendingPair {
+                                a: a_ord,
+                                b: b_ord,
+                                up: a_rel,
+                                down: b_rel,
+                                lca: v,
+                            });
+                        }
+                    }
+                }
+            }
+            segs.push((cj, child_leaves));
         }
+        let mut merged = Vec::with_capacity(segs.iter().map(|(_, l)| l.len()).sum());
+        for (_, leaves) in segs {
+            merged.extend(leaves);
+        }
+        subtree[v.index()] = merged;
+    }
+
+    // Materialize in the order the former pairwise loop produced:
+    // sorted by (left ordinal, right ordinal).
+    pending.sort_unstable_by_key(|p| (p.a, p.b));
+    let mut cache: HashMap<(Vec<Kind>, u32), AstPath> = HashMap::new();
+    let mut out = Vec::with_capacity(pending.len());
+    for p in pending {
+        let (a, b) = (p.a as usize, p.b as usize);
+        let mut kinds = Vec::with_capacity(p.up as usize + p.down as usize + 1);
+        kinds.extend_from_slice(&chains[a][..p.up as usize]);
+        kinds.push(ast.kind(p.lca));
+        kinds.extend(chains[b][..p.down as usize].iter().rev().copied());
+        let path = cache
+            .entry((kinds, p.up))
+            .or_insert_with_key(|(kinds, up)| {
+                let mut dirs = Vec::with_capacity(kinds.len() - 1);
+                dirs.extend(std::iter::repeat_n(Direction::Up, *up as usize));
+                dirs.extend(std::iter::repeat_n(
+                    Direction::Down,
+                    kinds.len() - 1 - *up as usize,
+                ));
+                AstPath::new(kinds.clone(), dirs)
+            })
+            .clone();
+        out.push(PathContext {
+            start: PathEnd::Value(ast.value(leaves[a]).expect("leaves carry values")),
+            path,
+            end: PathEnd::Value(ast.value(leaves[b]).expect("leaves carry values")),
+            start_node: leaves[a],
+            end_node: leaves[b],
+        });
     }
     out
 }
@@ -175,11 +299,7 @@ pub fn semi_path_contexts(ast: &Ast, cfg: &ExtractionConfig) -> Vec<PathContext>
 /// (typically an expression nonterminal whose type is being predicted,
 /// §5.3.3). The target end is reported as the target's kind when it is a
 /// nonterminal.
-pub fn contexts_to_node(
-    ast: &Ast,
-    target: NodeId,
-    cfg: &ExtractionConfig,
-) -> Vec<PathContext> {
+pub fn contexts_to_node(ast: &Ast, target: NodeId, cfg: &ExtractionConfig) -> Vec<PathContext> {
     let mut out = Vec::new();
     for &leaf in ast.leaves() {
         if leaf == target {
@@ -332,7 +452,10 @@ mod tests {
         let root = ast.root();
         let (path, width) = path_between(&ast, d, root);
         assert_eq!(width, 0);
-        assert_eq!(path.to_string(), "SymbolRef ↑ UnaryPrefix! ↑ While ↑ Toplevel");
+        assert_eq!(
+            path.to_string(),
+            "SymbolRef ↑ UnaryPrefix! ↑ While ↑ Toplevel"
+        );
     }
 
     #[test]
@@ -344,11 +467,7 @@ mod tests {
         assert!(!semis.is_empty());
         for s in &semis {
             assert!(s.path.len() <= 2);
-            assert!(s
-                .path
-                .directions()
-                .iter()
-                .all(|&d| d == Direction::Up));
+            assert!(s.path.directions().iter().all(|&d| d == Direction::Up));
             assert!(matches!(s.end, PathEnd::Node(_)));
         }
         // The d-leaf yields `SymbolRef ↑ UnaryPrefix!` among them.
@@ -374,9 +493,9 @@ mod tests {
             .any(|c| c.display_triple() == "⟨true, True ↑ Assign=, Assign=⟩"));
         // `d` under UnaryPrefix! reaches the Assign= too, going up then
         // down: SymbolRef ↑ UnaryPrefix! ↑ While ↓ If ↓ Assign= (4 edges).
-        assert!(ctxs.iter().any(|c| {
-            c.start.as_str() == "d" && c.path.len() == 4
-        }));
+        assert!(ctxs
+            .iter()
+            .any(|c| { c.start.as_str() == "d" && c.path.len() == 4 }));
     }
 
     #[test]

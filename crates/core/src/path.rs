@@ -10,6 +10,7 @@
 
 use pigeon_ast::Kind;
 use std::fmt;
+use std::sync::Arc;
 
 /// One movement step in an AST path: towards the root or away from it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -56,8 +57,13 @@ impl fmt::Display for Direction {
 /// ```
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct AstPath {
-    kinds: Vec<Kind>,
-    dirs: Vec<Direction>,
+    // Shared slices rather than owned `Vec`s: the extractor's per-AST
+    // path cache hands out clones of one allocation for every repeat of
+    // a kind-sequence, which Fig. 5-style sibling fans produce en masse.
+    // `Hash`/`Eq` on `Arc<[T]>` delegate to the slice contents, so equal
+    // walks still compare equal across trees.
+    kinds: Arc<[Kind]>,
+    dirs: Arc<[Direction]>,
 }
 
 impl AstPath {
@@ -73,7 +79,10 @@ impl AstPath {
             dirs.len() + 1,
             "a path of k edges visits k+1 nodes"
         );
-        AstPath { kinds, dirs }
+        AstPath {
+            kinds: kinds.into(),
+            dirs: dirs.into(),
+        }
     }
 
     /// The length `k`: the number of edges (movements) in the path.
@@ -131,8 +140,8 @@ impl AstPath {
     /// flipped. Extraction uses this to derive the `b→a` path from the
     /// `a→b` path without re-walking the tree.
     pub fn reversed(&self) -> AstPath {
-        let kinds = self.kinds.iter().rev().copied().collect();
-        let dirs = self
+        let kinds: Vec<Kind> = self.kinds.iter().rev().copied().collect();
+        let dirs: Vec<Direction> = self
             .dirs
             .iter()
             .rev()
@@ -141,7 +150,10 @@ impl AstPath {
                 Direction::Down => Direction::Up,
             })
             .collect();
-        AstPath { kinds, dirs }
+        AstPath {
+            kinds: kinds.into(),
+            dirs: dirs.into(),
+        }
     }
 }
 

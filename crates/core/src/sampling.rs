@@ -53,7 +53,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(42);
         let v: Vec<u32> = (0..10_000).collect();
         let kept = downsample(v, 0.8, &mut rng).len();
-        assert!((7_600..=8_400).contains(&kept), "kept {kept} of 10000 at p=0.8");
+        assert!(
+            (7_600..=8_400).contains(&kept),
+            "kept {kept} of 10000 at p=0.8"
+        );
     }
 
     #[test]

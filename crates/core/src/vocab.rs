@@ -218,7 +218,7 @@ mod tests {
     fn get_does_not_grow() {
         let mut v = PathVocab::new(Abstraction::Full);
         v.intern(&path(&["A", "B"]));
-        assert_eq!(v.get(&path(&["A", "B"])).is_some(), true);
+        assert!(v.get(&path(&["A", "B"])).is_some());
         assert_eq!(v.get(&path(&["Z", "Q"])), None);
         assert_eq!(v.len(), 1);
     }

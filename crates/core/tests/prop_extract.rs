@@ -3,8 +3,7 @@
 
 use pigeon_ast::{Ast, AstBuilder};
 use pigeon_core::{
-    extract, leaf_pair_contexts, path_between, Abstraction, Direction, ExtractionConfig,
-    PathVocab,
+    extract, leaf_pair_contexts, path_between, Abstraction, Direction, ExtractionConfig, PathVocab,
 };
 use proptest::prelude::*;
 
@@ -125,6 +124,36 @@ proptest! {
             let (ba, w2) = path_between(&ast, leaves[leaves.len() - 1], leaves[0]);
             prop_assert_eq!(ab.reversed(), ba);
             prop_assert_eq!(w1, w2);
+        }
+    }
+
+    /// The single-pass merge extractor agrees with the naive reference:
+    /// calling [`path_between`] on every leaf pair and filtering by the
+    /// limits afterwards. Same contexts, same order.
+    #[test]
+    fn merge_extractor_matches_pairwise_reference(
+        ops in ops_strategy(),
+        len in 0usize..9,
+        width in 0usize..5,
+    ) {
+        let ast = build(&ops);
+        let cfg = ExtractionConfig::with_limits(len, width);
+        let leaves = ast.leaves();
+        let mut reference = Vec::new();
+        for (i, &a) in leaves.iter().enumerate() {
+            for &b in &leaves[i + 1..] {
+                let (path, w) = path_between(&ast, a, b);
+                if path.len() <= cfg.max_length && w <= cfg.max_width {
+                    reference.push((a, path, b));
+                }
+            }
+        }
+        let merged = leaf_pair_contexts(&ast, &cfg);
+        prop_assert_eq!(merged.len(), reference.len());
+        for (ctx, (a, path, b)) in merged.iter().zip(&reference) {
+            prop_assert_eq!(ctx.start_node, *a);
+            prop_assert_eq!(ctx.end_node, *b);
+            prop_assert_eq!(&ctx.path, path);
         }
     }
 

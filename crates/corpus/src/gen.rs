@@ -84,11 +84,7 @@ const CLASS_NAMES: &[(&str, u32)] = &[
 ];
 
 /// Generates one document in `language`.
-pub fn generate_document<R: Rng>(
-    language: Language,
-    cfg: &CorpusConfig,
-    rng: &mut R,
-) -> Document {
+pub fn generate_document<R: Rng>(language: Language, cfg: &CorpusConfig, rng: &mut R) -> Document {
     let helpers = Helpers::sample(rng);
     let n_functions = rng.gen_range(cfg.min_functions..=cfg.max_functions);
     let mut truth = GroundTruth::default();
@@ -147,8 +143,11 @@ pub fn generate_document<R: Rng>(
             Language::Python => render::python::function(fn_name, &inst, &helpers),
             Language::CSharp => render::csharp::method(fn_name, &inst, &helpers),
         };
-        let locals: Vec<String> =
-            inst.bindings.iter().map(|(_, name, _)| name.clone()).collect();
+        let locals: Vec<String> = inst
+            .bindings
+            .iter()
+            .map(|(_, name, _)| name.clone())
+            .collect();
         insert_distractors(language, &mut body, &locals, rng);
         bodies.push(body);
     }
@@ -228,11 +227,7 @@ const DRIVER_NAMES: &[(&str, u32)] = &[
 
 /// Renders a driver function that calls each planned function with
 /// plausible (canonically named, undeclared) arguments.
-fn render_driver<R: Rng>(
-    language: Language,
-    plans: &[(IdiomKind, String)],
-    rng: &mut R,
-) -> String {
+fn render_driver<R: Rng>(language: Language, plans: &[(IdiomKind, String)], rng: &mut R) -> String {
     let driver = weighted_choice(DRIVER_NAMES, rng).to_owned();
     let calls: Vec<String> = plans
         .iter()
@@ -289,10 +284,7 @@ pub fn generate(language: Language, cfg: &CorpusConfig) -> crate::Corpus {
     let docs = (0..cfg.files)
         .map(|_| generate_document(language, cfg, &mut rng))
         .collect();
-    crate::Corpus {
-        language,
-        docs,
-    }
+    crate::Corpus { language, docs }
 }
 
 const TYPE_METHOD_NAMES: &[(&str, u32)] = &[
@@ -485,8 +477,7 @@ mod tests {
         };
         let corpus = generate(Language::JavaScript, &cfg);
         for doc in &corpus.docs {
-            let mut names: Vec<_> =
-                doc.truth.functions.iter().map(|f| &f.name).collect();
+            let mut names: Vec<_> = doc.truth.functions.iter().map(|f| &f.name).collect();
             names.sort();
             let before = names.len();
             names.dedup();
@@ -500,9 +491,8 @@ mod tests {
         let corpus = generate_java_types(&cfg);
         let mut total_types = 0;
         for doc in &corpus.docs {
-            pigeon_java::parse(&doc.source).unwrap_or_else(|e| {
-                panic!("type doc failed to parse: {e}\n{}", doc.source)
-            });
+            pigeon_java::parse(&doc.source)
+                .unwrap_or_else(|e| panic!("type doc failed to parse: {e}\n{}", doc.source));
             assert!(!doc.truth.types.is_empty());
             total_types += doc.truth.types.len();
             for t in &doc.truth.types {

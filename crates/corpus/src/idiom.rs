@@ -101,10 +101,7 @@ impl IdiomKind {
                 ("element", Role::Element),
                 ("target", Role::Target),
             ],
-            IdiomKind::BuildMessage => &[
-                ("message", Role::Message),
-                ("key", Role::KeyName),
-            ],
+            IdiomKind::BuildMessage => &[("message", Role::Message), ("key", Role::KeyName)],
             IdiomKind::HttpSend => &[
                 ("url", Role::Url),
                 ("request", Role::Request),
@@ -136,14 +133,8 @@ impl IdiomKind {
                 ("size", Role::Size),
                 ("url", Role::Url),
             ],
-            IdiomKind::WalkNodes => &[
-                ("node", Role::Node),
-                ("counter", Role::Counter),
-            ],
-            IdiomKind::GuardFlag => &[
-                ("flag", Role::GuardFlag),
-                ("config", Role::Config),
-            ],
+            IdiomKind::WalkNodes => &[("node", Role::Node), ("counter", Role::Counter)],
+            IdiomKind::GuardFlag => &[("flag", Role::GuardFlag), ("config", Role::Config)],
             IdiomKind::NestedCount => &[
                 ("counter", Role::Counter),
                 ("index", Role::LoopIndex),
@@ -151,10 +142,7 @@ impl IdiomKind {
                 ("target", Role::Target),
             ],
             IdiomKind::RetryLoop => &[("attempts", Role::Attempts)],
-            IdiomKind::ScanBuffer => &[
-                ("cursor", Role::Cursor),
-                ("collection", Role::Collection),
-            ],
+            IdiomKind::ScanBuffer => &[("cursor", Role::Cursor), ("collection", Role::Collection)],
         }
     }
 
@@ -389,8 +377,9 @@ mod tests {
             let inst = IdiomInstance::generate(kind, &mut pool, 0.0, &mut rng);
             for (slot, name, role) in &inst.bindings {
                 // Either a role name or a numbered collision fallback.
-                let base: String =
-                    name.trim_end_matches(|c: char| c.is_ascii_digit()).to_owned();
+                let base: String = name
+                    .trim_end_matches(|c: char| c.is_ascii_digit())
+                    .to_owned();
                 assert!(
                     role.admits(&base),
                     "{kind:?}.{slot} drew `{name}` outside {role:?}"
@@ -421,14 +410,12 @@ mod tests {
         let a = {
             let mut rng = SmallRng::seed_from_u64(9);
             let mut pool = NamePool::new();
-            IdiomInstance::generate(IdiomKind::CountMatches, &mut pool, 0.2, &mut rng)
-                .bindings
+            IdiomInstance::generate(IdiomKind::CountMatches, &mut pool, 0.2, &mut rng).bindings
         };
         let b = {
             let mut rng = SmallRng::seed_from_u64(9);
             let mut pool = NamePool::new();
-            IdiomInstance::generate(IdiomKind::CountMatches, &mut pool, 0.2, &mut rng)
-                .bindings
+            IdiomInstance::generate(IdiomKind::CountMatches, &mut pool, 0.2, &mut rng).bindings
         };
         assert_eq!(
             a.iter().map(|(_, n, _)| n.clone()).collect::<Vec<_>>(),

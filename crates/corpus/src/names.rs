@@ -117,9 +117,28 @@ impl Role {
     /// probability regardless of the learner.
     pub fn names(self) -> &'static [(&'static str, u32)] {
         match self {
-            Role::LoopIndex => &[("i", 65), ("index", 12), ("j", 9), ("idx", 8), ("k", 4), ("pos", 2)],
-            Role::Counter => &[("count", 66), ("counter", 14), ("total", 9), ("num", 6), ("cnt", 5)],
-            Role::Sum => &[("sum", 64), ("total", 18), ("acc", 9), ("result", 6), ("subtotal", 3)],
+            Role::LoopIndex => &[
+                ("i", 65),
+                ("index", 12),
+                ("j", 9),
+                ("idx", 8),
+                ("k", 4),
+                ("pos", 2),
+            ],
+            Role::Counter => &[
+                ("count", 66),
+                ("counter", 14),
+                ("total", 9),
+                ("num", 6),
+                ("cnt", 5),
+            ],
+            Role::Sum => &[
+                ("sum", 64),
+                ("total", 18),
+                ("acc", 9),
+                ("result", 6),
+                ("subtotal", 3),
+            ],
             Role::Flag => &[
                 ("done", 62),
                 ("found", 12),
@@ -158,11 +177,29 @@ impl Role {
                 ("v", 3),
                 ("x", 2),
             ],
-            Role::Target => &[("target", 68), ("needle", 9), ("wanted", 8), ("expected", 8), ("query", 7)],
-            Role::ResultValue => &[("result", 66), ("res", 12), ("ret", 8), ("out", 7), ("output", 7)],
+            Role::Target => &[
+                ("target", 68),
+                ("needle", 9),
+                ("wanted", 8),
+                ("expected", 8),
+                ("query", 7),
+            ],
+            Role::ResultValue => &[
+                ("result", 66),
+                ("res", 12),
+                ("ret", 8),
+                ("out", 7),
+                ("output", 7),
+            ],
             Role::Request => &[("request", 70), ("req", 30)],
             Role::Response => &[("response", 68), ("resp", 20), ("reply", 12)],
-            Role::Url => &[("url", 68), ("uri", 10), ("link", 8), ("endpoint", 8), ("address", 6)],
+            Role::Url => &[
+                ("url", 68),
+                ("uri", 10),
+                ("link", 8),
+                ("endpoint", 8),
+                ("address", 6),
+            ],
             Role::Callback => &[
                 ("callback", 64),
                 ("cb", 12),
@@ -173,11 +210,35 @@ impl Role {
             Role::ErrorValue => &[("err", 60), ("error", 18), ("e", 12), ("ex", 6), ("exc", 4)],
             Role::Message => &[("message", 64), ("msg", 20), ("text", 10), ("note", 6)],
             Role::Data => &[("data", 68), ("payload", 12), ("body", 10), ("content", 10)],
-            Role::FileName => &[("file", 62), ("path", 16), ("filename", 12), ("filepath", 6), ("f", 4)],
-            Role::Size => &[("size", 62), ("length", 14), ("len", 12), ("n", 8), ("capacity", 4)],
+            Role::FileName => &[
+                ("file", 62),
+                ("path", 16),
+                ("filename", 12),
+                ("filepath", 6),
+                ("f", 4),
+            ],
+            Role::Size => &[
+                ("size", 62),
+                ("length", 14),
+                ("len", 12),
+                ("n", 8),
+                ("capacity", 4),
+            ],
             Role::Temp => &[("tmp", 66), ("temp", 18), ("t", 10), ("aux", 6)],
-            Role::KeyName => &[("name", 60), ("key", 20), ("id", 10), ("label", 6), ("tag", 4)],
-            Role::Config => &[("config", 64), ("options", 14), ("opts", 10), ("settings", 7), ("params", 5)],
+            Role::KeyName => &[
+                ("name", 60),
+                ("key", 20),
+                ("id", 10),
+                ("label", 6),
+                ("tag", 4),
+            ],
+            Role::Config => &[
+                ("config", 64),
+                ("options", 14),
+                ("opts", 10),
+                ("settings", 7),
+                ("params", 5),
+            ],
             Role::User => &[("user", 68), ("account", 14), ("person", 8), ("member", 10)],
             Role::Connection => &[
                 ("connection", 60),
@@ -186,10 +247,34 @@ impl Role {
                 ("session", 8),
                 ("socket", 6),
             ],
-            Role::Amount => &[("amount", 62), ("price", 14), ("cost", 10), ("fee", 6), ("balance", 8)],
-            Role::Attempts => &[("attempts", 64), ("retries", 14), ("tries", 10), ("rounds", 6), ("spins", 6)],
-            Role::Cursor => &[("pos", 60), ("cursor", 16), ("offset", 12), ("ptr", 6), ("mark", 6)],
-            Role::Node => &[("node", 64), ("current", 14), ("cur", 10), ("cursor", 5), ("head", 7)],
+            Role::Amount => &[
+                ("amount", 62),
+                ("price", 14),
+                ("cost", 10),
+                ("fee", 6),
+                ("balance", 8),
+            ],
+            Role::Attempts => &[
+                ("attempts", 64),
+                ("retries", 14),
+                ("tries", 10),
+                ("rounds", 6),
+                ("spins", 6),
+            ],
+            Role::Cursor => &[
+                ("pos", 60),
+                ("cursor", 16),
+                ("offset", 12),
+                ("ptr", 6),
+                ("mark", 6),
+            ],
+            Role::Node => &[
+                ("node", 64),
+                ("current", 14),
+                ("cur", 10),
+                ("cursor", 5),
+                ("head", 7),
+            ],
         }
     }
 
@@ -214,10 +299,7 @@ impl Role {
 /// # Panics
 ///
 /// Panics if `table` is empty or all weights are zero.
-pub fn weighted_choice<'a, T: ?Sized, R: Rng>(
-    table: &'a [(&'a T, u32)],
-    rng: &mut R,
-) -> &'a T {
+pub fn weighted_choice<'a, T: ?Sized, R: Rng>(table: &'a [(&'a T, u32)], rng: &mut R) -> &'a T {
     let total: u32 = table.iter().map(|&(_, w)| w).sum();
     assert!(total > 0, "weighted_choice requires positive total weight");
     let mut roll = rng.gen_range(0..total);

@@ -6,10 +6,16 @@ use crate::idiom::{IdiomInstance, IdiomKind};
 
 fn return_type(kind: IdiomKind) -> &'static str {
     match kind {
-        IdiomKind::WaitFlag | IdiomKind::HttpSend | IdiomKind::IndexLoop
+        IdiomKind::WaitFlag
+        | IdiomKind::HttpSend
+        | IdiomKind::IndexLoop
         | IdiomKind::ReadConfig => "void",
-        IdiomKind::CountMatches | IdiomKind::SumAmounts | IdiomKind::MaxLoop
-        | IdiomKind::WalkNodes | IdiomKind::NestedCount | IdiomKind::RetryLoop
+        IdiomKind::CountMatches
+        | IdiomKind::SumAmounts
+        | IdiomKind::MaxLoop
+        | IdiomKind::WalkNodes
+        | IdiomKind::NestedCount
+        | IdiomKind::RetryLoop
         | IdiomKind::ScanBuffer => "int",
         IdiomKind::FindElement => "Item",
         IdiomKind::GuardFlag => "bool",
@@ -128,9 +134,7 @@ fn body(inst: &IdiomInstance, h: &Helpers, out: &mut String) {
         }
         IdiomKind::FilterCollection => {
             let (r, coll, el) = (n("result"), n("collection"), n("element"));
-            out.push_str(&format!(
-                "        var {r} = new List<Item>();\n"
-            ));
+            out.push_str(&format!("        var {r} = new List<Item>();\n"));
             out.push_str(&format!("        foreach (var {el} in {coll}) {{\n"));
             out.push_str(&format!(
                 "            if ({el}.{}) {{\n                {r}.Add({el});\n            }}\n",
@@ -141,9 +145,7 @@ fn body(inst: &IdiomInstance, h: &Helpers, out: &mut String) {
         IdiomKind::IndexLoop => {
             let (i, coll, el, s) = (n("index"), n("collection"), n("element"), n("size"));
             out.push_str(&format!("        int {s} = {coll}.Length;\n"));
-            out.push_str(&format!(
-                "        for (int {i} = 0; {i} < {s}; {i}++) {{\n"
-            ));
+            out.push_str(&format!("        for (int {i} = 0; {i} < {s}; {i}++) {{\n"));
             out.push_str(&format!("            var {el} = {coll}[{i}];\n"));
             out.push_str(&format!(
                 "            {}({el});\n        }}\n",
@@ -168,7 +170,10 @@ fn body(inst: &IdiomInstance, h: &Helpers, out: &mut String) {
         IdiomKind::GuardFlag => {
             let (flag, c) = (n("flag"), n("config"));
             out.push_str(&format!("        bool {flag} = false;\n"));
-            out.push_str(&format!("        if ({c}.{}) {{\n", capitalize(&h.pred_prop)));
+            out.push_str(&format!(
+                "        if ({c}.{}) {{\n",
+                capitalize(&h.pred_prop)
+            ));
             out.push_str(&format!("            {flag} = true;\n        }}\n"));
             out.push_str(&format!("        return {flag};\n"));
         }

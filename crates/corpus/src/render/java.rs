@@ -7,10 +7,16 @@ use crate::idiom::{IdiomInstance, IdiomKind};
 /// The method return type for an idiom.
 fn return_type(kind: IdiomKind) -> &'static str {
     match kind {
-        IdiomKind::WaitFlag | IdiomKind::HttpSend | IdiomKind::IndexLoop
+        IdiomKind::WaitFlag
+        | IdiomKind::HttpSend
+        | IdiomKind::IndexLoop
         | IdiomKind::ReadConfig => "void",
-        IdiomKind::CountMatches | IdiomKind::SumAmounts | IdiomKind::MaxLoop
-        | IdiomKind::WalkNodes | IdiomKind::NestedCount | IdiomKind::RetryLoop
+        IdiomKind::CountMatches
+        | IdiomKind::SumAmounts
+        | IdiomKind::MaxLoop
+        | IdiomKind::WalkNodes
+        | IdiomKind::NestedCount
+        | IdiomKind::RetryLoop
         | IdiomKind::ScanBuffer => "int",
         IdiomKind::FindElement => "Item",
         IdiomKind::GuardFlag => "boolean",
@@ -140,9 +146,7 @@ fn body(inst: &IdiomInstance, h: &Helpers, out: &mut String) {
         IdiomKind::IndexLoop => {
             let (i, coll, el, s) = (n("index"), n("collection"), n("element"), n("size"));
             out.push_str(&format!("        int {s} = {coll}.length;\n"));
-            out.push_str(&format!(
-                "        for (int {i} = 0; {i} < {s}; {i}++) {{\n"
-            ));
+            out.push_str(&format!("        for (int {i} = 0; {i} < {s}; {i}++) {{\n"));
             out.push_str(&format!("            int {el} = {coll}[{i}];\n"));
             out.push_str(&format!("            {}({el});\n        }}\n", h.consume));
         }
@@ -233,8 +237,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         let h = Helpers::sample(&mut rng);
         let mut pool = NamePool::new();
-        let inst =
-            IdiomInstance::generate(IdiomKind::CountMatches, &mut pool, 0.0, &mut rng);
+        let inst = IdiomInstance::generate(IdiomKind::CountMatches, &mut pool, 0.0, &mut rng);
         let src = format!("class W {{\n{}}}\n", method("count", &inst, &h));
         let ast = pigeon_java::parse(&src).unwrap();
         let text = pigeon_ast::sexp(&ast);

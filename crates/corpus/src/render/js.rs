@@ -85,9 +85,7 @@ fn body(inst: &IdiomInstance, h: &Helpers, out: &mut String) {
         IdiomKind::IndexLoop => {
             let (i, coll, el, s) = (n("index"), n("collection"), n("element"), n("size"));
             out.push_str(&format!("  var {s} = {coll}.length;\n"));
-            out.push_str(&format!(
-                "  for (var {i} = 0; {i} < {s}; {i}++) {{\n"
-            ));
+            out.push_str(&format!("  for (var {i} = 0; {i} < {s}; {i}++) {{\n"));
             out.push_str(&format!("    var {el} = {coll}[{i}];\n"));
             out.push_str(&format!("    {}({el});\n  }}\n", h.consume));
         }

@@ -158,9 +158,8 @@ mod tests {
             }
             let inst = IdiomInstance::generate(kind, &mut pool, 0.0, &mut rng);
             let src = function("f", &inst, &h);
-            pigeon_python::parse(&src).unwrap_or_else(|e| {
-                panic!("{kind:?} rendered unparseable Python: {e}\n{src}")
-            });
+            pigeon_python::parse(&src)
+                .unwrap_or_else(|e| panic!("{kind:?} rendered unparseable Python: {e}\n{src}"));
         }
     }
 

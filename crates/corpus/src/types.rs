@@ -76,7 +76,11 @@ pub const TYPE_SPECS: &[TypeSpec] = &[
         surface: "Connection",
         init: "driver.connect($P)",
         uses: &["$V.prepareStatement(query);", "$V.commit();"],
-        deps: &[("jdbcUrl", "String"), ("driver", "Driver"), ("query", "String")],
+        deps: &[
+            ("jdbcUrl", "String"),
+            ("driver", "Driver"),
+            ("query", "String"),
+        ],
         role: Role::Connection,
         weight: 7,
     },
@@ -247,8 +251,10 @@ mod tests {
             .collect();
         assert_eq!(connections.len(), 2);
         assert_ne!(connections[0].fqn, connections[1].fqn);
-        let documents: Vec<_> =
-            TYPE_SPECS.iter().filter(|s| s.surface == "Document").collect();
+        let documents: Vec<_> = TYPE_SPECS
+            .iter()
+            .filter(|s| s.surface == "Document")
+            .collect();
         assert_eq!(documents.len(), 2);
     }
 
@@ -281,7 +287,11 @@ mod tests {
     fn every_use_mentions_the_variable() {
         for spec in TYPE_SPECS {
             for u in spec.uses {
-                assert!(u.contains("$V"), "{}: use `{u}` ignores the variable", spec.fqn);
+                assert!(
+                    u.contains("$V"),
+                    "{}: use `{u}` ignores the variable",
+                    spec.fqn
+                );
             }
         }
     }

@@ -5,15 +5,15 @@ use pigeon_corpus::{generate, generate_java_types, CorpusConfig, Language};
 use proptest::prelude::*;
 
 fn config_strategy() -> impl Strategy<Value = CorpusConfig> {
-    (1usize..8, 1usize..4, 0.0f64..0.4, any::<u64>()).prop_map(
-        |(files, max_fns, noise, seed)| CorpusConfig {
+    (1usize..8, 1usize..4, 0.0f64..0.4, any::<u64>()).prop_map(|(files, max_fns, noise, seed)| {
+        CorpusConfig {
             files,
             min_functions: 1,
             max_functions: max_fns,
             name_noise: noise,
             seed,
-        },
-    )
+        }
+    })
 }
 
 proptest! {
@@ -73,7 +73,6 @@ proptest! {
 /// local re-implementation to keep this crate independent of pigeon-eval.
 fn pigeon_eval_free_find(ast: &pigeon_ast::Ast, var: &str) -> bool {
     ast.leaves().iter().any(|&l| {
-        ast.kind(l).as_str() == "NameVar"
-            && ast.value(l).is_some_and(|s| s.as_str() == var)
+        ast.kind(l).as_str() == "NameVar" && ast.value(l).is_some_and(|s| s.as_str() == var)
     })
 }

@@ -37,9 +37,7 @@ impl CrfModel {
         // Most-constrained-first: nodes with more adjacent factors have
         // sharper scores and should commit earlier.
         let mut unknowns = inst.unknown_nodes();
-        unknowns.sort_by_key(|&u| {
-            std::cmp::Reverse(adj[u].pairwise.len() + adj[u].unary.len())
-        });
+        unknowns.sort_by_key(|&u| std::cmp::Reverse(adj[u].pairwise.len() + adj[u].unary.len()));
 
         let mut beam: Vec<(Vec<u32>, f32)> = vec![(base, 0.0)];
         for &u in &unknowns {

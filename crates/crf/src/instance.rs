@@ -92,7 +92,10 @@ impl Instance {
     /// Panics if either index is out of range or `a == b` (use a unary
     /// factor for self-relations).
     pub fn add_pair(&mut self, a: usize, b: usize, path: u32) {
-        assert!(a < self.nodes.len() && b < self.nodes.len(), "node out of range");
+        assert!(
+            a < self.nodes.len() && b < self.nodes.len(),
+            "node out of range"
+        );
         assert_ne!(a, b, "self-relations are unary factors");
         self.pairwise.push(PairFactor { a, b, path });
     }

@@ -55,11 +55,7 @@ impl CrfModel {
 
     /// A small tie-break prior favouring frequent labels.
     fn prior(&self, label: u32) -> f32 {
-        let c = self
-            .label_counts
-            .get(label as usize)
-            .copied()
-            .unwrap_or(0);
+        let c = self.label_counts.get(label as usize).copied().unwrap_or(0);
         1e-3 * (1.0 + f32::ln(1.0 + c as f32))
     }
 
@@ -258,7 +254,11 @@ mod tests {
         let m = toy_model();
         let mut inst = Instance::new(vec![Node::unknown(1), Node::known(2)]);
         inst.add_pair(0, 1, 0);
-        assert_eq!(m.predict(&inst)[0], 1, "label 1 links to known 2 via path 0");
+        assert_eq!(
+            m.predict(&inst)[0],
+            1,
+            "label 1 links to known 2 via path 0"
+        );
     }
 
     #[test]
@@ -279,19 +279,13 @@ mod tests {
     #[test]
     fn icm_never_decreases_the_objective() {
         let m = toy_model();
-        let mut inst = Instance::new(vec![
-            Node::unknown(1),
-            Node::unknown(2),
-            Node::known(2),
-        ]);
+        let mut inst = Instance::new(vec![Node::unknown(1), Node::unknown(2), Node::known(2)]);
         inst.add_pair(0, 2, 0);
         inst.add_pair(0, 1, 0);
         inst.add_unary(1, 5);
         let init: Vec<u32> = inst.nodes.iter().map(|n| n.label).collect();
         let map = m.predict(&inst);
-        assert!(
-            m.assignment_score(&inst, &map) >= m.assignment_score(&inst, &init) - 1e-6
-        );
+        assert!(m.assignment_score(&inst, &map) >= m.assignment_score(&inst, &init) - 1e-6);
     }
 
     #[test]

@@ -14,7 +14,7 @@ type UnaryEntry = (u32, u32, f32);
 type CandidateEntry = (u32, u32, u8, Vec<(u32, u32)>);
 
 /// The on-disk form of a [`CrfModel`].
-#[derive(Debug, Serialize, Deserialize)]
+#[derive(Debug)]
 struct ModelFile {
     pair_weights: Vec<PairEntry>,
     unary_weights: Vec<UnaryEntry>,
@@ -23,6 +23,45 @@ struct ModelFile {
     global_candidates: Vec<u32>,
     max_candidates: usize,
     max_passes: usize,
+}
+
+// Hand-written (the vendored serde shim has no derive macro).
+impl Serialize for ModelFile {
+    fn to_value(&self) -> serde_json::Value {
+        let mut map = serde_json::Map::new();
+        map.insert("pair_weights".into(), self.pair_weights.to_value());
+        map.insert("unary_weights".into(), self.unary_weights.to_value());
+        map.insert("label_counts".into(), self.label_counts.to_value());
+        map.insert("candidates".into(), self.candidates.to_value());
+        map.insert(
+            "global_candidates".into(),
+            self.global_candidates.to_value(),
+        );
+        map.insert("max_candidates".into(), self.max_candidates.to_value());
+        map.insert("max_passes".into(), self.max_passes.to_value());
+        serde_json::Value::Object(map)
+    }
+}
+
+impl Deserialize for ModelFile {
+    fn from_value(value: &serde_json::Value) -> Result<Self, serde::Error> {
+        fn field<T: Deserialize>(value: &serde_json::Value, key: &str) -> Result<T, serde::Error> {
+            T::from_value(
+                value
+                    .get(key)
+                    .ok_or_else(|| serde::Error::custom(format!("missing field `{key}`")))?,
+            )
+        }
+        Ok(ModelFile {
+            pair_weights: field(value, "pair_weights")?,
+            unary_weights: field(value, "unary_weights")?,
+            label_counts: field(value, "label_counts")?,
+            candidates: field(value, "candidates")?,
+            global_candidates: field(value, "global_candidates")?,
+            max_candidates: field(value, "max_candidates")?,
+            max_passes: field(value, "max_passes")?,
+        })
+    }
 }
 
 impl CrfModel {
@@ -107,10 +146,8 @@ mod tests {
         let instances: Vec<Instance> = (0..150)
             .map(|_| {
                 let path = rng.gen_range(0..8u32);
-                let mut inst = Instance::new(vec![
-                    Node::unknown(path % 4),
-                    Node::known(4 + path % 2),
-                ]);
+                let mut inst =
+                    Instance::new(vec![Node::unknown(path % 4), Node::known(4 + path % 2)]);
                 inst.add_pair(0, 1, path);
                 inst.add_unary(0, 100 + path);
                 inst

@@ -202,20 +202,14 @@ mod tests {
     /// A learnable toy world: the label of an unknown node is a function
     /// of the path connecting it to a known node — path p links unknowns
     /// of label (p mod L) to knowns of label (p mod 3).
-    fn toy_world(
-        n_instances: usize,
-        n_paths: u32,
-        n_labels: u32,
-        seed: u64,
-    ) -> Vec<Instance> {
+    fn toy_world(n_instances: usize, n_paths: u32, n_labels: u32, seed: u64) -> Vec<Instance> {
         let mut rng = SmallRng::seed_from_u64(seed);
         (0..n_instances)
             .map(|_| {
                 let path = rng.gen_range(0..n_paths);
                 let gold = path % n_labels;
                 let known = n_labels + (path % 3);
-                let mut inst =
-                    Instance::new(vec![Node::unknown(gold), Node::known(known)]);
+                let mut inst = Instance::new(vec![Node::unknown(gold), Node::known(known)]);
                 inst.add_pair(0, 1, path);
                 inst
             })
@@ -290,11 +284,8 @@ mod tests {
                 .map(|_| {
                     let a = rng.gen_range(0..2u32);
                     let b = a + 2;
-                    let mut inst = Instance::new(vec![
-                        Node::unknown(a),
-                        Node::unknown(b),
-                        Node::known(4 + a),
-                    ]);
+                    let mut inst =
+                        Instance::new(vec![Node::unknown(a), Node::unknown(b), Node::known(4 + a)]);
                     inst.add_pair(0, 2, a);
                     inst.add_pair(0, 1, 10);
                     inst

@@ -51,12 +51,60 @@ impl std::error::Error for LexError {}
 /// (`var`, `get`, `set`) are deliberately absent: they remain valid
 /// identifiers, as in the language.
 pub const KEYWORDS: &[&str] = &[
-    "using", "namespace", "public", "private", "protected", "internal", "static", "readonly",
-    "sealed", "abstract", "override", "virtual", "class", "interface", "struct", "void",
-    "int", "long", "short", "float", "double", "decimal", "bool", "string", "char", "byte",
-    "object", "new", "if", "else", "while", "do", "for", "foreach", "in", "return", "break",
-    "continue", "this", "base", "null", "true", "false", "try", "catch", "finally", "throw",
-    "switch", "case", "default", "is", "as", "out", "ref",
+    "using",
+    "namespace",
+    "public",
+    "private",
+    "protected",
+    "internal",
+    "static",
+    "readonly",
+    "sealed",
+    "abstract",
+    "override",
+    "virtual",
+    "class",
+    "interface",
+    "struct",
+    "void",
+    "int",
+    "long",
+    "short",
+    "float",
+    "double",
+    "decimal",
+    "bool",
+    "string",
+    "char",
+    "byte",
+    "object",
+    "new",
+    "if",
+    "else",
+    "while",
+    "do",
+    "for",
+    "foreach",
+    "in",
+    "return",
+    "break",
+    "continue",
+    "this",
+    "base",
+    "null",
+    "true",
+    "false",
+    "try",
+    "catch",
+    "finally",
+    "throw",
+    "switch",
+    "case",
+    "default",
+    "is",
+    "as",
+    "out",
+    "ref",
 ];
 
 /// Whether `text` is a reserved word.
@@ -74,8 +122,8 @@ const PUNCT2: &[&str] = &[
     "==", "!=", "<=", ">=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=", "%=", "=>", "??",
 ];
 const PUNCT1: &[char] = &[
-    '(', ')', '{', '}', '[', ']', ';', ',', '.', '=', '<', '>', '+', '-', '*', '/', '%', '!',
-    '?', ':', '&', '|', '^', '~', '@',
+    '(', ')', '{', '}', '[', ']', ';', ',', '.', '=', '<', '>', '+', '-', '*', '/', '%', '!', '?',
+    ':', '&', '|', '^', '~', '@',
 ];
 
 /// Tokenizes `source`, skipping whitespace and comments.
@@ -142,9 +190,8 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
             let start = i;
             while i < bytes.len() {
                 let ch = bytes[i] as char;
-                let decimal_point = ch == '.'
-                    && i + 1 < bytes.len()
-                    && (bytes[i + 1] as char).is_ascii_digit();
+                let decimal_point =
+                    ch == '.' && i + 1 < bytes.len() && (bytes[i + 1] as char).is_ascii_digit();
                 if ch.is_ascii_alphanumeric() || ch == '_' || decimal_point {
                     i += 1;
                 } else {
@@ -251,10 +298,7 @@ mod tests {
 
     #[test]
     fn basic_line() {
-        assert_eq!(
-            texts("var count = 0;"),
-            ["var", "count", "=", "0", ";"]
-        );
+        assert_eq!(texts("var count = 0;"), ["var", "count", "=", "0", ";"]);
     }
 
     #[test]

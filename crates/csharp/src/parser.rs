@@ -191,8 +191,16 @@ impl Parser {
             if t.kind == TokenKind::Ident
                 && matches!(
                     t.text.as_str(),
-                    "public" | "private" | "protected" | "internal" | "static" | "readonly"
-                        | "sealed" | "abstract" | "override" | "virtual"
+                    "public"
+                        | "private"
+                        | "protected"
+                        | "internal"
+                        | "static"
+                        | "readonly"
+                        | "sealed"
+                        | "abstract"
+                        | "override"
+                        | "virtual"
                 )
             {
                 let m = self.bump().text;
@@ -462,7 +470,12 @@ impl Parser {
             let body = self.statement()?;
             return Ok(TreeNode::inner(
                 "ForEachStatement",
-                vec![ty, TreeNode::leaf("Identifier", name.as_str()), iterable, body],
+                vec![
+                    ty,
+                    TreeNode::leaf("Identifier", name.as_str()),
+                    iterable,
+                    body,
+                ],
             ));
         }
         if self.at("return") {
@@ -693,10 +706,7 @@ impl Parser {
                 Some(op) => {
                     self.bump();
                     let rhs = self.binary(tier + 1)?;
-                    lhs = TreeNode::inner(
-                        format!("BinaryExpression{op}").as_str(),
-                        vec![lhs, rhs],
-                    );
+                    lhs = TreeNode::inner(format!("BinaryExpression{op}").as_str(), vec![lhs, rhs]);
                 }
                 None => return Ok(lhs),
             }
@@ -755,10 +765,7 @@ impl Parser {
                 );
             } else if self.at("++") || self.at("--") {
                 let op = self.bump().text;
-                e = TreeNode::inner(
-                    format!("PostfixUnaryExpression{op}").as_str(),
-                    vec![e],
-                );
+                e = TreeNode::inner(format!("PostfixUnaryExpression{op}").as_str(), vec![e]);
             } else {
                 return Ok(e);
             }
@@ -808,10 +815,7 @@ impl Parser {
                         self.bump();
                         let size = self.expression()?;
                         self.expect("]")?;
-                        return Ok(TreeNode::inner(
-                            "ArrayCreationExpression",
-                            vec![ty, size],
-                        ));
+                        return Ok(TreeNode::inner("ArrayCreationExpression", vec![ty, size]));
                     }
                     let args = self.argument_list()?;
                     Ok(TreeNode::inner("ObjectCreationExpression", vec![ty, args]))
@@ -821,8 +825,7 @@ impl Parser {
                 }
                 _ => {
                     // Simple lambda: `x => expr`.
-                    if self.peek_at(1).text == "=>" && self.peek_at(1).kind == TokenKind::Punct
-                    {
+                    if self.peek_at(1).text == "=>" && self.peek_at(1).kind == TokenKind::Punct {
                         let p = self.ident()?;
                         self.expect("=>")?;
                         let body = if self.at("{") {
@@ -933,107 +936,146 @@ mod tests {
     fn namespaces_and_usings() {
         let text = s("using System; namespace App.Core { class A { } }");
         assert!(text.contains("(UsingDirective (Name System))"));
-        assert!(text.contains("(NamespaceDeclaration (Name App.Core) (ClassDeclaration \
-                               (Identifier A)))"));
+        assert!(text.contains(
+            "(NamespaceDeclaration (Name App.Core) (ClassDeclaration \
+                               (Identifier A)))"
+        ));
     }
 
     #[test]
     fn var_declarations() {
         let text = s("class A { void F() { var items = GetItems(); } }");
-        assert!(text.contains("(VariableDeclaration (TypeName var) (VariableDeclarator \
-                               (Identifier items)"));
+        assert!(text.contains(
+            "(VariableDeclaration (TypeName var) (VariableDeclarator \
+                               (Identifier items)"
+        ));
     }
 
     #[test]
     fn foreach_loop() {
-        let text = s("class A { void F(List<int> values) { foreach (var v in values) { \
-                      Use(v); } } }");
-        assert!(text.contains(
-            "(ForEachStatement (TypeName var) (Identifier v) (IdentifierName values)"
-        ));
+        let text = s(
+            "class A { void F(List<int> values) { foreach (var v in values) { \
+                      Use(v); } } }",
+        );
+        assert!(text
+            .contains("(ForEachStatement (TypeName var) (Identifier v) (IdentifierName values)"));
     }
 
     #[test]
     fn properties_with_accessors() {
         let text = s("class A { public int Count { get; set; } }");
-        assert!(text.contains("(PropertyDeclaration (Modifier public) (PredefinedType int) \
+        assert!(text.contains(
+            "(PropertyDeclaration (Modifier public) (PredefinedType int) \
                                (Identifier Count) (AccessorList (GetAccessor) \
-                               (SetAccessor)))"));
+                               (SetAccessor)))"
+        ));
     }
 
     #[test]
     fn while_done_loop_matches_paper_shape() {
-        let text = s("class A { void F() { bool done = false; while (!done) { if (Check()) \
-                      { done = true; } } } }");
-        assert!(text.contains("(WhileStatement (PrefixUnaryExpression! (IdentifierName \
-                               done))"));
-        assert!(text.contains("(AssignmentExpression= (IdentifierName done) (TrueLiteral \
-                               true))"));
+        let text = s(
+            "class A { void F() { bool done = false; while (!done) { if (Check()) \
+                      { done = true; } } } }",
+        );
+        assert!(text.contains(
+            "(WhileStatement (PrefixUnaryExpression! (IdentifierName \
+                               done))"
+        ));
+        assert!(text.contains(
+            "(AssignmentExpression= (IdentifierName done) (TrueLiteral \
+                               true))"
+        ));
     }
 
     #[test]
     fn lambdas() {
         let text = s("class A { void F() { var f = x => x + 1; var g = (a, b) => a; } }");
-        assert!(text.contains("(SimpleLambdaExpression (Parameter (Identifier x)) \
-                               (BinaryExpression+ (IdentifierName x) (NumericLiteral 1)))"));
-        assert!(text.contains("(ParenthesizedLambdaExpression (Parameter (Identifier a)) \
-                               (Parameter (Identifier b)) (IdentifierName a))"));
+        assert!(text.contains(
+            "(SimpleLambdaExpression (Parameter (Identifier x)) \
+                               (BinaryExpression+ (IdentifierName x) (NumericLiteral 1)))"
+        ));
+        assert!(text.contains(
+            "(ParenthesizedLambdaExpression (Parameter (Identifier a)) \
+                               (Parameter (Identifier b)) (IdentifierName a))"
+        ));
     }
 
     #[test]
     fn generics_nullable_and_arrays() {
         let text = s("class A { Dictionary<string, List<int>> map; int? maybe; int[] xs; }");
-        assert!(text.contains("(GenericName (TypeName Dictionary) (TypeArgumentList \
+        assert!(text.contains(
+            "(GenericName (TypeName Dictionary) (TypeArgumentList \
                                (PredefinedType string) (GenericName (TypeName List) \
-                               (TypeArgumentList (PredefinedType int)))))"));
+                               (TypeArgumentList (PredefinedType int)))))"
+        ));
         assert!(text.contains("(NullableType (PredefinedType int))"));
         assert!(text.contains("(ArrayType (PredefinedType int))"));
     }
 
     #[test]
     fn try_catch_throw() {
-        let text = s("class A { void F() { try { G(); } catch (IOException e) { throw \
-                      new AppException(e); } } }");
+        let text = s(
+            "class A { void F() { try { G(); } catch (IOException e) { throw \
+                      new AppException(e); } } }",
+        );
         assert!(text.contains("(CatchClause (TypeName IOException) (Identifier e)"));
-        assert!(text.contains("(ThrowStatement (ObjectCreationExpression (TypeName \
+        assert!(text.contains(
+            "(ThrowStatement (ObjectCreationExpression (TypeName \
                                AppException) (ArgumentList (Argument (IdentifierName \
-                               e)))))"));
+                               e)))))"
+        ));
     }
 
     #[test]
     fn expression_bodied_method() {
         let text = s("class A { int Twice(int x) => x * 2; }");
-        assert!(text.contains("(ArrowExpressionClause (BinaryExpression* (IdentifierName \
-                               x) (NumericLiteral 2)))"));
+        assert!(text.contains(
+            "(ArrowExpressionClause (BinaryExpression* (IdentifierName \
+                               x) (NumericLiteral 2)))"
+        ));
     }
 
     #[test]
     fn is_as_and_coalesce() {
-        let text = s("class A { void F(object o) { var s = o as string ?? Fallback(); \
-                      if (o is string) { } } }");
-        assert!(text.contains("(CoalesceExpression (AsExpression (IdentifierName o) \
-                               (PredefinedType string))"));
+        let text = s(
+            "class A { void F(object o) { var s = o as string ?? Fallback(); \
+                      if (o is string) { } } }",
+        );
+        assert!(text.contains(
+            "(CoalesceExpression (AsExpression (IdentifierName o) \
+                               (PredefinedType string))"
+        ));
         assert!(text.contains("(IsExpression (IdentifierName o) (PredefinedType string))"));
     }
 
     #[test]
     fn classic_for_and_element_access() {
-        let text = s("class A { int Sum(int[] xs) { int total = 0; for (int i = 0; i < 10; \
-                      i++) { total += xs[i]; } return total; } }");
-        assert!(text.contains("(ForStatement (VariableDeclaration (PredefinedType int) \
+        let text = s(
+            "class A { int Sum(int[] xs) { int total = 0; for (int i = 0; i < 10; \
+                      i++) { total += xs[i]; } return total; } }",
+        );
+        assert!(text.contains(
+            "(ForStatement (VariableDeclaration (PredefinedType int) \
                                (VariableDeclarator (Identifier i) (EqualsValueClause \
-                               (NumericLiteral 0))))"));
-        assert!(text.contains("(ElementAccessExpression (IdentifierName xs) \
-                               (BracketedArgumentList (IdentifierName i)))"));
+                               (NumericLiteral 0))))"
+        ));
+        assert!(text.contains(
+            "(ElementAccessExpression (IdentifierName xs) \
+                               (BracketedArgumentList (IdentifierName i)))"
+        ));
     }
 
     #[test]
     fn switch_statement() {
-        let text = s("class A { int F(int x) { switch (x) { case 1: return 1; default: \
-                      return 0; } } }");
-        assert!(text.contains("(SwitchStatement (IdentifierName x) (CaseSwitchLabel \
+        let text = s(
+            "class A { int F(int x) { switch (x) { case 1: return 1; default: \
+                      return 0; } } }",
+        );
+        assert!(text.contains(
+            "(SwitchStatement (IdentifierName x) (CaseSwitchLabel \
                                (NumericLiteral 1) (ReturnStatement (NumericLiteral 1))) \
-                               (DefaultSwitchLabel (ReturnStatement (NumericLiteral 0))))"));
+                               (DefaultSwitchLabel (ReturnStatement (NumericLiteral 0))))"
+        ));
     }
 
     #[test]
@@ -1045,10 +1087,9 @@ mod tests {
 
     #[test]
     fn invariants_hold() {
-        let ast = parse(
-            "namespace N { class Counter { int count; public void Add() { count++; } } }",
-        )
-        .unwrap();
+        let ast =
+            parse("namespace N { class Counter { int count; public void Add() { count++; } } }")
+                .unwrap();
         ast.check_invariants().unwrap();
     }
 }

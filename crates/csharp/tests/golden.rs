@@ -42,10 +42,14 @@ namespace App.Services {
     ast.check_invariants().unwrap();
     let text = pigeon_ast::sexp(&ast);
     assert!(text.contains("(NamespaceDeclaration (Name App.Services)"));
-    assert!(text.contains("(PropertyDeclaration (Modifier public) (PredefinedType int) \
-                           (Identifier Count) (AccessorList (GetAccessor) (SetAccessor)))"));
-    assert!(text.contains("(ThrowStatement (ObjectCreationExpression (TypeName \
-                           ArgumentException)"));
+    assert!(text.contains(
+        "(PropertyDeclaration (Modifier public) (PredefinedType int) \
+                           (Identifier Count) (AccessorList (GetAccessor) (SetAccessor)))"
+    ));
+    assert!(text.contains(
+        "(ThrowStatement (ObjectCreationExpression (TypeName \
+                           ArgumentException)"
+    ));
     assert_eq!(ast.leaves_with_value(Symbol::new("pending")).len(), 3);
     assert_eq!(ast.leaves_with_value(Symbol::new("order")).len(), 7);
     let methods = ast
@@ -71,8 +75,10 @@ fn nullable_coalesce_cast_combination() {
                raw as string ?? fallback; int? n = null; return s; } }";
     let ast = pigeon_csharp::parse(src).unwrap();
     let text = pigeon_ast::sexp(&ast);
-    assert!(text.contains("(CoalesceExpression (AsExpression (IdentifierName raw) \
-                           (PredefinedType string)) (IdentifierName fallback))"));
+    assert!(text.contains(
+        "(CoalesceExpression (AsExpression (IdentifierName raw) \
+                           (PredefinedType string)) (IdentifierName fallback))"
+    ));
     assert!(text.contains("(NullableType (PredefinedType int))"));
 }
 
@@ -83,6 +89,8 @@ fn do_while_and_switch() {
     let ast = pigeon_csharp::parse(src).unwrap();
     let text = pigeon_ast::sexp(&ast);
     assert!(text.contains("(DoStatement (Block (ExpressionStatement (PostfixUnaryExpression--"));
-    assert!(text.contains("(CaseSwitchLabel (NumericLiteral 0) (ReturnStatement \
-                           (NumericLiteral 0)))"));
+    assert!(text.contains(
+        "(CaseSwitchLabel (NumericLiteral 0) (ReturnStatement \
+                           (NumericLiteral 0)))"
+    ));
 }

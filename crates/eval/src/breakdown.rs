@@ -64,22 +64,33 @@ pub fn role_breakdown(exp: &NameExperiment) -> Vec<RoleScore> {
 
     let mut train_instances = Vec::new();
     for doc in &train_corpus.docs {
-        let ast = exp.language.parse(&doc.source).expect("generated docs parse");
+        let ast = exp
+            .language
+            .parse(&doc.source)
+            .expect("generated docs parse");
         let features =
             extract_edge_features(exp.language, &ast, exp.representation, &exp.extraction);
-        let graph =
-            build_name_graph(exp.language, &ast, exp.target, &features, &mut vocabs, true);
+        let graph = build_name_graph(exp.language, &ast, exp.target, &features, &mut vocabs, true);
         train_instances.push(graph.instance);
     }
     let model = train_crf(&train_instances, vocabs.labels.len() as u32, &exp.crf);
 
     let mut by_role: HashMap<Role, RoleScore> = HashMap::new();
     for doc in &test_corpus.docs {
-        let ast = exp.language.parse(&doc.source).expect("generated docs parse");
+        let ast = exp
+            .language
+            .parse(&doc.source)
+            .expect("generated docs parse");
         let features =
             extract_edge_features(exp.language, &ast, exp.representation, &exp.extraction);
-        let graph =
-            build_name_graph(exp.language, &ast, exp.target, &features, &mut vocabs, false);
+        let graph = build_name_graph(
+            exp.language,
+            &ast,
+            exp.target,
+            &features,
+            &mut vocabs,
+            false,
+        );
         let predicted = model.predict(&graph.instance);
         for &node in &graph.unknown_nodes {
             let gold = &graph.node_names[node];

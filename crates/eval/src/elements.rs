@@ -140,9 +140,7 @@ pub fn classify_elements(language: Language, ast: &Ast) -> Vec<Element> {
             });
         }
         if !residual.is_empty() {
-            let is_method = residual
-                .iter()
-                .any(|&l| is_method_decl(language, ast, l));
+            let is_method = residual.iter().any(|&l| is_method_decl(language, ast, l));
             out.push(Element {
                 name: name.to_owned(),
                 occurrences: residual,

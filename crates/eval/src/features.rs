@@ -98,23 +98,58 @@ impl Representation {
 fn statement_kinds(language: Language) -> Vec<Kind> {
     let names: &[&str] = match language {
         Language::JavaScript => &[
-            "Toplevel", "Block", "If", "While", "Do", "For", "ForIn", "ForOf", "Switch",
-            "Case", "Default", "Try", "Catch", "Finally", "Defun", "Function", "Arrow",
+            "Toplevel", "Block", "If", "While", "Do", "For", "ForIn", "ForOf", "Switch", "Case",
+            "Default", "Try", "Catch", "Finally", "Defun", "Function", "Arrow",
         ],
         Language::Java => &[
-            "CompilationUnit", "ClassDecl", "InterfaceDecl", "Block", "If", "While", "Do",
-            "For", "ForEach", "Switch", "Case", "Default", "Try", "Catch", "Finally",
-            "MethodDecl", "ConstructorDecl",
+            "CompilationUnit",
+            "ClassDecl",
+            "InterfaceDecl",
+            "Block",
+            "If",
+            "While",
+            "Do",
+            "For",
+            "ForEach",
+            "Switch",
+            "Case",
+            "Default",
+            "Try",
+            "Catch",
+            "Finally",
+            "MethodDecl",
+            "ConstructorDecl",
         ],
         Language::Python => &[
-            "Module", "FunctionDef", "ClassDef", "If", "While", "For", "With", "Try",
-            "ExceptHandler", "Finally", "Body", "OrElse",
+            "Module",
+            "FunctionDef",
+            "ClassDef",
+            "If",
+            "While",
+            "For",
+            "With",
+            "Try",
+            "ExceptHandler",
+            "Finally",
+            "Body",
+            "OrElse",
         ],
         Language::CSharp => &[
-            "CompilationUnit", "NamespaceDeclaration", "ClassDeclaration", "Block",
-            "IfStatement", "WhileStatement", "DoStatement", "ForStatement",
-            "ForEachStatement", "SwitchStatement", "TryStatement", "CatchClause",
-            "FinallyClause", "MethodDeclaration", "ConstructorDeclaration",
+            "CompilationUnit",
+            "NamespaceDeclaration",
+            "ClassDeclaration",
+            "Block",
+            "IfStatement",
+            "WhileStatement",
+            "DoStatement",
+            "ForStatement",
+            "ForEachStatement",
+            "SwitchStatement",
+            "TryStatement",
+            "CatchClause",
+            "FinallyClause",
+            "MethodDeclaration",
+            "ConstructorDeclaration",
         ],
     };
     names.iter().map(|n| Kind::new(n)).collect()
@@ -128,12 +163,9 @@ pub fn extract_edge_features(
     cfg: &ExtractionConfig,
 ) -> Vec<EdgeFeature> {
     match rep {
-        Representation::AstPaths(Abstraction::NoPath) => extract_edge_features(
-            language,
-            ast,
-            Representation::NoPaths,
-            cfg,
-        ),
+        Representation::AstPaths(Abstraction::NoPath) => {
+            extract_edge_features(language, ast, Representation::NoPaths, cfg)
+        }
         Representation::AstPaths(abstraction) => leaf_pair_contexts(ast, cfg)
             .into_iter()
             .map(|c| EdgeFeature {
@@ -257,12 +289,8 @@ mod tests {
     #[test]
     fn no_paths_collapses_features() {
         let ast = js_ast("var a = b + c;");
-        let feats = extract_edge_features(
-            Language::JavaScript,
-            &ast,
-            Representation::NoPaths,
-            &cfg(),
-        );
+        let feats =
+            extract_edge_features(Language::JavaScript, &ast, Representation::NoPaths, &cfg());
         assert!(!feats.is_empty());
         assert!(feats.iter().all(|e| e.feature == "rel"));
     }
@@ -318,10 +346,7 @@ mod tests {
 
     #[test]
     fn representation_names_are_informative() {
-        assert_eq!(
-            Representation::NGram { window: 3 }.name(),
-            "4-grams"
-        );
+        assert_eq!(Representation::NGram { window: 3 }.name(), "4-grams");
         assert!(Representation::AstPaths(Abstraction::Full)
             .name()
             .contains("full"));

@@ -115,8 +115,7 @@ pub fn build_name_graph(
 
     let mut instance = Instance::new(nodes);
     for ef in features {
-        let (Some(&a), Some(&b)) = (leaf_to_element.get(&ef.a), leaf_to_element.get(&ef.b))
-        else {
+        let (Some(&a), Some(&b)) = (leaf_to_element.get(&ef.a), leaf_to_element.get(&ef.b)) else {
             continue;
         };
         let Some(feature) = vocabs.feature_id(&ef.feature, train) else {
@@ -346,11 +345,10 @@ mod tests {
         assert_eq!(g.unknown_nodes.len(), 1);
         let type_node = g.unknown_nodes[0];
         assert_eq!(g.node_names[type_node], "java.lang.String");
-        assert!(g
-            .instance
-            .pairwise
-            .iter()
-            .any(|p| p.b == type_node), "type node must receive factors");
+        assert!(
+            g.instance.pairwise.iter().any(|p| p.b == type_node),
+            "type node must receive factors"
+        );
     }
 
     #[test]

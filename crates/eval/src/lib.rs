@@ -30,6 +30,7 @@ mod elements;
 mod features;
 mod graph;
 mod metrics;
+mod parallel;
 mod sweeps;
 mod tasks;
 mod tune;
@@ -37,16 +38,19 @@ mod w2v;
 
 pub use breakdown::{role_breakdown, RoleScore};
 pub use elements::{classify_elements, find_initializer, Element, ElementClass};
-pub use features::{extract_edge_features, extract_node_features, EdgeFeature, NodeFeature, Representation};
+pub use features::{
+    extract_edge_features, extract_node_features, EdgeFeature, NodeFeature, Representation,
+};
 pub use graph::{add_semi_paths, build_name_graph, build_type_graph, DocGraph, Vocabs};
 pub use metrics::{exact_match, normalize_name, subtoken_prf, subtokens, Scoreboard};
+pub use parallel::{effective_jobs, parallel_map_indexed};
 pub use sweeps::{
-    abstraction_sweep, downsample_sweep, length_width_sweep, AbstractionPoint,
-    DownsamplePoint, LengthWidthCell,
+    abstraction_sweep, downsample_sweep, length_width_sweep, AbstractionPoint, DownsamplePoint,
+    LengthWidthCell,
 };
 pub use tasks::{
-    naive_string_type_accuracy, rule_based_java_vars, run_name_experiment,
-    run_type_experiment, NameExperiment, TaskOutcome, TypeExperiment,
+    naive_string_type_accuracy, rule_based_java_vars, run_name_experiment, run_type_experiment,
+    NameExperiment, TaskOutcome, TypeExperiment,
 };
 pub use tune::{tune_and_run, tune_parameters, TuneResult};
 pub use w2v::{run_w2v_experiment, train_w2v, W2vBundle, W2vContext, W2vExperiment};

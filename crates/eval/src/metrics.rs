@@ -49,10 +49,9 @@ pub fn subtokens(name: &str) -> Vec<String> {
             prev = None;
             continue;
         }
-        let hump = c.is_ascii_uppercase()
-            && prev.is_some_and(|p| p.is_ascii_lowercase());
-        let digit_boundary = !cur.is_empty()
-            && prev.is_some_and(|p| p.is_ascii_digit() != c.is_ascii_digit());
+        let hump = c.is_ascii_uppercase() && prev.is_some_and(|p| p.is_ascii_lowercase());
+        let digit_boundary =
+            !cur.is_empty() && prev.is_some_and(|p| p.is_ascii_digit() != c.is_ascii_digit());
         if hump || digit_boundary {
             out.push(std::mem::take(&mut cur));
         }

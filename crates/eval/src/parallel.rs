@@ -1,0 +1,114 @@
+//! A dependency-free scoped worker pool for the per-source stages of the
+//! pipeline (parse, extract), which dominate wall-clock time and are
+//! embarrassingly parallel.
+//!
+//! The pool hands out item indices from a shared atomic counter, each
+//! worker collects `(index, result)` pairs into a local buffer, and the
+//! caller receives results **in item order** regardless of which worker
+//! processed what — so a downstream consumer that interns features in
+//! encounter order produces output byte-identical to a serial run.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolves a `jobs` knob to a concrete worker count: `0` means "use all
+/// available parallelism", anything else is taken literally.
+pub fn effective_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        jobs
+    }
+}
+
+/// Applies `f` to every item and returns the results in item order.
+///
+/// With `jobs <= 1` (after [`effective_jobs`] resolution) this is a plain
+/// serial map on the calling thread. Otherwise `jobs` scoped threads pull
+/// indices from a shared counter; work-stealing granularity is one item,
+/// so uneven per-item cost balances naturally.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the pool joins every worker).
+pub fn parallel_map_indexed<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let jobs = effective_jobs(jobs).min(items.len().max(1));
+    if jobs <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, r) in handle.join().expect("worker thread panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|r| r.expect("counter visits every index exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_serial_map_in_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for jobs in [0, 1, 2, 4, 7] {
+            let par = parallel_map_indexed(&items, jobs, |_, &x| x * x);
+            assert_eq!(par, serial, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn index_argument_matches_position() {
+        let items = vec!["a", "b", "c", "d", "e"];
+        let out = parallel_map_indexed(&items, 3, |i, s| format!("{i}:{s}"));
+        assert_eq!(out, ["0:a", "1:b", "2:c", "3:d", "4:e"]);
+    }
+
+    #[test]
+    fn more_workers_than_items() {
+        let items = vec![1, 2];
+        assert_eq!(parallel_map_indexed(&items, 16, |_, &x| x + 1), [2, 3]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let items: Vec<u32> = Vec::new();
+        assert!(parallel_map_indexed(&items, 4, |_, &x| x).is_empty());
+    }
+
+    #[test]
+    fn zero_means_available_parallelism() {
+        assert!(effective_jobs(0) >= 1);
+        assert_eq!(effective_jobs(3), 3);
+    }
+}

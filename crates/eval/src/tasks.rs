@@ -5,6 +5,7 @@ use crate::elements::{classify_elements, ElementClass};
 use crate::features::{extract_edge_features, extract_node_features, Representation};
 use crate::graph::{add_semi_paths, build_name_graph, build_type_graph, Vocabs};
 use crate::metrics::Scoreboard;
+use crate::parallel::parallel_map_indexed;
 use pigeon_ast::{Ast, NodeId};
 use pigeon_core::{downsample, Abstraction, ExtractionConfig};
 use pigeon_corpus::{generate, generate_java_types, Corpus, CorpusConfig, Language};
@@ -34,6 +35,10 @@ pub struct NameExperiment {
     pub train_frac: f64,
     /// Candidates reported for top-k accuracy.
     pub top_k: usize,
+    /// Worker threads for per-document parse + extraction; `1` is fully
+    /// serial, `0` uses all available cores. Results are merged in
+    /// document order, so the trained model is identical for any value.
+    pub jobs: usize,
 }
 
 impl NameExperiment {
@@ -61,6 +66,7 @@ impl NameExperiment {
             keep_prob: 1.0,
             train_frac: 0.8,
             top_k: 5,
+            jobs: 1,
         }
     }
 
@@ -131,8 +137,44 @@ fn parse_corpus(corpus: &Corpus) -> Vec<(Ast, &pigeon_corpus::Document)> {
         .collect()
 }
 
+/// Per-document output of the parallel parse + extract stage, produced by
+/// workers and consumed in document order by the (sequential, vocabulary-
+/// interning) graph-build stage.
+struct ExtractedDoc {
+    ast: Ast,
+    features: Vec<crate::features::EdgeFeature>,
+    semis: Option<Vec<crate::features::NodeFeature>>,
+}
+
+/// Parses and extracts every document of `corpus` across `jobs` workers.
+/// Results come back in document order, so downstream vocabulary
+/// interning encounters features in the same order as a serial run.
+fn extract_corpus(corpus: &Corpus, exp: &NameExperiment) -> Vec<ExtractedDoc> {
+    parallel_map_indexed(&corpus.docs, exp.jobs, |_, doc| {
+        let ast = corpus
+            .language
+            .parse(&doc.source)
+            .expect("generated documents parse");
+        let features =
+            extract_edge_features(exp.language, &ast, exp.representation, &exp.extraction);
+        let semis = exp
+            .extraction
+            .semi_paths
+            .then(|| extract_node_features(&ast, exp.representation, &exp.extraction));
+        ExtractedDoc {
+            ast,
+            features,
+            semis,
+        }
+    })
+}
+
 /// Runs a name-prediction experiment end to end: generate → parse →
 /// extract → build graphs → train CRF → score on the held-out split.
+///
+/// Parsing and extraction fan out over `exp.jobs` workers; downsampling
+/// and graph building stay sequential in document order, so the trained
+/// model does not depend on the worker count.
 pub fn run_name_experiment(exp: &NameExperiment) -> TaskOutcome {
     let corpus = generate(exp.language, &exp.corpus);
     let (train_corpus, _, test_corpus) = corpus.split(exp.train_frac, 0.0);
@@ -140,26 +182,23 @@ pub fn run_name_experiment(exp: &NameExperiment) -> TaskOutcome {
     let mut rng = SmallRng::seed_from_u64(exp.corpus.seed ^ 0xD05A);
 
     let mut train_instances: Vec<Instance> = Vec::new();
-    for (ast, _) in parse_corpus(&train_corpus) {
-        let features =
-            extract_edge_features(exp.language, &ast, exp.representation, &exp.extraction);
-        let features = downsample(features, exp.keep_prob, &mut rng);
+    for doc in extract_corpus(&train_corpus, exp) {
+        let features = downsample(doc.features, exp.keep_prob, &mut rng);
         let mut graph = build_name_graph(
             exp.language,
-            &ast,
+            &doc.ast,
             exp.target,
             &features,
             &mut vocabs,
             true,
         );
-        if exp.extraction.semi_paths {
-            let semis = extract_node_features(&ast, exp.representation, &exp.extraction);
+        if let Some(semis) = &doc.semis {
             add_semi_paths(
                 exp.language,
-                &ast,
+                &doc.ast,
                 exp.target,
                 &mut graph,
-                &semis,
+                semis,
                 &mut vocabs,
                 true,
             );
@@ -173,25 +212,22 @@ pub fn run_name_experiment(exp: &NameExperiment) -> TaskOutcome {
     let train_secs = started.elapsed().as_secs_f64();
 
     let mut board = Scoreboard::new();
-    for (ast, _) in parse_corpus(&test_corpus) {
-        let features =
-            extract_edge_features(exp.language, &ast, exp.representation, &exp.extraction);
+    for doc in extract_corpus(&test_corpus, exp) {
         let mut graph = build_name_graph(
             exp.language,
-            &ast,
+            &doc.ast,
             exp.target,
-            &features,
+            &doc.features,
             &mut vocabs,
             false,
         );
-        if exp.extraction.semi_paths {
-            let semis = extract_node_features(&ast, exp.representation, &exp.extraction);
+        if let Some(semis) = &doc.semis {
             add_semi_paths(
                 exp.language,
-                &ast,
+                &doc.ast,
                 exp.target,
                 &mut graph,
-                &semis,
+                semis,
                 &mut vocabs,
                 false,
             );
@@ -338,14 +374,18 @@ pub fn rule_based_java_vars(corpus_cfg: &CorpusConfig, train_frac: f64) -> TaskO
     let (_, _, test_corpus) = corpus.split(train_frac, 0.0);
     let mut board = Scoreboard::new();
     for doc in &test_corpus.docs {
-        let ast = Language::Java.parse(&doc.source).expect("generated docs parse");
+        let ast = Language::Java
+            .parse(&doc.source)
+            .expect("generated docs parse");
         for element in classify_elements(Language::Java, &ast) {
             if element.class != ElementClass::Variable {
                 continue;
             }
-            let decl = element.occurrences.iter().copied().find(|&l| {
-                matches!(ast.kind(l).as_str(), "NameVar" | "NameParam")
-            });
+            let decl = element
+                .occurrences
+                .iter()
+                .copied()
+                .find(|&l| matches!(ast.kind(l).as_str(), "NameVar" | "NameParam"));
             let predicted = decl
                 .map(|l| rule_based_prediction(&ast, l))
                 .unwrap_or_else(|| "value".to_owned());
@@ -468,7 +508,10 @@ mod tests {
         });
         assert!(out.n_test > 30);
         assert!(out.accuracy > 0.25, "accuracy {:.3}", out.accuracy);
-        assert!(out.f1 >= out.accuracy, "subtoken F1 includes partial credit");
+        assert!(
+            out.f1 >= out.accuracy,
+            "subtoken F1 includes partial credit"
+        );
     }
 
     #[test]

@@ -32,11 +32,7 @@ pub struct TuneResult {
 /// # Panics
 ///
 /// Panics if `lengths` or `widths` is empty.
-pub fn tune_parameters(
-    base: &NameExperiment,
-    lengths: &[usize],
-    widths: &[usize],
-) -> TuneResult {
+pub fn tune_parameters(base: &NameExperiment, lengths: &[usize], widths: &[usize]) -> TuneResult {
     assert!(
         !lengths.is_empty() && !widths.is_empty(),
         "the grid needs at least one cell"
@@ -61,9 +57,9 @@ pub fn tune_parameters(
             exp.train_frac = valid_frac;
             // Only the validation prefix participates: shrink the corpus
             // to the original training fraction so test data stays unseen.
-            exp.corpus = exp.corpus.with_files(
-                (base.corpus.files as f64 * base.train_frac).round() as usize,
-            );
+            exp.corpus = exp
+                .corpus
+                .with_files((base.corpus.files as f64 * base.train_frac).round() as usize);
             let out = run_name_experiment(&exp);
             grid.push((l, w, out.accuracy));
             if out.accuracy > best.2 {
@@ -116,9 +112,11 @@ mod tests {
             .map(|&(_, _, a)| a)
             .fold(f64::MIN, f64::max);
         assert_eq!(result.valid_accuracy, max);
-        assert!(result
-            .grid
-            .contains(&(result.max_length, result.max_width, result.valid_accuracy)));
+        assert!(result.grid.contains(&(
+            result.max_length,
+            result.max_width,
+            result.valid_accuracy
+        )));
     }
 
     #[test]

@@ -77,10 +77,7 @@ impl W2vExperiment {
 
 /// The contexts of every unknown variable element in one document, as
 /// rendered strings keyed by the element's name.
-fn document_contexts(
-    exp: &W2vExperiment,
-    source: &str,
-) -> Vec<(String, Vec<String>)> {
+fn document_contexts(exp: &W2vExperiment, source: &str) -> Vec<(String, Vec<String>)> {
     let ast = exp
         .language
         .parse(source)
@@ -223,10 +220,7 @@ pub fn run_w2v_experiment(exp: &W2vExperiment) -> crate::TaskOutcome {
     let mut board = Scoreboard::new();
     for doc in &test_corpus.docs {
         for (gold, contexts) in document_contexts(exp, &doc.source) {
-            let ids: Vec<u32> = contexts
-                .iter()
-                .filter_map(|c| ctxs.get(c))
-                .collect();
+            let ids: Vec<u32> = contexts.iter().filter_map(|c| ctxs.get(c)).collect();
             if ids.is_empty() {
                 board.record_oov();
                 continue;

@@ -83,8 +83,14 @@ fn nopath_gap_check() {
             ..NameExperiment::var_names(lang)
         };
         let paths = run_name_experiment(&base);
-        let nopath = run_name_experiment(&base.clone().with_representation(Representation::NoPaths));
-        println!("{lang:12} paths={:.3} nopath={:.3} gap={:+.1}", paths.accuracy, nopath.accuracy, 100.0*(paths.accuracy-nopath.accuracy));
+        let nopath =
+            run_name_experiment(&base.clone().with_representation(Representation::NoPaths));
+        println!(
+            "{lang:12} paths={:.3} nopath={:.3} gap={:+.1}",
+            paths.accuracy,
+            nopath.accuracy,
+            100.0 * (paths.accuracy - nopath.accuracy)
+        );
     }
 }
 
@@ -96,7 +102,8 @@ fn relations_gap_check() {
         ..NameExperiment::var_names(Language::JavaScript)
     };
     let paths = run_name_experiment(&base);
-    let relations = run_name_experiment(&base.clone().with_representation(Representation::Relations));
+    let relations =
+        run_name_experiment(&base.clone().with_representation(Representation::Relations));
     let nopath = run_name_experiment(&base.clone().with_representation(Representation::NoPaths));
     println!(
         "paths={:.3} relations={:.3} nopath={:.3}",

@@ -49,11 +49,51 @@ impl std::error::Error for LexError {}
 
 /// Java keywords recognised by the parser.
 pub const KEYWORDS: &[&str] = &[
-    "package", "import", "public", "private", "protected", "static", "final", "abstract",
-    "class", "interface", "extends", "implements", "void", "int", "long", "short", "byte",
-    "float", "double", "boolean", "char", "if", "else", "while", "do", "for", "return",
-    "break", "continue", "new", "this", "super", "null", "true", "false", "try", "catch",
-    "finally", "throw", "throws", "switch", "case", "default", "instanceof", "synchronized",
+    "package",
+    "import",
+    "public",
+    "private",
+    "protected",
+    "static",
+    "final",
+    "abstract",
+    "class",
+    "interface",
+    "extends",
+    "implements",
+    "void",
+    "int",
+    "long",
+    "short",
+    "byte",
+    "float",
+    "double",
+    "boolean",
+    "char",
+    "if",
+    "else",
+    "while",
+    "do",
+    "for",
+    "return",
+    "break",
+    "continue",
+    "new",
+    "this",
+    "super",
+    "null",
+    "true",
+    "false",
+    "try",
+    "catch",
+    "finally",
+    "throw",
+    "throws",
+    "switch",
+    "case",
+    "default",
+    "instanceof",
+    "synchronized",
 ];
 
 /// Whether `text` is a reserved word.
@@ -70,8 +110,8 @@ const PUNCT2: &[&str] = &[
     "==", "!=", "<=", ">=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=", "%=", "->", "::",
 ];
 const PUNCT1: &[char] = &[
-    '(', ')', '{', '}', '[', ']', ';', ',', '.', '=', '<', '>', '+', '-', '*', '/', '%', '!',
-    '?', ':', '&', '|', '^', '~', '@',
+    '(', ')', '{', '}', '[', ']', ';', ',', '.', '=', '<', '>', '+', '-', '*', '/', '%', '!', '?',
+    ':', '&', '|', '^', '~', '@',
 ];
 
 /// Tokenizes `source`, skipping whitespace and comments.
@@ -138,9 +178,8 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
             let start = i;
             while i < bytes.len() {
                 let ch = bytes[i] as char;
-                let decimal_point = ch == '.'
-                    && i + 1 < bytes.len()
-                    && (bytes[i + 1] as char).is_ascii_digit();
+                let decimal_point =
+                    ch == '.' && i + 1 < bytes.len() && (bytes[i + 1] as char).is_ascii_digit();
                 if ch.is_ascii_alphanumeric() || ch == '_' || decimal_point {
                     i += 1;
                 } else {
@@ -247,10 +286,7 @@ mod tests {
 
     #[test]
     fn basic_java_line() {
-        assert_eq!(
-            texts("int count = 0;"),
-            ["int", "count", "=", "0", ";"]
-        );
+        assert_eq!(texts("int count = 0;"), ["int", "count", "=", "0", ";"]);
     }
 
     #[test]

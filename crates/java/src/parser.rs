@@ -194,7 +194,12 @@ impl Parser {
             if t.kind == TokenKind::Ident
                 && matches!(
                     t.text.as_str(),
-                    "public" | "private" | "protected" | "static" | "final" | "abstract"
+                    "public"
+                        | "private"
+                        | "protected"
+                        | "static"
+                        | "final"
+                        | "abstract"
                         | "synchronized"
                 )
             {
@@ -661,7 +666,10 @@ impl Parser {
                         TokenKind::Number | TokenKind::String | TokenKind::Char
                     ) || (t.kind == TokenKind::Ident
                         && (!is_keyword(&t.text)
-                            || matches!(t.text.as_str(), "new" | "this" | "true" | "false" | "null")))
+                            || matches!(
+                                t.text.as_str(),
+                                "new" | "this" | "true" | "false" | "null"
+                            )))
                         || t.text == "(";
                     if starts_unary {
                         let operand = self.unary()?;
@@ -819,9 +827,7 @@ mod tests {
                    for (int v : values) { if (v == value) { count++; } } return count; } }";
         let text = s(src);
         assert!(text.contains("(MethodDecl (PrimitiveType int) (NameMethod count)"));
-        assert!(text.contains(
-            "(ForEach (PrimitiveType int) (NameVar v) (NameRef values)"
-        ));
+        assert!(text.contains("(ForEach (PrimitiveType int) (NameVar v) (NameRef values)"));
         assert!(text.contains("(UnaryPostfix++ (NameRef count))"));
     }
 
@@ -860,11 +866,11 @@ mod tests {
     #[test]
     fn constructors_and_this_assignment() {
         let text = s("class Point { int x; Point(int x) { this.x = x; } }");
-        assert!(text.contains("(ConstructorDecl (NameMethod Point) (Parameter \
-                               (PrimitiveType int) (NameParam x))"));
         assert!(text.contains(
-            "(Assign= (FieldAccess (This this) (NameField x)) (NameRef x))"
+            "(ConstructorDecl (NameMethod Point) (Parameter \
+                               (PrimitiveType int) (NameParam x))"
         ));
+        assert!(text.contains("(Assign= (FieldAccess (This this) (NameField x)) (NameRef x))"));
     }
 
     #[test]
@@ -887,8 +893,10 @@ mod tests {
 
     #[test]
     fn cast_and_instanceof() {
-        let text = s("class A { void f(Object o) { if (o instanceof String) { String s = \
-                      (String) o; } } }");
+        let text = s(
+            "class A { void f(Object o) { if (o instanceof String) { String s = \
+                      (String) o; } } }",
+        );
         assert!(text.contains("(InstanceOf (NameRef o) (ClassType (TypeName String)))"));
         assert!(text.contains("(Cast (ClassType (TypeName String)) (NameRef o))"));
     }
@@ -917,31 +925,39 @@ mod tests {
 
     #[test]
     fn classic_for_and_compound_assign() {
-        let text = s("class A { int sum(int[] xs) { int total = 0; for (int i = 0; \
-                      i < xs.length; i++) { total += xs[i]; } return total; } }");
-        assert!(text.contains("(For (LocalVar (PrimitiveType int) (VariableDeclarator \
-                               (NameVar i) (IntLit 0)))"));
-        assert!(text.contains("(Binary< (NameRef i) (FieldAccess (NameRef xs) \
-                               (NameField length)))"));
-        assert!(text.contains("(Assign+= (NameRef total) (ArrayAccess (NameRef xs) \
-                               (NameRef i)))"));
+        let text = s(
+            "class A { int sum(int[] xs) { int total = 0; for (int i = 0; \
+                      i < xs.length; i++) { total += xs[i]; } return total; } }",
+        );
+        assert!(text.contains(
+            "(For (LocalVar (PrimitiveType int) (VariableDeclarator \
+                               (NameVar i) (IntLit 0)))"
+        ));
+        assert!(text.contains(
+            "(Binary< (NameRef i) (FieldAccess (NameRef xs) \
+                               (NameField length)))"
+        ));
+        assert!(text.contains(
+            "(Assign+= (NameRef total) (ArrayAccess (NameRef xs) \
+                               (NameRef i)))"
+        ));
     }
 
     #[test]
     fn switch_statement() {
         let text =
             s("class A { int f(int x) { switch (x) { case 1: return 1; default: return 0; } } }");
-        assert!(text.contains("(Switch (NameRef x) (Case (IntLit 1) (Return (IntLit 1))) \
-                               (Default (Return (IntLit 0))))"));
+        assert!(text.contains(
+            "(Switch (NameRef x) (Case (IntLit 1) (Return (IntLit 1))) \
+                               (Default (Return (IntLit 0))))"
+        ));
     }
 
     #[test]
     fn extends_implements() {
         let text = s("class A extends B implements C, D { }");
         assert!(text.contains("(Extends (ClassType (TypeName B)))"));
-        assert!(text.contains(
-            "(Implements (ClassType (TypeName C)) (ClassType (TypeName D)))"
-        ));
+        assert!(text.contains("(Implements (ClassType (TypeName C)) (ClassType (TypeName D)))"));
     }
 
     #[test]
@@ -953,10 +969,9 @@ mod tests {
 
     #[test]
     fn invariants_hold() {
-        let ast = parse(
-            "package p; class A { private int n; public int get() { return this.n; } }",
-        )
-        .unwrap();
+        let ast =
+            parse("package p; class A { private int n; public int get() { return this.n; } }")
+                .unwrap();
         ast.check_invariants().unwrap();
     }
 }

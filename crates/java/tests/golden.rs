@@ -82,10 +82,14 @@ fn generic_bounds_and_arrays_mix() {
     let src = "class A { java.util.Map<String, int[]> index(int[][] grid) { return null; } }";
     let ast = pigeon_java::parse(src).unwrap();
     let text = pigeon_ast::sexp(&ast);
-    assert!(text.contains("(TypeArgs (ClassType (TypeName String)) (ArrayType \
-                           (PrimitiveType int)))"));
-    assert!(text.contains("(Parameter (ArrayType (ArrayType (PrimitiveType int))) \
-                           (NameParam grid))"));
+    assert!(text.contains(
+        "(TypeArgs (ClassType (TypeName String)) (ArrayType \
+                           (PrimitiveType int)))"
+    ));
+    assert!(text.contains(
+        "(Parameter (ArrayType (ArrayType (PrimitiveType int))) \
+                           (NameParam grid))"
+    ));
 }
 
 #[test]
@@ -96,8 +100,10 @@ fn exceptions_and_resources() {
     let ast = pigeon_java::parse(src).unwrap();
     let text = pigeon_ast::sexp(&ast);
     assert!(text.contains("(Throws (ClassType (TypeName IOException)))"));
-    assert!(text.contains("(Finally (Block (ExpressionStmt (MethodCall (NameCall \
-                           close)))))"));
+    assert!(text.contains(
+        "(Finally (Block (ExpressionStmt (MethodCall (NameCall \
+                           close)))))"
+    ));
 }
 
 #[test]

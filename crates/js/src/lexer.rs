@@ -47,9 +47,35 @@ impl std::error::Error for LexError {}
 
 /// JavaScript keywords recognised by the parser.
 pub const KEYWORDS: &[&str] = &[
-    "var", "let", "const", "function", "return", "if", "else", "while", "do", "for", "break",
-    "continue", "new", "typeof", "delete", "in", "of", "null", "true", "false", "this",
-    "instanceof", "switch", "case", "default", "try", "catch", "finally", "throw",
+    "var",
+    "let",
+    "const",
+    "function",
+    "return",
+    "if",
+    "else",
+    "while",
+    "do",
+    "for",
+    "break",
+    "continue",
+    "new",
+    "typeof",
+    "delete",
+    "in",
+    "of",
+    "null",
+    "true",
+    "false",
+    "this",
+    "instanceof",
+    "switch",
+    "case",
+    "default",
+    "try",
+    "catch",
+    "finally",
+    "throw",
 ];
 
 /// Whether `text` is a reserved word.
@@ -62,8 +88,8 @@ const PUNCT2: &[&str] = &[
     "==", "!=", "<=", ">=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=", "%=", "=>", "**",
 ];
 const PUNCT1: &[char] = &[
-    '(', ')', '{', '}', '[', ']', ';', ',', '.', '=', '<', '>', '+', '-', '*', '/', '%', '!',
-    '?', ':', '&', '|', '^', '~',
+    '(', ')', '{', '}', '[', ']', ';', ',', '.', '=', '<', '>', '+', '-', '*', '/', '%', '!', '?',
+    ':', '&', '|', '^', '~',
 ];
 
 /// Tokenizes `source`, skipping whitespace and comments. The final token

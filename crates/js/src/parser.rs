@@ -245,7 +245,11 @@ impl Parser {
         let kind = if is_decl { "Defun" } else { "Function" };
         if self.peek().kind == TokenKind::Ident && !is_keyword(&self.peek().text) {
             let name = self.ident()?;
-            let name_kind = if is_decl { "SymbolDefun" } else { "SymbolLambda" };
+            let name_kind = if is_decl {
+                "SymbolDefun"
+            } else {
+                "SymbolLambda"
+            };
             children.push(TreeNode::leaf(name_kind, name.as_str()));
         } else if is_decl {
             return Err(self.error("function declaration requires a name"));
@@ -617,14 +621,9 @@ impl Parser {
                 }
                 _ => {
                     // Single-parameter arrow: `x => body`.
-                    if self.peek_at(1).text == "=>"
-                        && self.peek_at(1).kind == TokenKind::Punct
-                    {
+                    if self.peek_at(1).text == "=>" && self.peek_at(1).kind == TokenKind::Punct {
                         let p = self.ident()?;
-                        return self.arrow_body(vec![TreeNode::leaf(
-                            "SymbolFunarg",
-                            p.as_str(),
-                        )]);
+                        return self.arrow_body(vec![TreeNode::leaf("SymbolFunarg", p.as_str())]);
                     }
                     self.bump();
                     Ok(TreeNode::leaf("SymbolRef", t.text.as_str()))

@@ -4,8 +4,7 @@ use pigeon_ast::{pretty, Symbol};
 
 #[test]
 fn paper_fig1a_full_pretty() {
-    let ast =
-        pigeon_js::parse("while (!d) { if (someCondition()) { d = true; } }").unwrap();
+    let ast = pigeon_js::parse("while (!d) { if (someCondition()) { d = true; } }").unwrap();
     assert_eq!(
         pretty(&ast),
         "Toplevel\n\
@@ -106,7 +105,9 @@ fn else_branches_are_marked() {
 fn deeply_nested_loops_keep_invariants() {
     let mut src = String::from("function f(m) {\n");
     for depth in 0..12 {
-        src.push_str(&format!("for (var i{depth} = 0; i{depth} < m; i{depth}++) {{\n"));
+        src.push_str(&format!(
+            "for (var i{depth} = 0; i{depth} < m; i{depth}++) {{\n"
+        ));
     }
     src.push_str("touch();\n");
     for _ in 0..12 {

@@ -72,8 +72,8 @@ const PUNCT2: &[&str] = &[
     "==", "!=", "<=", ">=", "+=", "-=", "*=", "/=", "%=", "//", "**", "->",
 ];
 const PUNCT1: &[char] = &[
-    '(', ')', '[', ']', '{', '}', ':', ',', '.', ';', '=', '<', '>', '+', '-', '*', '/', '%',
-    '@', '&', '|', '^', '~',
+    '(', ')', '[', ']', '{', '}', ':', ',', '.', ';', '=', '<', '>', '+', '-', '*', '/', '%', '@',
+    '&', '|', '^', '~',
 ];
 
 /// Tokenizes `source` with layout tokens.
@@ -149,7 +149,8 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
                 // Suppress empty logical lines.
                 if !matches!(
                     tokens.last().map(|t| t.kind),
-                    None | Some(TokenKind::Newline) | Some(TokenKind::Indent)
+                    None | Some(TokenKind::Newline)
+                        | Some(TokenKind::Indent)
                         | Some(TokenKind::Dedent)
                 ) {
                     tokens.push(Token {
@@ -196,9 +197,8 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
             let start = i;
             while i < bytes.len() {
                 let ch = bytes[i] as char;
-                let decimal_point = ch == '.'
-                    && i + 1 < bytes.len()
-                    && (bytes[i + 1] as char).is_ascii_digit();
+                let decimal_point =
+                    ch == '.' && i + 1 < bytes.len() && (bytes[i + 1] as char).is_ascii_digit();
                 if ch.is_ascii_alphanumeric() || ch == '_' || decimal_point {
                     i += 1;
                 } else {
@@ -318,10 +318,7 @@ mod tests {
     #[test]
     fn simple_line() {
         use TokenKind::*;
-        assert_eq!(
-            kinds("x = 1"),
-            [Ident, Punct, Number, Newline, Eof]
-        );
+        assert_eq!(kinds("x = 1"), [Ident, Punct, Number, Newline, Eof]);
     }
 
     #[test]

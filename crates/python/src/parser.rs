@@ -868,9 +868,7 @@ mod tests {
     fn imports() {
         let text = s("import os, sys\nfrom subprocess import Popen, PIPE\n");
         assert!(text.contains("(Import (ModuleName os) (ModuleName sys))"));
-        assert!(text.contains(
-            "(ImportFrom (ModuleName subprocess) (Name Popen) (Name PIPE))"
-        ));
+        assert!(text.contains("(ImportFrom (ModuleName subprocess) (Name Popen) (Name PIPE))"));
     }
 
     #[test]

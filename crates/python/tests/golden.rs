@@ -17,9 +17,7 @@ fn paper_fig7_sh3_full_pipeline() {
         "(Assign (TupleStore (NameStore out) (NameStore err)) (Call (Attribute (Name \
          process) (AttrName communicate))))"
     ));
-    assert!(text.contains(
-        "(Raise (Call (Name CalledProcessError) (Name retcode) (Name cmd)))"
-    ));
+    assert!(text.contains("(Raise (Call (Name CalledProcessError) (Name retcode) (Name cmd)))"));
     assert!(text.contains(
         "(Return (Tuple (Call (Attribute (Name out) (AttrName rstrip))) (Call \
          (Attribute (Name err) (AttrName rstrip)))))"

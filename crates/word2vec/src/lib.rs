@@ -56,7 +56,7 @@ impl Default for SgnsConfig {
 }
 
 /// A trained embedding table: one vector per word, one per context.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SgnsModel {
     dim: usize,
     num_words: usize,
@@ -67,6 +67,40 @@ pub struct SgnsModel {
     ctx_vecs: Vec<f32>,
     /// Training frequency of each word (prediction tie-breaking).
     word_counts: Vec<u32>,
+}
+
+// Hand-written (the vendored serde shim has no derive macro).
+impl Serialize for SgnsModel {
+    fn to_value(&self) -> serde_json::Value {
+        let mut map = serde_json::Map::new();
+        map.insert("dim".into(), self.dim.to_value());
+        map.insert("num_words".into(), self.num_words.to_value());
+        map.insert("num_contexts".into(), self.num_contexts.to_value());
+        map.insert("word_vecs".into(), self.word_vecs.to_value());
+        map.insert("ctx_vecs".into(), self.ctx_vecs.to_value());
+        map.insert("word_counts".into(), self.word_counts.to_value());
+        serde_json::Value::Object(map)
+    }
+}
+
+impl Deserialize for SgnsModel {
+    fn from_value(value: &serde_json::Value) -> Result<Self, serde::Error> {
+        fn field<T: Deserialize>(value: &serde_json::Value, key: &str) -> Result<T, serde::Error> {
+            T::from_value(
+                value
+                    .get(key)
+                    .ok_or_else(|| serde::Error::custom(format!("missing field `{key}`")))?,
+            )
+        }
+        Ok(SgnsModel {
+            dim: field(value, "dim")?,
+            num_words: field(value, "num_words")?,
+            num_contexts: field(value, "num_contexts")?,
+            word_vecs: field(value, "word_vecs")?,
+            ctx_vecs: field(value, "ctx_vecs")?,
+            word_counts: field(value, "word_counts")?,
+        })
+    }
 }
 
 /// Trains SGNS embeddings on `(word, context)` id pairs.

@@ -23,9 +23,8 @@ fn main() {
             ..NameExperiment::var_names(language)
         };
         let paths = run_name_experiment(&base);
-        let no_paths = run_name_experiment(
-            &base.clone().with_representation(Representation::NoPaths),
-        );
+        let no_paths =
+            run_name_experiment(&base.clone().with_representation(Representation::NoPaths));
         println!(
             "{:<12} {:>9.1}% {:>9.1}% {:>8} {:>10.1}",
             language.name(),

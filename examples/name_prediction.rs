@@ -19,12 +19,9 @@ fn main() {
     let sources: Vec<&str> = corpus.docs.iter().map(|d| d.source.as_str()).collect();
 
     println!("Training the CRF ({} files)…", sources.len());
-    let namer = Pigeon::train_variable_namer(
-        Language::JavaScript,
-        &sources,
-        &PigeonConfig::default(),
-    )
-    .expect("training corpus parses");
+    let namer =
+        Pigeon::train_variable_namer(Language::JavaScript, &sources, &PigeonConfig::default())
+            .expect("training corpus parses");
 
     // ---- The paper's Fig. 1a: predict a name for `d`. -----------------
     let fig1 = "function f() { var d = false; while (!d) { if (check()) { d = true; } } }";

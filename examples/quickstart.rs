@@ -6,9 +6,7 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use pigeon::core::{
-    extract, path_between, Abstraction, ExtractionConfig, PathEnd,
-};
+use pigeon::core::{extract, path_between, Abstraction, ExtractionConfig, PathEnd};
 
 fn main() {
     // ---- Fig. 1: while (!d) { if (someCondition()) { d = true; } } ----
@@ -18,7 +16,10 @@ fn main() {
     println!("AST:\n{}", pigeon::ast::pretty(&ast));
 
     let contexts = extract(&ast, &ExtractionConfig::with_limits(8, 3));
-    println!("Extracted {} path-contexts; those involving `d`:", contexts.len());
+    println!(
+        "Extracted {} path-contexts; those involving `d`:",
+        contexts.len()
+    );
     for ctx in &contexts {
         let touches_d = ctx.start.as_str() == "d" || ctx.end.as_str() == "d";
         if touches_d {
@@ -71,14 +72,15 @@ fn main() {
     let (p, width) = path_between(&ast5, leaves[0], leaves[3]);
     println!("\nFig. 5 program: {fig5}");
     println!("  a–d path: {p}");
-    println!("  length = {} (paper: 4), width = {} (paper: 3)", p.len(), width);
+    println!(
+        "  length = {} (paper: 4), width = {} (paper: 3)",
+        p.len(),
+        width
+    );
     assert_eq!((p.len(), width), (4, 3));
 
     // Semi-paths and nonterminal ends also exist in the family:
-    let semi = extract(
-        &ast,
-        &ExtractionConfig::with_limits(3, 3).semi_paths(true),
-    );
+    let semi = extract(&ast, &ExtractionConfig::with_limits(3, 3).semi_paths(true));
     let n_semi = semi
         .iter()
         .filter(|c| matches!(c.end, PathEnd::Node(_)))

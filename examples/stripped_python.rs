@@ -14,9 +14,8 @@ fn main() {
     println!("Training a Python variable namer…");
     let corpus = generate(Language::Python, &CorpusConfig::default().with_files(800));
     let sources: Vec<&str> = corpus.docs.iter().map(|d| d.source.as_str()).collect();
-    let namer =
-        Pigeon::train_variable_namer(Language::Python, &sources, &PigeonConfig::default())
-            .expect("training corpus parses");
+    let namer = Pigeon::train_variable_namer(Language::Python, &sources, &PigeonConfig::default())
+        .expect("training corpus parses");
 
     // A stripped program in the corpus's dialect: a guarded read with an
     // error handler plus a counting loop, all names minified.
@@ -67,9 +66,7 @@ fn rename_identifier(source: &str, from: &str, to: &str) -> String {
     while i < bytes.len() {
         let matches = bytes[i..].starts_with(&fchars[..])
             && (i == 0 || !is_ident(bytes[i - 1]))
-            && bytes
-                .get(i + fchars.len())
-                .map_or(true, |&c| !is_ident(c));
+            && bytes.get(i + fchars.len()).is_none_or(|&c| !is_ident(c));
         if matches {
             out.push_str(to);
             i += fchars.len();

@@ -1,0 +1,199 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the macro and type surface the workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, [`Criterion::bench_function`],
+//! [`Bencher::iter`]/[`Bencher::iter_batched`], [`BatchSize`] — over a
+//! simple wall-clock harness: warm up, pick an iteration count that
+//! makes one sample take a measurable slice of time, collect
+//! `sample_size` samples, report min/median/mean per iteration.
+//! No statistical regression analysis, plots or saved baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` should balance setup cost against batch size.
+/// The shim always runs one setup per measured call, so the variants
+/// only exist for signature compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    MediumInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// The benchmark driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    sample_size: usize,
+    /// Optional substring filter taken from the command line, matching
+    /// `cargo bench -- <filter>` behaviour.
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            sample_size: 20,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark. The closure receives a [`Bencher`] and
+    /// must call [`Bencher::iter`] or [`Bencher::iter_batched`].
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        report(id, &mut bencher.samples);
+        self
+    }
+}
+
+/// Prints a criterion-style one-line summary from per-iteration times.
+fn report(id: &str, samples: &mut [f64]) {
+    if samples.is_empty() {
+        println!("{id:<40} (no samples)");
+        return;
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    println!(
+        "{id:<40} time: [{} {} {}] (min median mean, {} samples)",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean),
+        samples.len()
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Times closures on behalf of one benchmark.
+pub struct Bencher {
+    sample_size: usize,
+    /// Mean nanoseconds per iteration, one entry per sample.
+    samples: Vec<f64>,
+}
+
+/// Per-sample time budget: long enough to swamp timer overhead, short
+/// enough that a full group finishes in seconds.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(25);
+
+impl Bencher {
+    /// Measures `routine` repeatedly and records per-iteration times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: find how many iterations fill the
+        // per-sample budget.
+        let start = Instant::now();
+        let mut calibration_iters = 0u64;
+        while start.elapsed() < SAMPLE_BUDGET {
+            black_box(routine());
+            calibration_iters += 1;
+        }
+        let per_iter = start.elapsed().as_nanos() as f64 / calibration_iters as f64;
+        let iters_per_sample = (SAMPLE_BUDGET.as_nanos() as f64 / per_iter).max(1.0) as u64;
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples
+                .push(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+    }
+
+    /// Like [`Bencher::iter`], but re-creates the routine's input with
+    /// `setup` outside the timed region of every call.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Calibrate (timing only the routine, never the setup).
+        let mut spent = Duration::ZERO;
+        let mut calibration_iters = 0u64;
+        while spent < SAMPLE_BUDGET {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            spent += t.elapsed();
+            calibration_iters += 1;
+        }
+        let per_iter = spent.as_nanos() as f64 / calibration_iters as f64;
+        let iters_per_sample = (SAMPLE_BUDGET.as_nanos() as f64 / per_iter).max(1.0) as u64;
+        for _ in 0..self.sample_size {
+            let mut sample = Duration::ZERO;
+            for _ in 0..iters_per_sample {
+                let input = setup();
+                let t = Instant::now();
+                black_box(routine(input));
+                sample += t.elapsed();
+            }
+            self.samples
+                .push(sample.as_nanos() as f64 / iters_per_sample as f64);
+        }
+    }
+}
+
+/// Declares a benchmark group: either
+/// `criterion_group!(name, target, ...)` or the
+/// `name = ...; config = ...; targets = ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `main`, running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

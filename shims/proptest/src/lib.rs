@@ -1,0 +1,132 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this shim provides
+//! the subset of the proptest API the workspace's property tests use:
+//! the [`Strategy`] trait with `prop_map`/`prop_flat_map`/`boxed`,
+//! integer-range and regex-string strategies, [`collection::vec`],
+//! `any`, `Just`, `prop_oneof!`, the `proptest!` test macro and the
+//! `prop_assert*` family.
+//!
+//! Differences from real proptest: no shrinking (a failing case reports
+//! the generated input as-is via `Debug`), and case generation streams
+//! from a seed derived from the test name, so runs are deterministic.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface the workspace's tests rely on.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares property tests. Each `pat in strategy` argument is
+/// regenerated for every case; the body runs once per case and fails
+/// the test on panic or on a `prop_assert*` failure.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(
+            $crate::test_runner::ProptestConfig::default(); $($rest)*
+        );
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr;) => {};
+    ($cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::rng_for_test(stringify!($name));
+            for case in 0..config.cases {
+                let outcome = {
+                    $(let $pat =
+                        $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let mut run =
+                        || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                            $body;
+                            Ok(())
+                        };
+                    run()
+                };
+                if let Err(e) = outcome {
+                    panic!("proptest case {case}/{} failed: {e}", config.cases);
+                }
+            }
+        }
+        $crate::__proptest_impl!($cfg; $($rest)*);
+    };
+}
+
+/// Fails the current proptest case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current proptest case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Fails the current proptest case when both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Picks uniformly among the listed strategies (all must yield the
+/// same value type). Weighted variants are not supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,382 @@
+//! Value-generation strategies.
+
+use crate::test_runner::TestRng;
+use rand::{Rng, SampleRange, Standard};
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms every generated value with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` builds
+    /// out of it (for dependent inputs, e.g. an index into a sized
+    /// collection).
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// A type-erased strategy, as returned by [`Strategy::boxed`].
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Picks uniformly among type-erased alternatives (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Wraps a non-empty list of alternatives.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+/// The full-domain strategy for simple types: `any::<u64>()` etc.
+pub fn any<T: Standard>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// See [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Standard> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                self.clone().sample_from(rng)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                self.clone().sample_from(rng)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                self.clone().sample_from(rng)
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+/// String literals act as regex-shaped generators, e.g.
+/// `"[a-z]{1,6}"`. The supported subset is what this workspace's tests
+/// use: literal characters, `\n`/`\t`/`\r`/`\\` escapes, character
+/// classes with ranges, `.`, and the `{n}`/`{m,n}`/`*`/`+`/`?`
+/// quantifiers.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_regex(self, rng)
+    }
+}
+
+/// One unit of a pattern: the set of characters it can produce.
+enum Atom {
+    Literal(char),
+    /// Inclusive character ranges; single chars are width-1 ranges.
+    Class(Vec<(char, char)>),
+}
+
+impl Atom {
+    fn pick(&self, rng: &mut TestRng) -> char {
+        match self {
+            Atom::Literal(c) => *c,
+            Atom::Class(ranges) => {
+                let total: u32 = ranges.iter().map(|&(a, b)| b as u32 - a as u32 + 1).sum();
+                let mut n = rng.gen_range(0..total);
+                for &(a, b) in ranges {
+                    let width = b as u32 - a as u32 + 1;
+                    if n < width {
+                        return char::from_u32(a as u32 + n)
+                            .expect("class ranges hold valid chars");
+                    }
+                    n -= width;
+                }
+                unreachable!("index within total width")
+            }
+        }
+    }
+}
+
+fn parse_escape(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> char {
+    match chars.next().expect("dangling escape in pattern") {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        c => c,
+    }
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Atom {
+    let mut ranges = Vec::new();
+    loop {
+        let c = match chars.next().expect("unterminated character class") {
+            ']' => break,
+            '\\' => parse_escape(chars),
+            c => c,
+        };
+        if chars.peek() == Some(&'-') {
+            chars.next();
+            let hi = match chars.next().expect("unterminated range") {
+                '\\' => parse_escape(chars),
+                c => c,
+            };
+            assert!(c <= hi, "reversed range in character class");
+            ranges.push((c, hi));
+        } else {
+            ranges.push((c, c));
+        }
+    }
+    Atom::Class(ranges)
+}
+
+fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            match spec.split_once(',') {
+                Some((lo, "")) => {
+                    let lo = lo.parse().expect("bad quantifier");
+                    (lo, lo + 8)
+                }
+                Some((lo, hi)) => (
+                    lo.parse().expect("bad quantifier"),
+                    hi.parse().expect("bad quantifier"),
+                ),
+                None => {
+                    let n = spec.parse().expect("bad quantifier");
+                    (n, n)
+                }
+            }
+        }
+        Some('*') => {
+            chars.next();
+            (0, 8)
+        }
+        Some('+') => {
+            chars.next();
+            (1, 8)
+        }
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn generate_regex(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => parse_class(&mut chars),
+            '\\' => Atom::Literal(parse_escape(&mut chars)),
+            '.' => Atom::Class(vec![(' ', '~')]),
+            c => Atom::Literal(c),
+        };
+        let (lo, hi) = parse_quantifier(&mut chars);
+        let count = rng.gen_range(lo..=hi);
+        for _ in 0..count {
+            out.push(atom.pick(rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn regex_strings_match_shape() {
+        let mut rng = TestRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = "[a-z]{1,6}".generate(&mut rng);
+            assert!((1..=6).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+        for _ in 0..200 {
+            let s = "[ -~\\n\\t]{0,200}".generate(&mut rng);
+            assert!(s.len() <= 200);
+            assert!(
+                s.chars()
+                    .all(|c| (' '..='~').contains(&c) || c == '\n' || c == '\t'),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn oneof_covers_every_alternative() {
+        let mut rng = TestRng::seed_from_u64(2);
+        let strat = crate::prop_oneof![Just(0u8), Just(1u8), Just(2u8)];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[strat.generate(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn flat_map_threads_dependent_values() {
+        let mut rng = TestRng::seed_from_u64(3);
+        let strat = (1usize..5)
+            .prop_flat_map(|n| crate::collection::vec(0..n, n..=n).prop_map(move |v| (n, v)));
+        for _ in 0..100 {
+            let (n, v) = strat.generate(&mut rng);
+            assert_eq!(v.len(), n);
+            assert!(v.iter().all(|&x| x < n));
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Test-loop configuration and failure plumbing.
+
+use std::fmt;
+
+/// The generator driving all strategies.
+pub type TestRng = rand::SmallRng;
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // Matches real proptest's default case count.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed test case (from `prop_assert*` or an explicit `fail`).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure carrying `message`.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+
+    /// Alias for [`TestCaseError::fail`], mirroring real proptest's
+    /// `Reject`/`Fail` split without modelling rejection.
+    pub fn reject(message: impl Into<String>) -> TestCaseError {
+        TestCaseError::fail(message)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Seeds the per-test generator from the test's name, so every run of
+/// a given test sees the same case stream (reproducible CI) while
+/// different tests see different streams.
+pub fn rng_for_test(name: &str) -> TestRng {
+    use rand::SeedableRng;
+    // FNV-1a over the name.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    TestRng::seed_from_u64(hash)
+}

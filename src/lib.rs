@@ -54,12 +54,15 @@ pub use pigeon_js as js;
 pub use pigeon_python as python;
 pub use pigeon_word2vec as word2vec;
 
-use pigeon_core::{Abstraction, ExtractionConfig};
+use pigeon_core::{downsample, Abstraction, ExtractionConfig};
 use pigeon_corpus::Language;
 use pigeon_crf::{CrfConfig, CrfModel};
 use pigeon_eval::{
-    build_name_graph, extract_edge_features, ElementClass, Representation, Vocabs,
+    build_name_graph, extract_edge_features, parallel_map_indexed, ElementClass, Representation,
+    Vocabs,
 };
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 use std::fmt;
 
 /// Configuration of a [`Pigeon`] predictor.
@@ -73,6 +76,16 @@ pub struct PigeonConfig {
     pub crf: CrfConfig,
     /// Candidates returned per prediction.
     pub top_k: usize,
+    /// Probability of keeping each extracted path-context during
+    /// training (§5.5 of the paper: downsampling trades a little accuracy
+    /// for much smaller models). `1.0` keeps everything; the sampling
+    /// seed is fixed, so a given `keep_prob` is reproducible.
+    pub keep_prob: f64,
+    /// Worker threads for per-source parse + extraction during training;
+    /// `1` is fully serial, `0` uses all available cores. Per-source
+    /// results merge in source order, so the trained model is
+    /// byte-identical for any value.
+    pub jobs: usize,
 }
 
 impl Default for PigeonConfig {
@@ -82,6 +95,8 @@ impl Default for PigeonConfig {
             abstraction: Abstraction::Full,
             crf: CrfConfig::default(),
             top_k: 8,
+            keep_prob: 1.0,
+            jobs: 1,
         }
     }
 }
@@ -157,14 +172,28 @@ impl Pigeon {
         sources: &[&str],
         config: &PigeonConfig,
     ) -> Result<Pigeon, PigeonError> {
-        let mut vocabs = Vocabs::new();
         let rep = Representation::AstPaths(config.abstraction);
-        let mut instances = Vec::with_capacity(sources.len());
-        for (i, source) in sources.iter().enumerate() {
-            let ast = language.parse(source).map_err(|e| PigeonError {
+        // Parse + extract fan out over the worker pool; everything that
+        // interns into the shared vocabularies (downsampling included,
+        // because it consumes the sampling rng) runs afterwards in
+        // source order, so the model is identical for any `jobs`.
+        let extracted = parallel_map_indexed(sources, config.jobs, |_, source| {
+            language.parse(source).map(|ast| {
+                let features = extract_edge_features(language, &ast, rep, &config.extraction);
+                (ast, features)
+            })
+        });
+        if let Some((i, Err(e))) = extracted.iter().enumerate().find(|(_, r)| r.is_err()) {
+            return Err(PigeonError {
                 message: format!("training source {i}: {e}"),
-            })?;
-            let features = extract_edge_features(language, &ast, rep, &config.extraction);
+            });
+        }
+        let mut vocabs = Vocabs::new();
+        let mut rng = SmallRng::seed_from_u64(0x9160_704E);
+        let mut instances = Vec::with_capacity(sources.len());
+        for result in extracted {
+            let (ast, features) = result.expect("errors returned above");
+            let features = downsample(features, config.keep_prob, &mut rng);
             let graph = build_name_graph(language, &ast, target, &features, &mut vocabs, true);
             instances.push(graph.instance);
         }
@@ -190,12 +219,7 @@ impl Pigeon {
     ///
     /// Returns the underlying `serde_json` error.
     pub fn to_json(&self) -> Result<String, serde_json::Error> {
-        let labels: Vec<String> = self
-            .vocabs
-            .labels
-            .iter()
-            .map(|(_, s)| s.clone())
-            .collect();
+        let labels: Vec<String> = self.vocabs.labels.iter().map(|(_, s)| s.clone()).collect();
         let features: Vec<String> = self
             .vocabs
             .features
@@ -216,7 +240,7 @@ impl Pigeon {
             "top_k": self.config.top_k,
             "labels": labels,
             "features": features,
-            "model": self.model.to_json().expect("model serialises"),
+            "model": self.model.to_json()?,
         });
         serde_json::to_string(&file)
     }
@@ -230,8 +254,7 @@ impl Pigeon {
         let err = |m: &str| PigeonError {
             message: format!("model file: {m}"),
         };
-        let v: serde_json::Value =
-            serde_json::from_str(json).map_err(|e| err(&e.to_string()))?;
+        let v: serde_json::Value = serde_json::from_str(json).map_err(|e| err(&e.to_string()))?;
         let str_field = |k: &str| -> Result<&str, PigeonError> {
             v.get(k)
                 .and_then(|x| x.as_str())
@@ -242,8 +265,8 @@ impl Pigeon {
                 .and_then(|x| x.as_u64())
                 .ok_or_else(|| err(&format!("missing field `{k}`")))
         };
-        let language = Language::from_name(str_field("language")?)
-            .ok_or_else(|| err("unknown language"))?;
+        let language =
+            Language::from_name(str_field("language")?).ok_or_else(|| err("unknown language"))?;
         let target = match str_field("target")? {
             "variables" => ElementClass::Variable,
             "methods" => ElementClass::Method,
@@ -252,8 +275,10 @@ impl Pigeon {
         let abstraction = Abstraction::from_name(str_field("abstraction")?)
             .ok_or_else(|| err("unknown abstraction"))?;
         let mut vocabs = Vocabs::new();
-        for (key, vocab) in [("labels", &mut vocabs.labels), ("features", &mut vocabs.features)]
-        {
+        for (key, vocab) in [
+            ("labels", &mut vocabs.labels),
+            ("features", &mut vocabs.features),
+        ] {
             let items = v
                 .get(key)
                 .and_then(|x| x.as_array())
@@ -263,8 +288,7 @@ impl Pigeon {
                 vocab.intern(s.to_owned());
             }
         }
-        let model = CrfModel::from_json(str_field("model")?)
-            .map_err(|e| err(&e.to_string()))?;
+        let model = CrfModel::from_json(str_field("model")?).map_err(|e| err(&e.to_string()))?;
         let mut extraction = ExtractionConfig::with_limits(
             num_field("max_length")? as usize,
             num_field("max_width")? as usize,
@@ -281,6 +305,9 @@ impl Pigeon {
                 abstraction,
                 crf: CrfConfig::default(),
                 top_k: num_field("top_k")? as usize,
+                // Training-only knobs; a deserialized model is for
+                // prediction, so the defaults are fine.
+                ..PigeonConfig::default()
             },
             vocabs,
             model,
@@ -298,12 +325,12 @@ impl Pigeon {
         // interns; with `train = false` lookups never insert, so a clone
         // of the (small) vocabularies keeps the predictor immutable.
         let mut vocabs = self.vocabs.clone();
-        let ast = self.language.parse(source).map_err(|e| PigeonError {
-            message: e,
-        })?;
+        let ast = self
+            .language
+            .parse(source)
+            .map_err(|e| PigeonError { message: e })?;
         let rep = Representation::AstPaths(self.config.abstraction);
-        let features =
-            extract_edge_features(self.language, &ast, rep, &self.config.extraction);
+        let features = extract_edge_features(self.language, &ast, rep, &self.config.extraction);
         let graph = build_name_graph(
             self.language,
             &ast,

@@ -48,18 +48,35 @@ USAGE:
                     [--abstraction LEVEL] FILE
   pigeon generate   --language LANG [--files N] [--seed N] DIR
   pigeon train      --language LANG --out MODEL.json [--task vars|methods]
-                    [--synthetic N | FILE...]
+                    [--max-length N] [--max-width N] [--jobs N]
+                    [--keep-prob P] [--synthetic N | FILE...]
   pigeon predict    --model MODEL.json FILE
   pigeon experiment --language LANG [--files N] [--task vars|methods]
+                    [--jobs N]
+
+Flags take `--name value` or `--name=value`.
 
 LANG: js | java | python | csharp
 LEVEL: full | no-arrows | forget-order | first-top-last | first-last | top | no-path
+
+DEFAULTS:
+  --max-length  7 for `paths` (the paper's Table 2 JavaScript setting),
+                4 for `train` (tuned for the small synthetic corpora)
+  --max-width   3
+  --jobs        1 (serial; 0 = all cores). Workers parallelise per-file
+                parse + path extraction; the trained model is
+                byte-identical for any value.
+  --keep-prob   1.0 (keep every path-context; lower values downsample
+                training contexts, §5.5 of the paper)
 ";
 
 /// A parsed `--name value` flag list.
 type Flags = Vec<(String, String)>;
 
-/// Minimal flag parser: returns (flags, positionals).
+/// Minimal flag parser: returns (flags, positionals). Accepts both
+/// `--name value` and `--name=value`; a flag may not swallow the next
+/// flag as its value (`--out --language js` is an error, not a flag
+/// named `out` with the value `--language`).
 fn parse_flags(args: &[String]) -> Result<(Flags, Vec<String>), String> {
     let mut flags = Vec::new();
     let mut positional = Vec::new();
@@ -67,11 +84,22 @@ fn parse_flags(args: &[String]) -> Result<(Flags, Vec<String>), String> {
     while i < args.len() {
         let a = &args[i];
         if let Some(name) = a.strip_prefix("--") {
-            let value = args
-                .get(i + 1)
-                .ok_or_else(|| format!("flag --{name} needs a value"))?;
-            flags.push((name.to_owned(), value.clone()));
-            i += 2;
+            if let Some((name, value)) = name.split_once('=') {
+                flags.push((name.to_owned(), value.to_owned()));
+                i += 1;
+            } else {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                if value.starts_with("--") {
+                    return Err(format!(
+                        "flag --{name} needs a value, but got flag `{value}` \
+                         (use --{name}=VALUE if the value really starts with --)"
+                    ));
+                }
+                flags.push((name.to_owned(), value.clone()));
+                i += 2;
+            }
         } else {
             positional.push(a.clone());
             i += 1;
@@ -102,6 +130,15 @@ fn parse_usize(flags: &[(String, String)], name: &str, default: usize) -> Result
     }
 }
 
+fn parse_f64(flags: &[(String, String)], name: &str, default: f64) -> Result<f64, String> {
+    match flag(flags, name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name} expects a number, got `{v}`")),
+    }
+}
+
 fn read_file(path: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
 }
@@ -116,8 +153,9 @@ fn cmd_paths(args: &[String]) -> Result<(), String> {
     let max_width = parse_usize(&flags, "max-width", 3)?;
     let abstraction = match flag(&flags, "abstraction") {
         None => Abstraction::Full,
-        Some(name) => Abstraction::from_name(name)
-            .ok_or_else(|| format!("unknown abstraction `{name}`"))?,
+        Some(name) => {
+            Abstraction::from_name(name).ok_or_else(|| format!("unknown abstraction `{name}`"))?
+        }
     };
     let source = read_file(file)?;
     let ast = language.parse(&source)?;
@@ -172,8 +210,19 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
 
 fn train_config(flags: &[(String, String)]) -> Result<PigeonConfig, String> {
     let mut config = PigeonConfig::default();
+    // Default length 4 (the facade's training default, tuned for the
+    // synthetic corpora) — deliberately shorter than `pigeon paths`'
+    // default of 7, which shows the paper's untuned Table 2 setting.
     config.extraction.max_length = parse_usize(flags, "max-length", 4)?;
     config.extraction.max_width = parse_usize(flags, "max-width", 3)?;
+    config.jobs = parse_usize(flags, "jobs", 1)?;
+    config.keep_prob = parse_f64(flags, "keep-prob", 1.0)?;
+    if !(0.0..=1.0).contains(&config.keep_prob) {
+        return Err(format!(
+            "--keep-prob expects a probability in [0, 1], got `{}`",
+            config.keep_prob
+        ));
+    }
     Ok(config)
 }
 
@@ -255,6 +304,7 @@ fn cmd_experiment(args: &[String]) -> Result<(), String> {
         other => return Err(format!("unknown task `{other}` (vars|methods)")),
     };
     exp.corpus = exp.corpus.with_files(files);
+    exp.jobs = parse_usize(&flags, "jobs", 1)?;
     let out = run_name_experiment(&exp);
     println!(
         "{language} {task}: accuracy {:.1}%  top-{} {:.1}%  F1 {:.1}  ({} predictions, {} features, trained in {:.1}s)",
@@ -267,4 +317,65 @@ fn cmd_experiment(args: &[String]) -> Result<(), String> {
         out.train_secs,
     );
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_flags_splits_flags_and_positionals() {
+        let (flags, pos) = parse_flags(&args(&["--language", "js", "a.js", "b.js"])).unwrap();
+        assert_eq!(flags, [("language".to_owned(), "js".to_owned())]);
+        assert_eq!(pos, ["a.js", "b.js"]);
+    }
+
+    #[test]
+    fn parse_flags_accepts_equals_syntax() {
+        let (flags, pos) = parse_flags(&args(&["--jobs=4", "--keep-prob=0.5", "f.js"])).unwrap();
+        assert_eq!(
+            flags,
+            [
+                ("jobs".to_owned(), "4".to_owned()),
+                ("keep-prob".to_owned(), "0.5".to_owned()),
+            ]
+        );
+        assert_eq!(pos, ["f.js"]);
+    }
+
+    #[test]
+    fn parse_flags_equals_value_may_start_with_dashes() {
+        let (flags, _) = parse_flags(&args(&["--out=--weird.json"])).unwrap();
+        assert_eq!(flags, [("out".to_owned(), "--weird.json".to_owned())]);
+    }
+
+    #[test]
+    fn parse_flags_rejects_flag_shaped_value() {
+        let err = parse_flags(&args(&["--out", "--language", "js"])).unwrap_err();
+        assert!(err.contains("--out needs a value"), "{err}");
+        assert!(err.contains("--language"), "{err}");
+    }
+
+    #[test]
+    fn parse_flags_rejects_trailing_flag() {
+        let err = parse_flags(&args(&["--language", "js", "--out"])).unwrap_err();
+        assert!(err.contains("--out needs a value"), "{err}");
+    }
+
+    #[test]
+    fn train_config_validates_keep_prob() {
+        let flags = vec![("keep-prob".to_owned(), "1.5".to_owned())];
+        let err = train_config(&flags).unwrap_err();
+        assert!(err.contains("probability"), "{err}");
+    }
+
+    #[test]
+    fn last_occurrence_of_a_flag_wins() {
+        let (flags, _) = parse_flags(&args(&["--jobs", "2", "--jobs", "8"])).unwrap();
+        assert_eq!(flag(&flags, "jobs"), Some("8"));
+    }
 }

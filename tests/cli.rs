@@ -61,15 +61,25 @@ fn generate_train_predict_round_trip() {
         .arg(&corpus_dir)
         .output()
         .expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let mut train = pigeon();
-    train.args(["train", "--language", "js", "--out"]).arg(&model);
+    train
+        .args(["train", "--language", "js", "--out"])
+        .arg(&model);
     for entry in std::fs::read_dir(&corpus_dir).unwrap() {
         train.arg(entry.unwrap().path());
     }
     let out = train.output().expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(model.exists());
 
     std::fs::write(
@@ -83,7 +93,11 @@ fn generate_train_predict_round_trip() {
         .arg(&query)
         .output()
         .expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     // Three parameters predicted, each with candidates.
     assert_eq!(text.lines().count(), 3, "unexpected output:\n{text}");

@@ -3,9 +3,9 @@
 //! cannot tell apart are distinguishable by AST paths.
 
 use pigeon::core::Abstraction;
+use pigeon::core::ExtractionConfig;
 use pigeon::corpus::Language;
 use pigeon::eval::{extract_edge_features, Representation};
-use pigeon::core::ExtractionConfig;
 use std::collections::BTreeSet;
 
 const FIG3A: &str =

@@ -54,12 +54,8 @@ fn facade_surfaces_parse_errors() {
 fn method_namer_targets_methods_not_variables() {
     let corpus = generate(Language::Python, &CorpusConfig::default().with_files(150));
     let sources: Vec<&str> = corpus.docs.iter().map(|d| d.source.as_str()).collect();
-    let namer = Pigeon::train_method_namer(
-        Language::Python,
-        &sources,
-        &PigeonConfig::default(),
-    )
-    .unwrap();
+    let namer =
+        Pigeon::train_method_namer(Language::Python, &sources, &PigeonConfig::default()).unwrap();
     let query = "def m(xs, t):\n    c = 0\n    for x in xs:\n        if x == t:\n            \
                  c += 1\n    return c\n";
     let predictions = namer.predict(query).unwrap();

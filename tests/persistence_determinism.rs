@@ -12,12 +12,9 @@ fn crf_model_round_trips_through_json_via_facade_training() {
         &CorpusConfig::default().with_files(60),
     );
     let sources: Vec<&str> = corpus.docs.iter().map(|d| d.source.as_str()).collect();
-    let namer = Pigeon::train_variable_namer(
-        Language::JavaScript,
-        &sources,
-        &PigeonConfig::default(),
-    )
-    .unwrap();
+    let namer =
+        Pigeon::train_variable_namer(Language::JavaScript, &sources, &PigeonConfig::default())
+            .unwrap();
 
     let query = "function f() { var d = false; while (!d) { if (go()) { d = true; } } }";
     let before = namer.predict(query).unwrap();
@@ -59,6 +56,109 @@ fn crf_model_round_trips_through_json_via_facade_training() {
         json
     };
     assert!(json.len() > 100);
+}
+
+#[test]
+fn facade_round_trips_config_and_predictions_through_json() {
+    let corpus = generate(
+        Language::JavaScript,
+        &CorpusConfig::default().with_files(60),
+    );
+    let sources: Vec<&str> = corpus.docs.iter().map(|d| d.source.as_str()).collect();
+    let config = PigeonConfig {
+        extraction: pigeon::core::ExtractionConfig::with_limits(5, 2),
+        top_k: 3,
+        ..PigeonConfig::default()
+    };
+    let namer = Pigeon::train_variable_namer(Language::JavaScript, &sources, &config).unwrap();
+
+    let json = namer.to_json().unwrap();
+    let restored = Pigeon::from_json(&json).unwrap();
+    assert_eq!(restored.language(), Language::JavaScript);
+    // Config fields survive: serialising the restored predictor again
+    // must reproduce the same document.
+    assert_eq!(restored.to_json().unwrap(), json);
+
+    // And it predicts identically, scores included.
+    let query = "function f() { var d = false; while (!d) { if (go()) { d = true; } } }";
+    let before = namer.predict(query).unwrap();
+    let after = restored.predict(query).unwrap();
+    assert!(!before.is_empty());
+    assert_eq!(before.len(), after.len());
+    for (b, a) in before.iter().zip(&after) {
+        assert_eq!(b.current_name, a.current_name);
+        assert_eq!(b.predicted_name, a.predicted_name);
+        assert_eq!(b.candidates, a.candidates);
+    }
+}
+
+#[test]
+fn parallel_training_matches_serial_byte_for_byte() {
+    let corpus = generate(
+        Language::JavaScript,
+        &CorpusConfig::default().with_files(60),
+    );
+    let sources: Vec<&str> = corpus.docs.iter().map(|d| d.source.as_str()).collect();
+    let serial = Pigeon::train_variable_namer(
+        Language::JavaScript,
+        &sources,
+        &PigeonConfig {
+            jobs: 1,
+            ..PigeonConfig::default()
+        },
+    )
+    .unwrap();
+    let parallel = Pigeon::train_variable_namer(
+        Language::JavaScript,
+        &sources,
+        &PigeonConfig {
+            jobs: 4,
+            ..PigeonConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(serial.to_json().unwrap(), parallel.to_json().unwrap());
+}
+
+#[test]
+fn downsampled_facade_training_is_reproducible_and_shrinks_features() {
+    let corpus = generate(
+        Language::JavaScript,
+        &CorpusConfig::default().with_files(60),
+    );
+    let sources: Vec<&str> = corpus.docs.iter().map(|d| d.source.as_str()).collect();
+    let sampled = PigeonConfig {
+        keep_prob: 0.5,
+        ..PigeonConfig::default()
+    };
+    let a = Pigeon::train_variable_namer(Language::JavaScript, &sources, &sampled).unwrap();
+    let b = Pigeon::train_variable_namer(Language::JavaScript, &sources, &sampled).unwrap();
+    // The sampling seed is fixed, so downsampled runs are reproducible.
+    assert_eq!(a.to_json().unwrap(), b.to_json().unwrap());
+    // And sampling at 0.5 genuinely drops contexts relative to keeping all.
+    let full =
+        Pigeon::train_variable_namer(Language::JavaScript, &sources, &PigeonConfig::default())
+            .unwrap();
+    assert!(a.to_json().unwrap().len() < full.to_json().unwrap().len());
+}
+
+#[test]
+fn parallel_experiment_matches_serial() {
+    let base = NameExperiment {
+        corpus: CorpusConfig::default().with_files(80),
+        ..NameExperiment::var_names(Language::JavaScript)
+    };
+    let serial = run_name_experiment(&base);
+    let parallel = run_name_experiment(&NameExperiment {
+        jobs: 4,
+        ..base.clone()
+    });
+    assert_eq!(serial.accuracy, parallel.accuracy);
+    assert_eq!(serial.topk_accuracy, parallel.topk_accuracy);
+    assert_eq!(serial.f1, parallel.f1);
+    assert_eq!(serial.n_test, parallel.n_test);
+    assert_eq!(serial.n_features, parallel.n_features);
+    assert_eq!(serial.n_labels, parallel.n_labels);
 }
 
 #[test]

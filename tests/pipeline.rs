@@ -1,13 +1,12 @@
 //! End-to-end pipeline tests: generate → parse → extract → train →
 //! predict → score, across all four languages and both learners.
 
+use pigeon::core::Abstraction;
 use pigeon::corpus::{generate, CorpusConfig, Language};
 use pigeon::eval::{
-    run_name_experiment, run_type_experiment, run_w2v_experiment,
-    naive_string_type_accuracy, NameExperiment, Representation, TypeExperiment,
-    W2vContext, W2vExperiment,
+    naive_string_type_accuracy, run_name_experiment, run_type_experiment, run_w2v_experiment,
+    NameExperiment, Representation, TypeExperiment, W2vContext, W2vExperiment,
 };
-use pigeon::core::Abstraction;
 
 fn small() -> CorpusConfig {
     CorpusConfig::default().with_files(150)
@@ -38,9 +37,8 @@ fn paths_beat_no_paths_in_every_language() {
             ..NameExperiment::var_names(language)
         };
         let paths = run_name_experiment(&base);
-        let no_paths = run_name_experiment(
-            &base.clone().with_representation(Representation::NoPaths),
-        );
+        let no_paths =
+            run_name_experiment(&base.clone().with_representation(Representation::NoPaths));
         assert!(
             paths.accuracy > no_paths.accuracy,
             "{language}: paths {:.3} <= no-paths {:.3}",
