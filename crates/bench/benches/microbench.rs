@@ -121,6 +121,25 @@ fn bench_parallel_training(c: &mut Criterion) {
     }
 }
 
+/// The serving hot path: one trained namer answering queries, serially
+/// and through the `predict_batch` fan-out. The lookup-only graph
+/// build means no vocabulary clone per call.
+fn bench_predict(c: &mut Criterion) {
+    let sources = corpus_sources(200);
+    let refs: Vec<&str> = sources.iter().map(String::as_str).collect();
+    let (train, queries) = refs.split_at(150);
+    let namer = Pigeon::train_variable_namer(Language::JavaScript, train, &PigeonConfig::default())
+        .expect("trains");
+    c.bench_function("predict_single_program", |b| {
+        b.iter(|| std::hint::black_box(namer.predict(queries[0]).expect("parses")))
+    });
+    for jobs in [1usize, 4] {
+        c.bench_function(&format!("predict_batch_50_programs_jobs{jobs}"), |b| {
+            b.iter(|| std::hint::black_box(namer.predict_batch(&queries[..50], jobs)))
+        });
+    }
+}
+
 fn bench_crf(c: &mut Criterion) {
     let train_set = toy_instances(300, 1);
     let test_set = toy_instances(100, 2);
@@ -164,6 +183,7 @@ criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_parsing, bench_extraction, bench_parallel_extraction,
-        bench_parallel_training, bench_abstraction_interning, bench_crf, bench_sgns
+        bench_parallel_training, bench_abstraction_interning, bench_predict,
+        bench_crf, bench_sgns
 }
 criterion_main!(benches);

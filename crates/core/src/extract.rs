@@ -299,20 +299,85 @@ pub fn semi_path_contexts(ast: &Ast, cfg: &ExtractionConfig) -> Vec<PathContext>
 /// (typically an expression nonterminal whose type is being predicted,
 /// §5.3.3). The target end is reported as the target's kind when it is a
 /// nonterminal.
+///
+/// Implementation: the target's ancestor chain is indexed once; each
+/// leaf then climbs at most `max_length` edges until it meets that chain
+/// — the meeting point is the lowest common ancestor, no quadratic
+/// [`path_between`] walk needed — and pairs that exceed the length or
+/// width limits are pruned before any path is allocated. Identical
+/// kind-sequences are interned through the same per-call cache the
+/// leafwise merge pass uses, so repeated shapes share one `AstPath`.
 pub fn contexts_to_node(ast: &Ast, target: NodeId, cfg: &ExtractionConfig) -> Vec<PathContext> {
+    // `chain[d]` is the node `d` edges above the target (chain[0] = the
+    // target); `chain_depth` inverts it for O(1) LCA detection.
+    let mut chain: Vec<NodeId> = vec![target];
+    chain.extend(ast.ancestors(target));
+    let mut chain_depth: HashMap<NodeId, u32> = HashMap::new();
+    for (d, &n) in chain.iter().enumerate() {
+        chain_depth.insert(n, d as u32);
+    }
+    let end = path_end(ast, target);
+
+    let mut cache: HashMap<(Vec<Kind>, u32), AstPath> = HashMap::new();
     let mut out = Vec::new();
     for &leaf in ast.leaves() {
         if leaf == target {
             continue;
         }
-        let (path, width) = path_between(ast, leaf, target);
-        if path.len() > cfg.max_length || width > cfg.max_width {
+        // Climb from the leaf, collecting kinds strictly below the LCA;
+        // stop as soon as the path can no longer fit `max_length`.
+        let mut kinds = vec![ast.kind(leaf)];
+        let mut below_lca = leaf;
+        let mut lca = None;
+        let mut up = 0u32;
+        for anc in ast.ancestors(leaf) {
+            up += 1;
+            if up as usize > cfg.max_length {
+                break;
+            }
+            if let Some(&down) = chain_depth.get(&anc) {
+                lca = Some((anc, down));
+                break;
+            }
+            kinds.push(ast.kind(anc));
+            below_lca = anc;
+        }
+        let Some((lca, down)) = lca else {
+            continue;
+        };
+        if (up + down) as usize > cfg.max_length {
             continue;
         }
+        // Width per Fig. 5: the sibling gap between the two children of
+        // the LCA the path passes through; ancestor–descendant paths
+        // (the target hangs below the LCA == target case) have width 0.
+        if down > 0 {
+            let target_side = chain[down as usize - 1];
+            let width = ast
+                .child_index(below_lca)
+                .abs_diff(ast.child_index(target_side));
+            if width > cfg.max_width {
+                continue;
+            }
+        }
+        kinds.push(ast.kind(lca));
+        kinds.extend(chain[..down as usize].iter().rev().map(|&n| ast.kind(n)));
+        let path = cache
+            .entry((kinds, up))
+            .or_insert_with_key(|(kinds, up)| {
+                let mut dirs = Vec::with_capacity(kinds.len() - 1);
+                dirs.extend(std::iter::repeat_n(Direction::Up, *up as usize));
+                dirs.extend(std::iter::repeat_n(
+                    Direction::Down,
+                    kinds.len() - 1 - *up as usize,
+                ));
+                AstPath::new(kinds.clone(), dirs)
+            })
+            .clone();
         out.push(PathContext {
             start: PathEnd::Value(ast.value(leaf).expect("leaves carry values")),
             path,
-            end: path_end(ast, target),
+            end,
             start_node: leaf,
             end_node: target,
         });
@@ -496,6 +561,50 @@ mod tests {
         assert!(ctxs
             .iter()
             .any(|c| { c.start.as_str() == "d" && c.path.len() == 4 }));
+    }
+
+    /// The pre-rewrite `contexts_to_node`: one [`path_between`] walk per
+    /// leaf, filtered after materialization. Kept as the behavioural
+    /// reference for the chain-walk implementation.
+    fn contexts_to_node_reference(
+        ast: &Ast,
+        target: NodeId,
+        cfg: &ExtractionConfig,
+    ) -> Vec<PathContext> {
+        let mut out = Vec::new();
+        for &leaf in ast.leaves() {
+            if leaf == target {
+                continue;
+            }
+            let (path, width) = path_between(ast, leaf, target);
+            if path.len() > cfg.max_length || width > cfg.max_width {
+                continue;
+            }
+            out.push(PathContext {
+                start: PathEnd::Value(ast.value(leaf).expect("leaves carry values")),
+                path,
+                end: path_end(ast, target),
+                start_node: leaf,
+                end_node: target,
+            });
+        }
+        out
+    }
+
+    #[test]
+    fn contexts_to_node_matches_pairwise_reference() {
+        for ast in [fig1_ast(), fig5_ast()] {
+            for target in ast.preorder() {
+                for (len, width) in [(2, 1), (3, 2), (4, 1), (8, 3), (16, 16)] {
+                    let cfg = ExtractionConfig::with_limits(len, width);
+                    assert_eq!(
+                        contexts_to_node(&ast, target, &cfg),
+                        contexts_to_node_reference(&ast, target, &cfg),
+                        "target {target:?}, max_length {len}, max_width {width}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

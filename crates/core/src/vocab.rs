@@ -56,6 +56,17 @@ impl<T: Eq + Hash + Clone> Interner<T> {
         self.map.get(item).copied()
     }
 
+    /// Borrowed-key [`get`](Interner::get): looks up by any borrowed form
+    /// of `T` (e.g. `&str` for `Interner<String>`), so read-only callers
+    /// never allocate an owned key just to probe the map.
+    pub fn get_by<Q>(&self, item: &Q) -> Option<u32>
+    where
+        T: std::borrow::Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.map.get(item).copied()
+    }
+
     /// The item with the given id.
     ///
     /// # Panics

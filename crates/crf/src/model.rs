@@ -37,6 +37,58 @@ impl CrfModel {
         self.pair_weights.len()
     }
 
+    /// Checks that every feature and label id stored in the model fits
+    /// the given vocabulary sizes, so inference on a deserialised model
+    /// can never index past the vocabularies it shipped with.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first out-of-range id (or the
+    /// label-count/vocabulary size disagreement) found.
+    pub fn validate(&self, num_features: usize, num_labels: usize) -> Result<(), String> {
+        let nf = num_features as u32;
+        let nl = num_labels as u32;
+        let feature = |what: &str, id: u32| {
+            (id < nf).then_some(()).ok_or(format!(
+                "{what} references feature id {id}, but the feature vocabulary \
+                 has {num_features} entries"
+            ))
+        };
+        let label = |what: &str, id: u32| {
+            (id < nl).then_some(()).ok_or(format!(
+                "{what} references label id {id}, but the label vocabulary \
+                 has {num_labels} entries"
+            ))
+        };
+        if self.label_counts.len() != num_labels {
+            return Err(format!(
+                "label-count table has {} entries, but the label vocabulary \
+                 has {num_labels}",
+                self.label_counts.len()
+            ));
+        }
+        for &(path, la, lb) in self.pair_weights.keys() {
+            feature("pairwise weight", path)?;
+            label("pairwise weight", la)?;
+            label("pairwise weight", lb)?;
+        }
+        for &(path, l) in self.unary_weights.keys() {
+            feature("unary weight", path)?;
+            label("unary weight", l)?;
+        }
+        for (&(path, other, _), suggested) in &self.candidates {
+            feature("candidate table", path)?;
+            label("candidate table", other)?;
+            for &(l, _) in suggested {
+                label("candidate suggestion", l)?;
+            }
+        }
+        for &l in &self.global_candidates {
+            label("global candidate list", l)?;
+        }
+        Ok(())
+    }
+
     /// Number of distinct unary features with non-zero weight.
     pub fn num_unary_features(&self) -> usize {
         self.unary_weights.len()

@@ -34,25 +34,36 @@ impl Vocabs {
         Vocabs::default()
     }
 
-    fn label_id(&mut self, s: &str, train: bool) -> Option<u32> {
-        if train {
-            Some(self.labels.intern(s.to_owned()))
-        } else {
-            self.labels.get(&s.to_owned())
-        }
-    }
-
-    fn feature_id(&mut self, s: &str, train: bool) -> Option<u32> {
-        if train {
-            Some(self.features.intern(s.to_owned()))
-        } else {
-            self.features.get(&s.to_owned())
-        }
-    }
-
     /// Resolves a label id back to its string.
     pub fn label_name(&self, id: u32) -> &str {
         self.labels.resolve(id)
+    }
+}
+
+/// How a graph build resolves vocabulary entries.
+///
+/// Training interns new items and therefore needs `&mut Vocabs`; lookup
+/// never inserts, needs only shared access, and resolves strings without
+/// allocating — the serving hot path builds graphs straight against a
+/// trained model's `&Vocabs`, with no per-call clone.
+enum VocabMode<'a> {
+    Train(&'a mut Vocabs),
+    Lookup(&'a Vocabs),
+}
+
+impl VocabMode<'_> {
+    fn label_id(&mut self, s: &str) -> Option<u32> {
+        match self {
+            VocabMode::Train(v) => Some(v.labels.intern(s.to_owned())),
+            VocabMode::Lookup(v) => v.labels.get_by(s),
+        }
+    }
+
+    fn feature_id(&mut self, s: &str) -> Option<u32> {
+        match self {
+            VocabMode::Train(v) => Some(v.features.intern(s.to_owned())),
+            VocabMode::Lookup(v) => v.features.get_by(s),
+        }
     }
 }
 
@@ -80,6 +91,35 @@ pub fn build_name_graph(
     vocabs: &mut Vocabs,
     train: bool,
 ) -> DocGraph {
+    let mode = if train {
+        VocabMode::Train(vocabs)
+    } else {
+        VocabMode::Lookup(vocabs)
+    };
+    build_name_graph_with(language, ast, target, features, mode)
+}
+
+/// Lookup-only [`build_name_graph`]: builds the prediction graph against
+/// a trained model's vocabularies without mutating (or cloning) them.
+/// Unseen features are dropped and unseen labels disable their factors,
+/// exactly as `build_name_graph` with `train = false`.
+pub fn build_name_graph_lookup(
+    language: Language,
+    ast: &Ast,
+    target: ElementClass,
+    features: &[EdgeFeature],
+    vocabs: &Vocabs,
+) -> DocGraph {
+    build_name_graph_with(language, ast, target, features, VocabMode::Lookup(vocabs))
+}
+
+fn build_name_graph_with(
+    language: Language,
+    ast: &Ast,
+    target: ElementClass,
+    features: &[EdgeFeature],
+    mut vocabs: VocabMode<'_>,
+) -> DocGraph {
     let elements = classify_elements(language, ast);
     let leaf_to_element = leaf_index(&elements);
 
@@ -92,7 +132,7 @@ pub fn build_name_graph(
 
     for (i, e) in elements.iter().enumerate() {
         let unknown = e.class == target;
-        let label = vocabs.label_id(&e.name, train);
+        let label = vocabs.label_id(&e.name);
         match (unknown, label) {
             (true, Some(id)) => {
                 unknown_nodes.push(i);
@@ -118,7 +158,7 @@ pub fn build_name_graph(
         let (Some(&a), Some(&b)) = (leaf_to_element.get(&ef.a), leaf_to_element.get(&ef.b)) else {
             continue;
         };
-        let Some(feature) = vocabs.feature_id(&ef.feature, train) else {
+        let Some(feature) = vocabs.feature_id(&ef.feature) else {
             continue;
         };
         let a_unknown = elements[a].class == target;
@@ -157,6 +197,11 @@ pub fn add_semi_paths(
     vocabs: &mut Vocabs,
     train: bool,
 ) {
+    let mut mode = if train {
+        VocabMode::Train(vocabs)
+    } else {
+        VocabMode::Lookup(vocabs)
+    };
     let elements = classify_elements(language, ast);
     let leaf_to_element = leaf_index(&elements);
     for nf in semis {
@@ -166,7 +211,7 @@ pub fn add_semi_paths(
         if elements[e].class != target {
             continue;
         }
-        let Some(feature) = vocabs.feature_id(&nf.feature, train) else {
+        let Some(feature) = mode.feature_id(&nf.feature) else {
             continue;
         };
         graph.instance.add_unary(e, feature);
@@ -184,6 +229,11 @@ pub fn build_type_graph(
     vocabs: &mut Vocabs,
     train: bool,
 ) -> DocGraph {
+    let mut mode = if train {
+        VocabMode::Train(vocabs)
+    } else {
+        VocabMode::Lookup(vocabs)
+    };
     let elements = classify_elements(Language::Java, ast);
     let leaf_to_element = leaf_index(&elements);
 
@@ -191,7 +241,7 @@ pub fn build_type_graph(
     let mut node_names = Vec::with_capacity(elements.len() + truths.len());
     let mut usable = vec![true; elements.len()];
     for (i, e) in elements.iter().enumerate() {
-        match vocabs.label_id(&e.name, train) {
+        match mode.label_id(&e.name) {
             Some(id) => nodes.push(Node::known(id)),
             None => {
                 usable[i] = false;
@@ -208,7 +258,7 @@ pub fn build_type_graph(
             continue;
         };
         let idx = nodes.len();
-        let label = vocabs.label_id(&truth.fqn, train).unwrap_or(0);
+        let label = mode.label_id(&truth.fqn).unwrap_or(0);
         nodes.push(Node::unknown(label));
         node_names.push(truth.fqn.clone());
         unknown_nodes.push(idx);
@@ -225,7 +275,7 @@ pub fn build_type_graph(
                 continue;
             }
             let rendered = abstraction.apply(&ctx.path).to_string();
-            let Some(feature) = vocabs.feature_id(&rendered, train) else {
+            let Some(feature) = mode.feature_id(&rendered) else {
                 continue;
             };
             instance.add_pair(leaf_elem, idx, feature);

@@ -41,7 +41,9 @@ pub use elements::{classify_elements, find_initializer, Element, ElementClass};
 pub use features::{
     extract_edge_features, extract_node_features, EdgeFeature, NodeFeature, Representation,
 };
-pub use graph::{add_semi_paths, build_name_graph, build_type_graph, DocGraph, Vocabs};
+pub use graph::{
+    add_semi_paths, build_name_graph, build_name_graph_lookup, build_type_graph, DocGraph, Vocabs,
+};
 pub use metrics::{exact_match, normalize_name, subtoken_prf, subtokens, Scoreboard};
 pub use parallel::{effective_jobs, parallel_map_indexed};
 pub use sweeps::{

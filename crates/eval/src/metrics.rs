@@ -96,6 +96,10 @@ pub struct Scoreboard {
     correct: usize,
     total: usize,
     topk_correct: usize,
+    /// Predictions that supplied a candidate list — the top-k accuracy
+    /// denominator. Candidate-less predictions and OoV entries are not
+    /// top-k attempts and must not deflate the metric.
+    topk_total: usize,
     f1_sum: f64,
     oov: usize,
 }
@@ -114,6 +118,7 @@ impl Scoreboard {
             self.correct += 1;
         }
         if let Some(candidates) = top_k {
+            self.topk_total += 1;
             if candidates.iter().any(|c| exact_match(c, gold)) {
                 self.topk_correct += 1;
             }
@@ -155,10 +160,10 @@ impl Scoreboard {
     /// Top-k accuracy in `[0, 1]` over the predictions that supplied
     /// candidate lists.
     pub fn topk_accuracy(&self) -> f64 {
-        if self.total == 0 {
+        if self.topk_total == 0 {
             return 0.0;
         }
-        self.topk_correct as f64 / self.total as f64
+        self.topk_correct as f64 / self.topk_total as f64
     }
 
     /// Mean sub-token F1 in `[0, 1]`.
@@ -184,6 +189,7 @@ impl Scoreboard {
         self.correct += other.correct;
         self.total += other.total;
         self.topk_correct += other.topk_correct;
+        self.topk_total += other.topk_total;
         self.f1_sum += other.f1_sum;
         self.oov += other.oov;
     }
@@ -237,8 +243,33 @@ mod tests {
         assert!((s.oov_rate() - 1.0 / 3.0).abs() < 1e-9);
         assert_eq!(s.correct(), 1);
         assert!((s.accuracy() - 1.0 / 3.0).abs() < 1e-9);
-        assert!((s.topk_accuracy() - 2.0 / 3.0).abs() < 1e-9);
+        // Both candidate-supplying predictions hit within top-k; the OoV
+        // entry never attempted top-k and does not dilute the metric.
+        assert!((s.topk_accuracy() - 1.0).abs() < 1e-9);
         assert!(s.f1() > 0.0);
+    }
+
+    /// Regression: `topk_accuracy` is documented as being "over the
+    /// predictions that supplied candidate lists" — `top_k: None`
+    /// records and `record_oov` entries must leave it untouched.
+    #[test]
+    fn topk_denominator_counts_only_candidate_supplying_records() {
+        let mut s = Scoreboard::new();
+        s.record("done", "done", Some(&["done".into()]));
+        s.record("msg", "message", Some(&["text".into()]));
+        assert!((s.topk_accuracy() - 0.5).abs() < 1e-9);
+        // A candidate-less prediction and an OoV gold: accuracy's
+        // denominator grows, top-k's must not.
+        s.record("x", "x", None);
+        s.record_oov();
+        assert_eq!(s.total(), 4);
+        assert!((s.topk_accuracy() - 0.5).abs() < 1e-9);
+        // Merging preserves both denominators independently.
+        let mut merged = Scoreboard::new();
+        merged.record("found", "found", Some(&["found".into()]));
+        merged.merge(&s);
+        assert_eq!(merged.total(), 5);
+        assert!((merged.topk_accuracy() - 2.0 / 3.0).abs() < 1e-9);
     }
 
     #[test]

@@ -106,6 +106,30 @@ impl Value {
             _ => None,
         }
     }
+
+    /// Mutable lookup of `key` when `self` is an object.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        match self {
+            Value::Object(map) => map.get_mut(key),
+            _ => None,
+        }
+    }
+
+    /// The mutable element list, when `self` is a JSON array.
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The mutable key/value map, when `self` is a JSON object.
+    pub fn as_object_mut(&mut self) -> Option<&mut Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
 }
 
 /// Serialisation / deserialisation failure.

@@ -54,12 +54,14 @@ pub use pigeon_js as js;
 pub use pigeon_python as python;
 pub use pigeon_word2vec as word2vec;
 
+pub mod serve;
+
 use pigeon_core::{downsample, Abstraction, ExtractionConfig};
 use pigeon_corpus::Language;
 use pigeon_crf::{CrfConfig, CrfModel};
 use pigeon_eval::{
-    build_name_graph, extract_edge_features, parallel_map_indexed, ElementClass, Representation,
-    Vocabs,
+    build_name_graph, build_name_graph_lookup, extract_edge_features, parallel_map_indexed,
+    ElementClass, Representation, Vocabs,
 };
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -289,6 +291,12 @@ impl Pigeon {
             }
         }
         let model = CrfModel::from_json(str_field("model")?).map_err(|e| err(&e.to_string()))?;
+        // A truncated or hand-edited file can carry weight-table ids
+        // beyond the vocabularies it ships; catch that here so `predict`
+        // never indexes out of bounds.
+        model
+            .validate(vocabs.features.len(), vocabs.labels.len())
+            .map_err(|m| err(&m))?;
         let mut extraction = ExtractionConfig::with_limits(
             num_field("max_length")? as usize,
             num_field("max_width")? as usize,
@@ -321,24 +329,17 @@ impl Pigeon {
     ///
     /// Returns [`PigeonError`] when `source` fails to parse.
     pub fn predict(&self, source: &str) -> Result<Vec<Prediction>, PigeonError> {
-        // The graph builder takes `&mut Vocabs` because the training path
-        // interns; with `train = false` lookups never insert, so a clone
-        // of the (small) vocabularies keeps the predictor immutable.
-        let mut vocabs = self.vocabs.clone();
         let ast = self
             .language
             .parse(source)
             .map_err(|e| PigeonError { message: e })?;
         let rep = Representation::AstPaths(self.config.abstraction);
         let features = extract_edge_features(self.language, &ast, rep, &self.config.extraction);
-        let graph = build_name_graph(
-            self.language,
-            &ast,
-            self.target,
-            &features,
-            &mut vocabs,
-            false,
-        );
+        // Lookup-only graph build: prediction never grows the
+        // vocabularies, so the hot path borrows them directly — no
+        // per-call clone, and `&self` stays shareable across threads.
+        let graph =
+            build_name_graph_lookup(self.language, &ast, self.target, &features, &self.vocabs);
         let labels = self.model.predict(&graph.instance);
         let mut out = Vec::new();
         for &node in &graph.unknown_nodes {
@@ -355,5 +356,21 @@ impl Pigeon {
             });
         }
         Ok(out)
+    }
+
+    /// Predicts names for many programs at once, fanning the per-program
+    /// work (parse, extraction, graph build, inference) over `jobs`
+    /// worker threads; `1` is fully serial, `0` uses all available
+    /// cores.
+    ///
+    /// Results come back in `sources` order and each entry is exactly
+    /// what [`Pigeon::predict`] returns for that source — prediction is
+    /// read-only, so the output is identical for any `jobs` value.
+    pub fn predict_batch(
+        &self,
+        sources: &[&str],
+        jobs: usize,
+    ) -> Vec<Result<Vec<Prediction>, PigeonError>> {
+        parallel_map_indexed(sources, jobs, |_, source| self.predict(source))
     }
 }

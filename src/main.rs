@@ -7,15 +7,18 @@
 //! pigeon generate --language js --files N DIR     # write a corpus
 //! pigeon train    --language js --out model.json FILE...
 //! pigeon predict  --model model.json FILE         # suggest names
+//! pigeon serve    --model model.json --port 7470  # HTTP prediction server
 //! pigeon experiment --language js [--files N]     # quick accuracy run
 //! ```
 
 use pigeon::core::{extract, Abstraction, ExtractionConfig};
 use pigeon::corpus::{generate, CorpusConfig, Language};
 use pigeon::eval::{run_name_experiment, NameExperiment};
+use pigeon::serve::{serve, ServeConfig};
 use pigeon::{Pigeon, PigeonConfig};
 use std::path::Path;
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -24,6 +27,7 @@ fn main() -> ExitCode {
         Some("generate") => cmd_generate(&args[1..]),
         Some("train") => cmd_train(&args[1..]),
         Some("predict") => cmd_predict(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("experiment") => cmd_experiment(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{HELP}");
@@ -51,10 +55,14 @@ USAGE:
                     [--max-length N] [--max-width N] [--jobs N]
                     [--keep-prob P] [--synthetic N | FILE...]
   pigeon predict    --model MODEL.json FILE
+  pigeon serve      --model MODEL.json [--host ADDR] [--port N] [--jobs N]
+                    [--max-request-bytes N] [--read-timeout-ms N]
+                    [--idle-timeout SECS]
   pigeon experiment --language LANG [--files N] [--task vars|methods]
                     [--jobs N]
 
-Flags take `--name value` or `--name=value`.
+Flags take `--name value` or `--name=value`; a flag a subcommand does
+not know is an error, never silently ignored.
 
 LANG: js | java | python | csharp
 LEVEL: full | no-arrows | forget-order | first-top-last | first-last | top | no-path
@@ -68,6 +76,15 @@ DEFAULTS:
                 byte-identical for any value.
   --keep-prob   1.0 (keep every path-context; lower values downsample
                 training contexts, §5.5 of the paper)
+
+SERVE:
+  POST /predict       {\"source\": \"<program>\"}        → predictions
+  POST /predict_batch {\"sources\": [\"<program>\", …]}  → per-source results
+  GET  /stats         request/latency/throughput counters
+  GET  /health        liveness probe
+  --port        7470 (0 = ephemeral, printed on startup)
+  --jobs        0 = one worker per core
+  --idle-timeout  0 = serve until SIGINT/SIGTERM
 ";
 
 /// A parsed `--name value` flag list.
@@ -108,6 +125,21 @@ fn parse_flags(args: &[String]) -> Result<(Flags, Vec<String>), String> {
     Ok((flags, positional))
 }
 
+/// Rejects flags the subcommand does not understand: a typo like
+/// `--max-legnth` must be an error, not a silently applied default.
+fn check_flags(command: &str, flags: &Flags, allowed: &[&str]) -> Result<(), String> {
+    for (name, _) in flags {
+        if !allowed.contains(&name.as_str()) {
+            let allowed_list: Vec<String> = allowed.iter().map(|a| format!("--{a}")).collect();
+            return Err(format!(
+                "unknown flag --{name} for `pigeon {command}` (allowed: {})",
+                allowed_list.join(", ")
+            ));
+        }
+    }
+    Ok(())
+}
+
 fn flag<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
     flags
         .iter()
@@ -145,6 +177,11 @@ fn read_file(path: &str) -> Result<String, String> {
 
 fn cmd_paths(args: &[String]) -> Result<(), String> {
     let (flags, positional) = parse_flags(args)?;
+    check_flags(
+        "paths",
+        &flags,
+        &["language", "max-length", "max-width", "abstraction"],
+    )?;
     let language = required_language(&flags)?;
     let [file] = positional.as_slice() else {
         return Err("expected exactly one FILE".into());
@@ -177,6 +214,7 @@ fn cmd_paths(args: &[String]) -> Result<(), String> {
 
 fn cmd_generate(args: &[String]) -> Result<(), String> {
     let (flags, positional) = parse_flags(args)?;
+    check_flags("generate", &flags, &["language", "files", "seed"])?;
     let language = required_language(&flags)?;
     let [dir] = positional.as_slice() else {
         return Err("expected exactly one output DIR".into());
@@ -228,6 +266,20 @@ fn train_config(flags: &[(String, String)]) -> Result<PigeonConfig, String> {
 
 fn cmd_train(args: &[String]) -> Result<(), String> {
     let (flags, positional) = parse_flags(args)?;
+    check_flags(
+        "train",
+        &flags,
+        &[
+            "language",
+            "out",
+            "task",
+            "max-length",
+            "max-width",
+            "jobs",
+            "keep-prob",
+            "synthetic",
+        ],
+    )?;
     let language = required_language(&flags)?;
     let out = flag(&flags, "out").ok_or("--out is required")?;
     let task = flag(&flags, "task").unwrap_or("vars");
@@ -265,6 +317,7 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
 
 fn cmd_predict(args: &[String]) -> Result<(), String> {
     let (flags, positional) = parse_flags(args)?;
+    check_flags("predict", &flags, &["model"])?;
     let model_path = flag(&flags, "model").ok_or("--model is required")?;
     let [file] = positional.as_slice() else {
         return Err("expected exactly one FILE".into());
@@ -293,8 +346,52 @@ fn cmd_predict(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let (flags, positional) = parse_flags(args)?;
+    check_flags(
+        "serve",
+        &flags,
+        &[
+            "model",
+            "host",
+            "port",
+            "jobs",
+            "max-request-bytes",
+            "read-timeout-ms",
+            "idle-timeout",
+        ],
+    )?;
+    if !positional.is_empty() {
+        return Err(format!(
+            "serve takes no positional arguments, got `{}`",
+            positional[0]
+        ));
+    }
+    let model_path = flag(&flags, "model").ok_or("--model is required")?;
+    let model = Pigeon::from_json(&read_file(model_path)?).map_err(|e| e.to_string())?;
+    let defaults = ServeConfig::default();
+    let port = parse_usize(&flags, "port", defaults.port as usize)?;
+    let port =
+        u16::try_from(port).map_err(|_| format!("--port expects 0..=65535, got `{port}`"))?;
+    let idle_secs = parse_usize(&flags, "idle-timeout", 0)?;
+    let config = ServeConfig {
+        host: flag(&flags, "host").unwrap_or(&defaults.host).to_owned(),
+        port,
+        workers: parse_usize(&flags, "jobs", defaults.workers)?,
+        max_request_bytes: parse_usize(&flags, "max-request-bytes", defaults.max_request_bytes)?,
+        read_timeout: Duration::from_millis(parse_usize(
+            &flags,
+            "read-timeout-ms",
+            defaults.read_timeout.as_millis() as usize,
+        )? as u64),
+        idle_timeout: (idle_secs > 0).then(|| Duration::from_secs(idle_secs as u64)),
+    };
+    serve(model, &config)
+}
+
 fn cmd_experiment(args: &[String]) -> Result<(), String> {
     let (flags, _) = parse_flags(args)?;
+    check_flags("experiment", &flags, &["language", "files", "task", "jobs"])?;
     let language = required_language(&flags)?;
     let files = parse_usize(&flags, "files", 400)?;
     let task = flag(&flags, "task").unwrap_or("vars");

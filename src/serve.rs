@@ -1,0 +1,450 @@
+//! `pigeon serve`: a dependency-free HTTP prediction server.
+//!
+//! The lineage system of the paper's CRF — Nice2Predict, deployed at
+//! jsnice.org — was a prediction *service*; this module turns a trained
+//! [`Pigeon`] model into one using nothing beyond `std`. The model is
+//! loaded once; every request runs the read-only prediction hot path
+//! (no vocabulary clone, no interning), so one model serves any number
+//! of worker threads concurrently.
+//!
+//! # Protocol
+//!
+//! Minimal HTTP/1.1, one request per connection (`Connection: close`):
+//!
+//! * `POST /predict` — body `{"source": "<program text>"}`; responds
+//!   `{"predictions": [{"current_name", "predicted_name",
+//!   "candidates": [[name, score], …]}, …]}`.
+//! * `POST /predict_batch` — body `{"sources": ["<program>", …]}`;
+//!   responds `{"results": [<per-source predict response>, …]}` in
+//!   request order.
+//! * `GET /stats` — request/error/prediction counters, latency and
+//!   throughput since startup.
+//! * `GET /health` — liveness probe, `{"status": "ok"}`.
+//!
+//! Errors come back as `{"error": "<message>"}` with a 4xx status.
+//!
+//! # Robustness
+//!
+//! Every connection gets a read timeout and a bounded request size, so a
+//! slow or hostile client cannot wedge a worker. The accept loop exits
+//! cleanly on SIGINT/SIGTERM or after `--idle-timeout` seconds without
+//! a request, joining all workers before returning.
+
+use crate::{Pigeon, Prediction};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Configuration of one [`serve`] run.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Interface to bind.
+    pub host: String,
+    /// Port to bind; `0` picks an ephemeral port (printed on startup).
+    pub port: u16,
+    /// Worker threads handling connections; `0` uses all cores.
+    pub workers: usize,
+    /// Largest accepted request body, in bytes.
+    pub max_request_bytes: usize,
+    /// Per-connection socket read timeout.
+    pub read_timeout: Duration,
+    /// Exit after this long without a request; `None` serves forever.
+    pub idle_timeout: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            host: "127.0.0.1".to_owned(),
+            port: 7470,
+            workers: 0,
+            max_request_bytes: 1 << 20,
+            read_timeout: Duration::from_secs(5),
+            idle_timeout: None,
+        }
+    }
+}
+
+/// Request/latency counters shared by every worker, exposed on `/stats`.
+#[derive(Debug, Default)]
+struct Stats {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    predictions: AtomicU64,
+    predict_requests: AtomicU64,
+    latency_micros: AtomicU64,
+    latency_max_micros: AtomicU64,
+}
+
+impl Stats {
+    fn record_latency(&self, elapsed: Duration) {
+        let micros = elapsed.as_micros() as u64;
+        self.predict_requests.fetch_add(1, Ordering::Relaxed);
+        self.latency_micros.fetch_add(micros, Ordering::Relaxed);
+        self.latency_max_micros.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    fn to_json(&self, uptime: Duration) -> serde_json::Value {
+        let predict_requests = self.predict_requests.load(Ordering::Relaxed);
+        let latency_micros = self.latency_micros.load(Ordering::Relaxed);
+        let predictions = self.predictions.load(Ordering::Relaxed);
+        let uptime_secs = uptime.as_secs_f64();
+        let mean_micros = if predict_requests == 0 {
+            0.0
+        } else {
+            latency_micros as f64 / predict_requests as f64
+        };
+        let throughput = if uptime_secs > 0.0 {
+            predictions as f64 / uptime_secs
+        } else {
+            0.0
+        };
+        serde_json::json!({
+            "uptime_secs": uptime_secs,
+            "requests_total": self.requests.load(Ordering::Relaxed),
+            "errors_total": self.errors.load(Ordering::Relaxed),
+            "predict_requests_total": predict_requests,
+            "predictions_total": predictions,
+            "latency_micros_total": latency_micros,
+            "latency_micros_mean": mean_micros,
+            "latency_micros_max": self.latency_max_micros.load(Ordering::Relaxed),
+            "predictions_per_sec": throughput,
+        })
+    }
+}
+
+/// Set by the SIGINT/SIGTERM handler; the accept loop polls it.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_shutdown_handler() {
+    extern "C" fn on_signal(_signum: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        // Provided by libc, which std already links; declaring it here
+        // keeps the server dependency-free.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+    unsafe {
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_shutdown_handler() {}
+
+/// One parsed HTTP request.
+struct Request {
+    method: String,
+    path: String,
+    body: String,
+}
+
+/// An HTTP error response: status, reason phrase, JSON error message.
+type HttpError = (u16, &'static str, String);
+
+fn render_response(status: u16, reason: &str, body: &str) -> String {
+    format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+fn error_body(message: &str) -> String {
+    serde_json::to_string(&serde_json::json!({ "error": message }))
+        .unwrap_or_else(|_| "{\"error\":\"internal\"}".to_owned())
+}
+
+/// Reads and parses one request off the socket, enforcing the body-size
+/// bound. Socket timeouts surface as 408, oversized bodies as 413.
+fn read_request(reader: &mut BufReader<&TcpStream>, max_body: usize) -> Result<Request, HttpError> {
+    // Generous fixed bound on the header section; bodies get the
+    // configurable limit.
+    const MAX_HEADER_BYTES: usize = 16 * 1024;
+    let map_io = |e: std::io::Error| -> HttpError {
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+                (408, "Request Timeout", "connection read timed out".into())
+            }
+            _ => (400, "Bad Request", format!("read failed: {e}")),
+        }
+    };
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(map_io)?;
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+        return Err((400, "Bad Request", "malformed request line".into()));
+    };
+    let (method, path) = (method.to_owned(), path.to_owned());
+
+    let mut content_length = 0usize;
+    let mut header_bytes = line.len();
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header).map_err(map_io)?;
+        header_bytes += header.len();
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err((
+                431,
+                "Request Header Fields Too Large",
+                "headers too large".into(),
+            ));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| (400, "Bad Request", "bad Content-Length".to_owned()))?;
+            }
+        }
+    }
+    if content_length > max_body {
+        return Err((
+            413,
+            "Payload Too Large",
+            format!("request body of {content_length} bytes exceeds the {max_body}-byte limit"),
+        ));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(map_io)?;
+    let body = String::from_utf8(body)
+        .map_err(|_| (400, "Bad Request", "request body is not UTF-8".to_owned()))?;
+    Ok(Request { method, path, body })
+}
+
+fn predictions_to_json(predictions: &[Prediction]) -> serde_json::Value {
+    serde_json::Value::Array(
+        predictions
+            .iter()
+            .map(|p| {
+                serde_json::json!({
+                    "current_name": p.current_name,
+                    "predicted_name": p.predicted_name,
+                    "candidates": serde_json::Value::Array(
+                        p.candidates
+                            .iter()
+                            .map(|(name, score)| serde_json::json!([name, score]))
+                            .collect(),
+                    ),
+                })
+            })
+            .collect(),
+    )
+}
+
+fn parse_json_body(body: &str) -> Result<serde_json::Value, HttpError> {
+    serde_json::from_str(body).map_err(|e| {
+        (
+            400,
+            "Bad Request",
+            format!("request is not valid JSON: {e}"),
+        )
+    })
+}
+
+/// Routes one request. `Ok` is the JSON body of a 200 response.
+fn route(
+    model: &Pigeon,
+    stats: &Stats,
+    started: Instant,
+    req: &Request,
+) -> Result<serde_json::Value, HttpError> {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/predict") => {
+            let t = Instant::now();
+            let value = parse_json_body(&req.body)?;
+            let source = value
+                .get("source")
+                .and_then(|s| s.as_str())
+                .ok_or_else(|| {
+                    (
+                        400,
+                        "Bad Request",
+                        "expected a JSON object with a string `source` field".to_owned(),
+                    )
+                })?;
+            let predictions = model
+                .predict(source)
+                .map_err(|e| (422, "Unprocessable Entity", e.to_string()))?;
+            stats
+                .predictions
+                .fetch_add(predictions.len() as u64, Ordering::Relaxed);
+            stats.record_latency(t.elapsed());
+            Ok(serde_json::json!({ "predictions": predictions_to_json(&predictions) }))
+        }
+        ("POST", "/predict_batch") => {
+            let t = Instant::now();
+            let value = parse_json_body(&req.body)?;
+            let sources = value
+                .get("sources")
+                .and_then(|s| s.as_array())
+                .ok_or_else(|| {
+                    (
+                        400,
+                        "Bad Request",
+                        "expected a JSON object with a `sources` array".to_owned(),
+                    )
+                })?;
+            let mut results = Vec::with_capacity(sources.len());
+            for source in sources {
+                let Some(source) = source.as_str() else {
+                    return Err((400, "Bad Request", "`sources` must hold strings".to_owned()));
+                };
+                // Per-source failures are reported in place so one bad
+                // program does not void the rest of the batch.
+                results.push(match model.predict(source) {
+                    Ok(predictions) => {
+                        stats
+                            .predictions
+                            .fetch_add(predictions.len() as u64, Ordering::Relaxed);
+                        serde_json::json!({ "predictions": predictions_to_json(&predictions) })
+                    }
+                    Err(e) => serde_json::json!({ "error": e.to_string() }),
+                });
+            }
+            stats.record_latency(t.elapsed());
+            Ok(serde_json::json!({ "results": serde_json::Value::Array(results) }))
+        }
+        ("GET", "/stats") => Ok(stats.to_json(started.elapsed())),
+        ("GET", "/health") => Ok(serde_json::json!({ "status": "ok" })),
+        _ => Err((
+            404,
+            "Not Found",
+            format!("no route for {} {}", req.method, req.path),
+        )),
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    model: &Pigeon,
+    stats: &Stats,
+    started: Instant,
+    cfg: &ServeConfig,
+) {
+    let _ = stream.set_read_timeout(Some(cfg.read_timeout));
+    stats.requests.fetch_add(1, Ordering::Relaxed);
+    let mut reader = BufReader::new(&stream);
+    let response = match read_request(&mut reader, cfg.max_request_bytes)
+        .and_then(|req| route(model, stats, started, &req))
+    {
+        Ok(body) => {
+            let body = serde_json::to_string(&body).unwrap_or_else(|_| "{}".to_owned());
+            render_response(200, "OK", &body)
+        }
+        Err((status, reason, message)) => {
+            stats.errors.fetch_add(1, Ordering::Relaxed);
+            render_response(status, reason, &error_body(&message))
+        }
+    };
+    let _ = (&stream).write_all(response.as_bytes());
+    let _ = (&stream).flush();
+}
+
+/// Runs the server until SIGINT/SIGTERM or the idle timeout.
+///
+/// Prints one `listening on http://HOST:PORT` line (with the resolved
+/// ephemeral port, when `port` was 0) before accepting traffic, and a
+/// final request-count summary after a clean shutdown.
+///
+/// # Errors
+///
+/// Returns a message when the listen address cannot be bound.
+pub fn serve(model: Pigeon, cfg: &ServeConfig) -> Result<(), String> {
+    let workers = pigeon_eval::effective_jobs(cfg.workers);
+    let listener = TcpListener::bind((cfg.host.as_str(), cfg.port))
+        .map_err(|e| format!("cannot bind {}:{}: {e}", cfg.host, cfg.port))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("cannot resolve listen address: {e}"))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("cannot poll listener: {e}"))?;
+    SHUTDOWN.store(false, Ordering::SeqCst);
+    install_shutdown_handler();
+
+    let model = Arc::new(model);
+    let stats = Arc::new(Stats::default());
+    let started = Instant::now();
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+
+    println!(
+        "pigeon serve: {} model, listening on http://{addr} ({workers} worker{})",
+        model.language().name(),
+        if workers == 1 { "" } else { "s" },
+    );
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let rx = Arc::clone(&rx);
+            let model = Arc::clone(&model);
+            let stats = Arc::clone(&stats);
+            let cfg = cfg.clone();
+            scope.spawn(move || loop {
+                // Holding the lock only for the recv keeps workers
+                // draining the queue independently.
+                let stream = rx.lock().expect("receiver lock").recv();
+                match stream {
+                    Ok(stream) => handle_connection(stream, &model, &stats, started, &cfg),
+                    Err(_) => break, // accept loop hung up: shutdown
+                }
+            });
+        }
+
+        let mut last_activity = Instant::now();
+        loop {
+            if SHUTDOWN.load(Ordering::SeqCst) {
+                break;
+            }
+            if let Some(idle) = cfg.idle_timeout {
+                if last_activity.elapsed() >= idle {
+                    break;
+                }
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    last_activity = Instant::now();
+                    // The listener polls; connections block (with the
+                    // read timeout) so workers do not spin.
+                    let _ = stream.set_nonblocking(false);
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => {
+                    eprintln!("pigeon serve: accept failed: {e}");
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+        // Dropping the sender ends every worker's recv loop; the scope
+        // joins them before the final summary prints.
+        drop(tx);
+    });
+
+    println!(
+        "pigeon serve: shut down after {} requests ({} errors, {} predictions) in {:.1}s",
+        stats.requests.load(Ordering::Relaxed),
+        stats.errors.load(Ordering::Relaxed),
+        stats.predictions.load(Ordering::Relaxed),
+        started.elapsed().as_secs_f64(),
+    );
+    Ok(())
+}

@@ -18,8 +18,46 @@ fn help_lists_every_command() {
     let out = pigeon().arg("help").output().expect("runs");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    for cmd in ["paths", "generate", "train", "predict", "experiment"] {
+    for cmd in [
+        "paths",
+        "generate",
+        "train",
+        "predict",
+        "experiment",
+        "serve",
+    ] {
         assert!(text.contains(cmd), "help is missing `{cmd}`");
+    }
+}
+
+/// Regression: flags used to be parsed permissively, so a typo like
+/// `--max-legnth` was silently dropped and the default limit used
+/// instead. Every subcommand must now reject flags it does not know.
+#[test]
+fn unknown_flags_are_rejected_not_ignored() {
+    let cases: &[&[&str]] = &[
+        &["paths", "--language", "js", "--max-legnth", "4", "x.js"],
+        &["generate", "--language", "js", "--fils", "10", "/tmp/never"],
+        &[
+            "train",
+            "--language",
+            "js",
+            "--output",
+            "/tmp/never.json",
+            "x.js",
+        ],
+        &["predict", "--model", "m.json", "--jobs", "2", "x.js"],
+        &["experiment", "--language", "js", "--flies", "40"],
+        &["serve", "--model", "m.json", "--prot", "8080"],
+    ];
+    for args in cases {
+        let out = pigeon().args(*args).output().expect("runs");
+        assert!(!out.status.success(), "accepted: {args:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.contains("unknown flag") && err.contains("allowed:"),
+            "unhelpful error for {args:?}: {err}"
+        );
     }
 }
 

@@ -43,6 +43,73 @@ fn facade_rejects_garbage_model_files() {
     assert!(Pigeon::from_json(r#"{"language": "klingon"}"#).is_err());
 }
 
+/// A model whose weight tables reference ids beyond the stored
+/// vocabularies must be rejected with a named mismatch, not loaded (it
+/// would panic or silently mispredict later).
+#[test]
+fn facade_rejects_model_with_out_of_range_ids() {
+    let namer = trained_namer(Language::JavaScript, 60);
+    let json = namer.to_json().expect("serialises");
+
+    // Truncate the feature vocabulary: every id the weight tables
+    // mention past the cut is now dangling.
+    let truncated = {
+        let mut v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let features = v
+            .get_mut("features")
+            .and_then(|x| x.as_array_mut())
+            .expect("feature vocab array");
+        assert!(features.len() > 1, "test needs a non-trivial vocabulary");
+        features.truncate(1);
+        serde_json::to_string(&v).unwrap()
+    };
+    let err = Pigeon::from_json(&truncated).expect_err("must reject");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("feature") && msg.contains("vocabulary"),
+        "error should name the mismatched table: {msg}"
+    );
+
+    // Same for labels: the label-count table no longer lines up.
+    let truncated = {
+        let mut v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let labels = v
+            .get_mut("labels")
+            .and_then(|x| x.as_array_mut())
+            .expect("label vocab array");
+        labels.truncate(1);
+        serde_json::to_string(&v).unwrap()
+    };
+    let err = Pigeon::from_json(&truncated).expect_err("must reject");
+    assert!(err.to_string().contains("label"), "{err}");
+}
+
+/// `predict_batch` is a parallel fan-out over `predict`: for every jobs
+/// count the results must be identical to the sequential loop, in
+/// source order.
+#[test]
+fn predict_batch_matches_sequential_predict_exactly() {
+    let namer = trained_namer(Language::JavaScript, 120);
+    let sources = [
+        "function f() { var d = false; while (!d) { if (go()) { d = true; } } }",
+        "function { syntax error",
+        "function g(xs) { var n = 0; for (var x of xs) { n += x; } return n; }",
+        "function h(a, b, c) { b.open(0, a, false); b.send(c); }",
+    ];
+    let sequential: Vec<String> = sources
+        .iter()
+        .map(|s| format!("{:?}", namer.predict(s)))
+        .collect();
+    for jobs in [1usize, 4] {
+        let batched: Vec<String> = namer
+            .predict_batch(&sources, jobs)
+            .iter()
+            .map(|r| format!("{r:?}"))
+            .collect();
+        assert_eq!(batched, sequential, "jobs={jobs} diverged from serial");
+    }
+}
+
 #[test]
 fn facade_surfaces_parse_errors() {
     let namer = trained_namer(Language::JavaScript, 40);

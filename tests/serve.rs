@@ -1,0 +1,321 @@
+//! End-to-end tests for `pigeon serve`: a real model served over a real
+//! TCP socket, exercised with hand-rolled HTTP/1.1 requests.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn pigeon() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pigeon"))
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pigeon-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Generates a synthetic corpus and trains a variable-naming model via
+/// the CLI, returning the model path.
+fn train_model(dir: &Path) -> PathBuf {
+    let corpus_dir = dir.join("corpus");
+    let model = dir.join("model.json");
+    let out = pigeon()
+        .args(["generate", "--language", "js", "--files", "100"])
+        .arg(&corpus_dir)
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let mut train = pigeon();
+    train
+        .args(["train", "--language", "js", "--out"])
+        .arg(&model);
+    for entry in std::fs::read_dir(&corpus_dir).unwrap() {
+        train.arg(entry.unwrap().path());
+    }
+    let out = train.output().expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    model
+}
+
+/// Spawns `pigeon serve --port 0`, reads the startup line and returns
+/// the child, the bound `host:port` address, and the stdout reader
+/// (kept alive so the server's final summary has somewhere to go).
+fn spawn_server(model: &Path, extra: &[&str]) -> (Child, String, BufReader<ChildStdout>) {
+    let mut child = pigeon()
+        .args(["serve", "--model"])
+        .arg(model)
+        .args(["--port", "0"])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawns");
+    let mut reader = BufReader::new(child.stdout.take().expect("piped stdout"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("startup line");
+    let addr = line
+        .split("http://")
+        .nth(1)
+        .unwrap_or_else(|| panic!("no address in startup line: {line:?}"))
+        .split_whitespace()
+        .next()
+        .unwrap()
+        .to_string();
+    (child, addr, reader)
+}
+
+/// Sends one raw HTTP request and returns `(status_code, body)`.
+fn http(addr: &str, request: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connects");
+    stream.write_all(request.as_bytes()).expect("writes");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("reads");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("numeric status");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn post(addr: &str, path: &str, body: &str) -> (u16, String) {
+    http(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\
+             Connection: close\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+fn get(addr: &str, path: &str) -> (u16, String) {
+    http(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"),
+    )
+}
+
+const QUERY: &str = r#"{"source": "function f(a, b, c) { b.open(0, a, false); b.send(c); }"}"#;
+
+#[test]
+fn serve_predicts_and_reports_stats() {
+    let dir = tmp_dir("e2e");
+    let model = train_model(&dir);
+    let (mut child, addr, _stdout) = spawn_server(&model, &["--idle-timeout", "60"]);
+
+    let (status, body) = get(&addr, "/health");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"ok\""));
+
+    let (status, body) = post(&addr, "/predict", QUERY);
+    assert_eq!(status, 200, "{body}");
+    assert!(
+        body.contains("\"predictions\""),
+        "missing predictions: {body}"
+    );
+    // The query has three unknown parameters; each prediction carries a
+    // candidate list and a top pick.
+    assert_eq!(body.matches("\"predicted_name\"").count(), 3, "{body}");
+    assert_eq!(body.matches("\"candidates\"").count(), 3, "{body}");
+
+    // Batch endpoint: one good program, one broken one; the broken one
+    // becomes a per-source error without failing the whole request.
+    let (status, body) = post(
+        &addr,
+        "/predict_batch",
+        r#"{"sources": ["function g(x) { return x; }", "not valid js ((("]}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"results\""), "{body}");
+    assert!(body.contains("\"predictions\""), "{body}");
+    assert!(body.contains("\"error\""), "{body}");
+
+    // Error routes are reported as JSON and counted.
+    let (status, _) = get(&addr, "/no-such-route");
+    assert_eq!(status, 404);
+    let (status, body) = post(&addr, "/predict", "{not json");
+    assert_eq!(status, 400, "{body}");
+    let (status, body) = post(&addr, "/predict", r#"{"source": "function ((("}"#);
+    assert_eq!(status, 422, "{body}");
+
+    let (status, stats) = get(&addr, "/stats");
+    assert_eq!(status, 200, "{stats}");
+    for field in [
+        "\"requests_total\"",
+        "\"errors_total\"",
+        "\"predict_requests_total\"",
+        "\"predictions_total\"",
+        "\"latency_micros_mean\"",
+        "\"latency_micros_max\"",
+        "\"predictions_per_sec\"",
+        "\"uptime_secs\"",
+    ] {
+        assert!(stats.contains(field), "missing {field} in {stats}");
+    }
+    // /predict (3 names) + the good half of /predict_batch (1 name).
+    assert!(stats.contains("\"predictions_total\":4"), "{stats}");
+    // 404 + bad JSON + unparseable program.
+    assert!(stats.contains("\"errors_total\":3"), "{stats}");
+
+    child.kill().expect("kills");
+    let _ = child.wait();
+}
+
+#[test]
+fn serve_answers_concurrent_requests() {
+    let dir = tmp_dir("concurrent");
+    let model = train_model(&dir);
+    let (mut child, addr, _stdout) = spawn_server(&model, &["--idle-timeout", "60", "--jobs", "2"]);
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    for _ in 0..3 {
+                        let (status, body) = post(&addr, "/predict", QUERY);
+                        assert_eq!(status, 200, "{body}");
+                        assert!(body.contains("\"predictions\""), "{body}");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("client thread");
+        }
+    });
+
+    let (status, stats) = get(&addr, "/stats");
+    assert_eq!(status, 200);
+    assert!(stats.contains("\"predict_requests_total\":12"), "{stats}");
+    assert!(stats.contains("\"errors_total\":0"), "{stats}");
+
+    child.kill().expect("kills");
+    let _ = child.wait();
+}
+
+#[test]
+fn serve_exits_cleanly_on_idle_timeout() {
+    let dir = tmp_dir("idle");
+    let model = train_model(&dir);
+    let (mut child, addr, mut stdout) = spawn_server(&model, &["--idle-timeout", "1"]);
+    let (status, _) = get(&addr, "/health");
+    assert_eq!(status, 200);
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let code = loop {
+        if let Some(code) = child.try_wait().expect("try_wait") {
+            break code;
+        }
+        assert!(Instant::now() < deadline, "server never idled out");
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert!(code.success(), "idle shutdown should exit 0, got {code:?}");
+    let mut rest = String::new();
+    stdout.read_to_string(&mut rest).expect("summary");
+    assert!(
+        rest.contains("shut down after"),
+        "missing shutdown summary: {rest:?}"
+    );
+}
+
+#[test]
+fn serve_rejects_oversized_requests() {
+    let dir = tmp_dir("limits");
+    let model = train_model(&dir);
+    let (mut child, addr, _stdout) = spawn_server(
+        &model,
+        &["--idle-timeout", "60", "--max-request-bytes", "256"],
+    );
+    let big = format!(r#"{{"source": "{}"}}"#, "x".repeat(1024));
+    let (status, body) = post(&addr, "/predict", &big);
+    assert_eq!(status, 413, "{body}");
+    // The server survives and keeps answering.
+    let (status, _) = get(&addr, "/health");
+    assert_eq!(status, 200);
+    child.kill().expect("kills");
+    let _ = child.wait();
+}
+
+/// Manual throughput report backing the EXPERIMENTS.md table: run with
+/// `cargo test --release --test serve -- --ignored --nocapture`.
+#[test]
+#[ignore]
+fn throughput_report() {
+    use pigeon::corpus::{generate, CorpusConfig, Language};
+    use pigeon::{Pigeon, PigeonConfig};
+
+    let corpus = generate(
+        Language::JavaScript,
+        &CorpusConfig::default().with_files(400),
+    );
+    let sources: Vec<&str> = corpus.docs.iter().map(|d| d.source.as_str()).collect();
+    let (train, queries) = sources.split_at(300);
+    let namer = Pigeon::train_variable_namer(Language::JavaScript, train, &PigeonConfig::default())
+        .expect("trains");
+
+    let t = Instant::now();
+    let serial: usize = queries
+        .iter()
+        .map(|s| namer.predict(s).map(|p| p.len()).unwrap_or(0))
+        .sum();
+    let serial_secs = t.elapsed().as_secs_f64();
+    println!(
+        "serial:        {} programs, {serial} predictions in {serial_secs:.3}s \
+         ({:.0} programs/s)",
+        queries.len(),
+        queries.len() as f64 / serial_secs
+    );
+
+    for jobs in [1usize, 4] {
+        let t = Instant::now();
+        let batch: usize = namer
+            .predict_batch(queries, jobs)
+            .into_iter()
+            .map(|r| r.map(|p| p.len()).unwrap_or(0))
+            .sum();
+        let secs = t.elapsed().as_secs_f64();
+        assert_eq!(batch, serial);
+        println!(
+            "batch jobs={jobs}:  {} programs in {secs:.3}s ({:.0} programs/s)",
+            queries.len(),
+            queries.len() as f64 / secs
+        );
+    }
+
+    let dir = tmp_dir("throughput");
+    let model_path = dir.join("model.json");
+    std::fs::write(&model_path, namer.to_json().expect("serialises")).unwrap();
+    let (mut child, addr, _stdout) = spawn_server(&model_path, &["--idle-timeout", "60"]);
+    let t = Instant::now();
+    for q in queries {
+        let body = serde_json::to_string(&serde_json::json!({ "source": *q })).unwrap();
+        let (status, _) = post(&addr, "/predict", &body);
+        assert!(status == 200 || status == 422);
+    }
+    let secs = t.elapsed().as_secs_f64();
+    println!(
+        "served:        {} programs in {secs:.3}s ({:.0} programs/s, one conn each)",
+        queries.len(),
+        queries.len() as f64 / secs
+    );
+    child.kill().expect("kills");
+    let _ = child.wait();
+}
