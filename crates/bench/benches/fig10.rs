@@ -13,7 +13,7 @@ fn main() {
 
     let lengths = [2usize, 3, 4, 5, 6, 7];
     let widths = [1usize, 2, 3];
-    let cells = length_width_sweep(&corpus, &lengths, &widths);
+    let cells = length_width_sweep(&corpus, &lengths, &widths, 0);
 
     print!("{:<10}", "");
     for l in lengths {

@@ -11,7 +11,8 @@ fn main() {
     let section = Section::begin("Fig. 11: downsampling path-context occurrences (JS variables)");
 
     let probs = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
-    let points = downsample_sweep(&corpus, &probs);
+    // Serial points: the figure compares per-point training times.
+    let points = downsample_sweep(&corpus, &probs, 1);
 
     println!("{:>6} {:>10} {:>12}", "p", "accuracy", "train (s)");
     for pt in &points {

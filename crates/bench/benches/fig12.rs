@@ -10,7 +10,8 @@ fn main() {
     let corpus = CorpusConfig::default().with_files(files);
     let section = Section::begin("Fig. 12: abstraction levels (Java variables)");
 
-    let points = abstraction_sweep(&corpus);
+    // Serial levels: the figure compares per-level training times.
+    let points = abstraction_sweep(&corpus, 1);
     println!(
         "{:<16} {:>10} {:>12} {:>10}",
         "abstraction", "accuracy", "train (s)", "features"

@@ -156,6 +156,62 @@ fn bench_crf(c: &mut Criterion) {
     });
 }
 
+/// Denser factor graphs than [`toy_instances`]: several unknowns chained
+/// through pairwise factors plus unary evidence, the shape real
+/// name-prediction instances take. This is the CRF-training workload the
+/// compiled engine is measured on.
+fn crf_world(n: usize, seed: u64) -> Vec<Instance> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let path = rng.gen_range(0..40u32);
+            let mut inst = Instance::new(vec![
+                Node::unknown(path % 10),
+                Node::unknown(10 + path % 5),
+                Node::unknown(path % 7),
+                Node::unknown(15 + path % 3),
+                Node::known(18 + path % 2),
+                Node::known(path % 4),
+            ]);
+            inst.add_pair(0, 4, path);
+            inst.add_pair(1, 4, 40 + path % 8);
+            inst.add_pair(0, 1, 80 + path % 6);
+            inst.add_pair(1, 2, 90 + path % 6);
+            inst.add_pair(2, 3, 100 + path % 6);
+            inst.add_pair(3, 5, 110 + path % 8);
+            inst.add_pair(0, 2, 120 + path % 4);
+            inst.add_unary(0, 200 + path);
+            inst.add_unary(2, 250 + path % 20);
+            inst.add_unary(3, 280 + path % 10);
+            inst
+        })
+        .collect()
+}
+
+/// The headline CRF-training microbenches: max-margin training over the
+/// dense `crf_world` corpora, single-threaded (`jobs = 1`), plus batch MAP
+/// inference with a trained model. EXPERIMENTS.md records these
+/// before/after the compiled-engine rewrite.
+fn bench_crf_engine(c: &mut Criterion) {
+    let small = crf_world(150, 11);
+    let medium = crf_world(600, 12);
+    c.bench_function("crf_train_small", |b| {
+        b.iter(|| std::hint::black_box(train_crf(&small, 20, &CrfConfig::default())))
+    });
+    c.bench_function("crf_train_medium", |b| {
+        b.iter(|| std::hint::black_box(train_crf(&medium, 20, &CrfConfig::default())))
+    });
+    let model = train_crf(&medium, 20, &CrfConfig::default());
+    let queries = crf_world(200, 13);
+    c.bench_function("crf_infer_batch", |b| {
+        b.iter(|| {
+            for inst in &queries {
+                std::hint::black_box(model.predict(inst));
+            }
+        })
+    });
+}
+
 fn bench_sgns(c: &mut Criterion) {
     let mut rng = SmallRng::seed_from_u64(3);
     let pairs: Vec<(u32, u32)> = (0..5000)
@@ -184,6 +240,6 @@ criterion_group! {
     config = Criterion::default().sample_size(10);
     targets = bench_parsing, bench_extraction, bench_parallel_extraction,
         bench_parallel_training, bench_abstraction_interning, bench_predict,
-        bench_crf, bench_sgns
+        bench_crf, bench_crf_engine, bench_sgns
 }
 criterion_main!(benches);

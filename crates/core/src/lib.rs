@@ -52,6 +52,7 @@ mod context;
 mod element;
 mod extract;
 mod nwise;
+mod parallel;
 mod path;
 mod sampling;
 mod vocab;
@@ -64,6 +65,7 @@ pub use extract::{
     ExtractionConfig,
 };
 pub use nwise::{triple_contexts, NWiseContext};
+pub use parallel::{effective_jobs, parallel_map_indexed};
 pub use path::{AstPath, Direction};
 pub use sampling::downsample;
 pub use vocab::{Interner, PathId, PathVocab};

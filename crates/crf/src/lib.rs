@@ -29,11 +29,13 @@
 //! ```
 
 mod beam;
+mod compiled;
 mod instance;
 mod model;
 mod serialize;
 mod train;
 
+pub use compiled::{CompiledCrf, Workspace};
 pub use instance::{Instance, Node, PairFactor, UnaryFactor};
 pub use model::CrfModel;
 pub use train::{train, CrfConfig};

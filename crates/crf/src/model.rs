@@ -1,7 +1,9 @@
 //! The weight store, MAP inference, and top-k suggestion.
 
+use crate::compiled::CompiledCrf;
 use crate::instance::{Instance, NodeAdjacency};
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 /// Feature weights and label statistics of a trained CRF.
 ///
@@ -10,7 +12,7 @@ use std::collections::HashMap;
 /// `Σ w[(path, y_a)]` over unary factors — Eq. 1 of the paper in log
 /// space, restricted to MAP queries (the partition function is never
 /// needed for prediction, matching Nice2Predict).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct CrfModel {
     /// Pairwise feature weights keyed by `(path, label_a, label_b)`.
     pub(crate) pair_weights: HashMap<(u32, u32, u32), f32>,
@@ -29,9 +31,38 @@ pub struct CrfModel {
     pub(crate) max_candidates: usize,
     /// ICM sweeps per inference call.
     pub(crate) max_passes: usize,
+    /// Lazily built compiled form of the model (see [`crate::compiled`]):
+    /// indexed weights and candidate tables that every `predict` runs on.
+    /// Built on first use; prediction threads share the one instance.
+    /// Invariant: the hash-map tables above are never mutated after the
+    /// cache is populated (the crate only mutates them during training
+    /// and deserialisation, both of which build fresh models).
+    pub(crate) compiled: OnceLock<CompiledCrf>,
+}
+
+impl Clone for CrfModel {
+    fn clone(&self) -> Self {
+        // The compiled cache is intentionally dropped: re-deriving it on
+        // first use is cheap and can never go stale against the clone's
+        // own tables.
+        CrfModel {
+            pair_weights: self.pair_weights.clone(),
+            unary_weights: self.unary_weights.clone(),
+            label_counts: self.label_counts.clone(),
+            candidates: self.candidates.clone(),
+            global_candidates: self.global_candidates.clone(),
+            max_candidates: self.max_candidates,
+            max_passes: self.max_passes,
+            compiled: OnceLock::new(),
+        }
+    }
 }
 
 impl CrfModel {
+    /// The compiled engine for this model, built on first use.
+    pub(crate) fn compiled(&self) -> &CompiledCrf {
+        self.compiled.get_or_init(|| self.compile())
+    }
     /// Number of distinct pairwise features with non-zero weight.
     pub fn num_pair_features(&self) -> usize {
         self.pair_weights.len()
@@ -181,12 +212,38 @@ impl CrfModel {
     /// sets: initialise each unknown to its best unary+prior candidate,
     /// then sweep until a fixpoint (or the sweep limit).
     ///
+    /// Runs on the compiled engine (see [`crate::compiled`]); the result
+    /// is bit-identical to the hash-map reference implementation, which
+    /// [`CrfModel::predict_reference`] retains for the equivalence
+    /// property tests.
+    ///
     /// Returns the full label vector; known nodes keep their labels.
     pub fn predict(&self, inst: &Instance) -> Vec<u32> {
-        self.infer(inst, false)
+        self.compiled().infer(inst)
     }
 
-    pub(crate) fn infer(&self, inst: &Instance, loss_augment: bool) -> Vec<u32> {
+    /// The pre-compilation hash-map inference path, kept as the oracle
+    /// the compiled engine is property-tested against. Not for
+    /// production use: it rebuilds adjacency and candidate vectors on
+    /// every call.
+    #[doc(hidden)]
+    pub fn predict_reference(&self, inst: &Instance) -> Vec<u32> {
+        self.infer_reference(inst, false)
+    }
+
+    /// Loss-augmented inference on the compiled engine — exposed so the
+    /// equivalence property tests can drive the exact code path training
+    /// runs.
+    #[doc(hidden)]
+    pub fn infer_compiled(&self, inst: &Instance, loss_augment: bool) -> Vec<u32> {
+        let mut ws = crate::compiled::Workspace::new();
+        self.compiled().infer_augmented(inst, loss_augment, &mut ws)
+    }
+
+    /// Reference loss-augmented inference — the oracle for the training
+    /// path's equivalence tests.
+    #[doc(hidden)]
+    pub fn infer_reference(&self, inst: &Instance, loss_augment: bool) -> Vec<u32> {
         let adj = inst.adjacency();
         let mut labels: Vec<u32> = inst.nodes.iter().map(|n| n.label).collect();
         let unknowns = inst.unknown_nodes();
@@ -249,16 +306,7 @@ impl CrfModel {
     /// other nodes fixed at the MAP assignment — the paper's added
     /// "top-k candidates suggestion" API (§5.1).
     pub fn top_k(&self, inst: &Instance, node: usize, k: usize) -> Vec<(u32, f32)> {
-        let adj = inst.adjacency();
-        let labels = self.predict(inst);
-        let cands = self.node_candidates(inst, &adj, &labels, node);
-        let mut scored: Vec<(u32, f32)> = cands
-            .into_iter()
-            .map(|c| (c, self.node_score(inst, &adj, &labels, node, c, false)))
-            .collect();
-        scored.sort_by(|x, y| y.1.total_cmp(&x.1).then(x.0.cmp(&y.0)));
-        scored.truncate(k);
-        scored
+        self.compiled().top_k(inst, node, k)
     }
 
     /// The total (unnormalised log-)score of a full assignment; exposed
@@ -373,8 +421,8 @@ mod tests {
         m.unary_weights.insert((6, 1), 0.5);
         let mut inst = Instance::new(vec![Node::unknown(1)]);
         inst.add_unary(0, 6);
-        assert_eq!(m.infer(&inst, false)[0], 1);
+        assert_eq!(m.infer_reference(&inst, false)[0], 1);
         // Under loss augmentation every non-gold label gains +1 > 0.5.
-        assert_ne!(m.infer(&inst, true)[0], 1);
+        assert_ne!(m.infer_reference(&inst, true)[0], 1);
     }
 }

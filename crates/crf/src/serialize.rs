@@ -128,6 +128,7 @@ impl CrfModel {
             global_candidates: file.global_candidates,
             max_candidates: file.max_candidates,
             max_passes: file.max_passes,
+            compiled: Default::default(),
         })
     }
 }

@@ -6,9 +6,21 @@
 //! violating assignment's — the subgradient of the structured hinge loss.
 //! Weight averaging over updates gives the stability of the averaged
 //! perceptron without per-feature regularisation bookkeeping.
+//!
+//! The inner loop runs on the compiled engine of [`crate::compiled`]:
+//! weights live in indexed per-path buckets (no tuple hashing in
+//! scoring), inference reuses one workspace across every update and
+//! sweeps with delta-ICM. Statistics gathering fans out over
+//! [`pigeon_core::parallel_map_indexed`] when [`CrfConfig::jobs`] allows.
+//! The trained model is **byte-identical** for any `jobs` value — and to
+//! the pre-compilation implementation (pinned in `tests/golden_train.rs`)
+//! — because updates stay sequential in the same shuffled order and the
+//! statistics merge is a sum of per-chunk integer counts.
 
+use crate::compiled::{compile_shared, infer, pair_key, BucketWeights, Workspace};
 use crate::instance::Instance;
 use crate::model::CrfModel;
+use pigeon_core::parallel_map_indexed;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -34,6 +46,10 @@ pub struct CrfConfig {
     pub use_unary: bool,
     /// Shuffling seed.
     pub seed: u64,
+    /// Worker threads for the statistics pass (`0` = all cores). The
+    /// subgradient loop itself stays sequential — the trained model is
+    /// identical under any value.
+    pub jobs: usize,
 }
 
 impl Default for CrfConfig {
@@ -47,6 +63,7 @@ impl Default for CrfConfig {
             suggestions_per_key: 12,
             use_unary: true,
             seed: 0x0C4F_5EED,
+            jobs: 1,
         }
     }
 }
@@ -57,17 +74,21 @@ impl Default for CrfConfig {
 ///
 /// Panics if any instance references a label `>= num_labels`.
 pub fn train(instances: &[Instance], num_labels: u32, cfg: &CrfConfig) -> CrfModel {
-    let instances: Vec<Instance> = if cfg.use_unary {
-        instances.to_vec()
-    } else {
+    // Only the unary ablation needs its own copy (with unary factors
+    // stripped); the common path borrows the caller's instances.
+    let stripped: Vec<Instance>;
+    let instances: &[Instance] = if cfg.use_unary {
         instances
+    } else {
+        stripped = instances
             .iter()
             .map(|i| Instance {
                 nodes: i.nodes.clone(),
                 pairwise: i.pairwise.clone(),
                 unary: Vec::new(),
             })
-            .collect()
+            .collect();
+        &stripped
     };
 
     let mut model = CrfModel {
@@ -75,7 +96,13 @@ pub fn train(instances: &[Instance], num_labels: u32, cfg: &CrfConfig) -> CrfMod
         max_passes: cfg.max_passes,
         ..CrfModel::default()
     };
-    build_statistics(&mut model, &instances, num_labels, cfg);
+    build_statistics(&mut model, instances, num_labels, cfg);
+
+    // Freeze the training-invariant engine state (candidate index,
+    // prior, caps); weights live in mutable indexed buckets.
+    let shared = compile_shared(&model);
+    let mut weights = (BucketWeights::new(0), BucketWeights::new(0));
+    let mut ws = Workspace::new();
 
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let mut order: Vec<usize> = (0..instances.len()).collect();
@@ -89,35 +116,40 @@ pub fn train(instances: &[Instance], num_labels: u32, cfg: &CrfConfig) -> CrfMod
         for &idx in &order {
             let inst = &instances[idx];
             let gold: Vec<u32> = inst.nodes.iter().map(|n| n.label).collect();
-            let predicted = model.infer(inst, true);
+            let predicted = infer(&shared, &weights, inst, true, &mut ws);
             if predicted == gold {
                 continue;
             }
             // Subgradient step: +lr toward gold features, -lr away from
             // the violator, only where they disagree.
             for pf in &inst.pairwise {
-                let g = (pf.path, gold[pf.a], gold[pf.b]);
-                let p = (pf.path, predicted[pf.a], predicted[pf.b]);
+                let g = (gold[pf.a], gold[pf.b]);
+                let p = (predicted[pf.a], predicted[pf.b]);
                 if g != p {
-                    *model.pair_weights.entry(g).or_insert(0.0) += cfg.learning_rate;
-                    *model.pair_weights.entry(p).or_insert(0.0) -= cfg.learning_rate;
+                    weights
+                        .0
+                        .add(pf.path, pair_key(g.0, g.1), cfg.learning_rate);
+                    weights
+                        .0
+                        .add(pf.path, pair_key(p.0, p.1), -cfg.learning_rate);
                 }
             }
             for uf in &inst.unary {
-                let g = (uf.path, gold[uf.node]);
-                let p = (uf.path, predicted[uf.node]);
+                let g = gold[uf.node];
+                let p = predicted[uf.node];
                 if g != p {
-                    *model.unary_weights.entry(g).or_insert(0.0) += cfg.learning_rate;
-                    *model.unary_weights.entry(p).or_insert(0.0) -= cfg.learning_rate;
+                    weights.1.add(uf.path, u64::from(g), cfg.learning_rate);
+                    weights.1.add(uf.path, u64::from(p), -cfg.learning_rate);
                 }
             }
         }
-        for (&k, &w) in &model.pair_weights {
+        weights.0.for_each(|path, key, w| {
+            let k = (path, (key >> 32) as u32, key as u32);
             *pair_sum.entry(k).or_insert(0.0) += f64::from(w);
-        }
-        for (&k, &w) in &model.unary_weights {
-            *unary_sum.entry(k).or_insert(0.0) += f64::from(w);
-        }
+        });
+        weights.1.for_each(|path, key, w| {
+            *unary_sum.entry((path, key as u32)).or_insert(0.0) += f64::from(w);
+        });
     }
 
     // Replace final weights by the epoch average.
@@ -135,24 +167,15 @@ pub fn train(instances: &[Instance], num_labels: u32, cfg: &CrfConfig) -> CrfMod
     model
 }
 
-/// First pass over the data: label counts, global candidates, and the
-/// per-feature candidate suggestion index.
-fn build_statistics(
-    model: &mut CrfModel,
-    instances: &[Instance],
-    num_labels: u32,
-    cfg: &CrfConfig,
-) {
+/// Per-chunk statistics: label counts over unknown nodes and the
+/// `(path, other_label, side)` → gold-label co-occurrence counts.
+type ChunkStats = (Vec<u32>, HashMap<(u32, u32, u8), HashMap<u32, u32>>);
+
+fn chunk_statistics(chunk: &[Instance], num_labels: u32) -> ChunkStats {
     let mut counts = vec![0u32; num_labels as usize];
     let mut suggestions: HashMap<(u32, u32, u8), HashMap<u32, u32>> = HashMap::new();
-
-    for inst in instances {
+    for inst in chunk {
         for node in &inst.nodes {
-            assert!(
-                node.label < num_labels,
-                "label {} out of range {num_labels}",
-                node.label
-            );
             if !node.known {
                 counts[node.label as usize] += 1;
             }
@@ -175,15 +198,64 @@ fn build_statistics(
             }
         }
     }
+    (counts, suggestions)
+}
+
+/// First pass over the data: label counts, global candidates, and the
+/// per-feature candidate suggestion index. Fans out over contiguous
+/// chunks and merges in chunk order; because every merge is integer
+/// addition, the result is identical to a serial pass for any `jobs`.
+fn build_statistics(
+    model: &mut CrfModel,
+    instances: &[Instance],
+    num_labels: u32,
+    cfg: &CrfConfig,
+) {
+    // Validate serially first so the panic (message and which label
+    // triggers it) is deterministic regardless of `jobs`.
+    for inst in instances {
+        for node in &inst.nodes {
+            assert!(
+                node.label < num_labels,
+                "label {} out of range {num_labels}",
+                node.label
+            );
+        }
+    }
+
+    let jobs = pigeon_core::effective_jobs(cfg.jobs);
+    let (mut counts, mut suggestions) = if jobs <= 1 || instances.len() < 2 {
+        chunk_statistics(instances, num_labels)
+    } else {
+        let chunk_size = instances.len().div_ceil(jobs);
+        let chunks: Vec<&[Instance]> = instances.chunks(chunk_size).collect();
+        let mut partials = parallel_map_indexed(&chunks, jobs, |_, chunk| {
+            chunk_statistics(chunk, num_labels)
+        })
+        .into_iter();
+        let (mut counts, mut suggestions) = partials.next().expect("at least one chunk");
+        for (c, s) in partials {
+            for (total, part) in counts.iter_mut().zip(&c) {
+                *total += part;
+            }
+            for (key, by_label) in s {
+                let slot = suggestions.entry(key).or_default();
+                for (label, n) in by_label {
+                    *slot.entry(label).or_insert(0) += n;
+                }
+            }
+        }
+        (counts, suggestions)
+    };
 
     let mut by_freq: Vec<u32> = (0..num_labels).collect();
     by_freq.sort_by_key(|&l| std::cmp::Reverse(counts[l as usize]));
     by_freq.truncate(cfg.global_candidates);
     model.global_candidates = by_freq;
-    model.label_counts = counts;
+    model.label_counts = std::mem::take(&mut counts);
 
     model.candidates = suggestions
-        .into_iter()
+        .drain()
         .map(|(key, by_label)| {
             let mut v: Vec<(u32, u32)> = by_label.into_iter().collect();
             v.sort_by_key(|&(l, c)| (std::cmp::Reverse(c), l));

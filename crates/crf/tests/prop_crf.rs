@@ -113,6 +113,51 @@ proptest! {
         }
     }
 
+    /// The compiled engine is exactly the hash-map reference: plain and
+    /// loss-augmented inference agree label-for-label on arbitrary
+    /// graphs, including the candidate ordering and argmax tie-breaks.
+    #[test]
+    fn compiled_inference_equals_the_reference(specs in prop::collection::vec(instance_strategy(), 1..12)) {
+        let instances: Vec<Instance> = specs.iter().map(build).collect();
+        let model = train(&instances, NUM_LABELS, &CrfConfig {
+            epochs: 2,
+            ..CrfConfig::default()
+        });
+        for inst in &instances {
+            prop_assert_eq!(model.predict(inst), model.predict_reference(inst));
+            prop_assert_eq!(
+                model.infer_compiled(inst, true),
+                model.infer_reference(inst, true),
+                "loss-augmented (training-path) inference diverged"
+            );
+        }
+    }
+
+    /// Delta-ICM (the compiled sweeps that re-score only neighbours of a
+    /// flipped node) never returns an assignment scoring below the
+    /// all-global-head initialisation: skipping clean nodes must not
+    /// cost objective value.
+    #[test]
+    fn delta_icm_never_decreases_the_objective(specs in prop::collection::vec(instance_strategy(), 2..10)) {
+        let instances: Vec<Instance> = specs.iter().map(build).collect();
+        let model = train(&instances, NUM_LABELS, &CrfConfig {
+            epochs: 3,
+            ..CrfConfig::default()
+        });
+        for inst in &instances {
+            let map = model.infer_compiled(inst, false);
+            let blank: Vec<u32> = inst
+                .nodes
+                .iter()
+                .map(|n| if n.known { n.label } else { map_blank(&model) })
+                .collect();
+            prop_assert!(
+                model.assignment_score(inst, &map)
+                    >= model.assignment_score(inst, &blank) - 1e-4
+            );
+        }
+    }
+
     /// top_k output is sorted by score, bounded by k, and headed by the
     /// MAP label of the queried node.
     #[test]

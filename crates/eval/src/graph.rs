@@ -197,11 +197,42 @@ pub fn add_semi_paths(
     vocabs: &mut Vocabs,
     train: bool,
 ) {
-    let mut mode = if train {
+    let mode = if train {
         VocabMode::Train(vocabs)
     } else {
         VocabMode::Lookup(vocabs)
     };
+    add_semi_paths_with(language, ast, target, graph, semis, mode);
+}
+
+/// Lookup-only [`add_semi_paths`]: shared vocabulary access, so parallel
+/// evaluation workers can decorate graphs against one trained model.
+pub fn add_semi_paths_lookup(
+    language: Language,
+    ast: &Ast,
+    target: ElementClass,
+    graph: &mut DocGraph,
+    semis: &[crate::features::NodeFeature],
+    vocabs: &Vocabs,
+) {
+    add_semi_paths_with(
+        language,
+        ast,
+        target,
+        graph,
+        semis,
+        VocabMode::Lookup(vocabs),
+    );
+}
+
+fn add_semi_paths_with(
+    language: Language,
+    ast: &Ast,
+    target: ElementClass,
+    graph: &mut DocGraph,
+    semis: &[crate::features::NodeFeature],
+    mut mode: VocabMode<'_>,
+) {
     let elements = classify_elements(language, ast);
     let leaf_to_element = leaf_index(&elements);
     for nf in semis {
@@ -229,11 +260,39 @@ pub fn build_type_graph(
     vocabs: &mut Vocabs,
     train: bool,
 ) -> DocGraph {
-    let mut mode = if train {
+    let mode = if train {
         VocabMode::Train(vocabs)
     } else {
         VocabMode::Lookup(vocabs)
     };
+    build_type_graph_with(ast, truths, extraction, abstraction, mode)
+}
+
+/// Lookup-only [`build_type_graph`], for parallel held-out evaluation
+/// against a trained model's vocabularies.
+pub fn build_type_graph_lookup(
+    ast: &Ast,
+    truths: &[TypeTruth],
+    extraction: &ExtractionConfig,
+    abstraction: Abstraction,
+    vocabs: &Vocabs,
+) -> DocGraph {
+    build_type_graph_with(
+        ast,
+        truths,
+        extraction,
+        abstraction,
+        VocabMode::Lookup(vocabs),
+    )
+}
+
+fn build_type_graph_with(
+    ast: &Ast,
+    truths: &[TypeTruth],
+    extraction: &ExtractionConfig,
+    abstraction: Abstraction,
+    mut mode: VocabMode<'_>,
+) -> DocGraph {
     let elements = classify_elements(Language::Java, ast);
     let leaf_to_element = leaf_index(&elements);
 

@@ -30,7 +30,6 @@ mod elements;
 mod features;
 mod graph;
 mod metrics;
-mod parallel;
 mod sweeps;
 mod tasks;
 mod tune;
@@ -42,10 +41,13 @@ pub use features::{
     extract_edge_features, extract_node_features, EdgeFeature, NodeFeature, Representation,
 };
 pub use graph::{
-    add_semi_paths, build_name_graph, build_name_graph_lookup, build_type_graph, DocGraph, Vocabs,
+    add_semi_paths, add_semi_paths_lookup, build_name_graph, build_name_graph_lookup,
+    build_type_graph, build_type_graph_lookup, DocGraph, Vocabs,
 };
 pub use metrics::{exact_match, normalize_name, subtoken_prf, subtokens, Scoreboard};
-pub use parallel::{effective_jobs, parallel_map_indexed};
+// The worker pool lives in `pigeon-core` (so `pigeon-crf` can share it);
+// re-exported here because every experiment driver fans out over it.
+pub use pigeon_core::{effective_jobs, parallel_map_indexed};
 pub use sweeps::{
     abstraction_sweep, downsample_sweep, length_width_sweep, AbstractionPoint, DownsamplePoint,
     LengthWidthCell,

@@ -2,7 +2,7 @@
 
 use crate::features::Representation;
 use crate::tasks::{run_name_experiment, NameExperiment};
-use pigeon_core::{Abstraction, ExtractionConfig};
+use pigeon_core::{parallel_map_indexed, Abstraction, ExtractionConfig};
 use pigeon_corpus::{CorpusConfig, Language};
 
 /// One cell of the Fig. 10 grid: accuracy at a length/width combination.
@@ -17,32 +17,37 @@ pub struct LengthWidthCell {
 }
 
 /// Fig. 10: JavaScript variable-name accuracy over the
-/// `max_length × max_width` grid.
+/// `max_length × max_width` grid. Cells are independent experiments and
+/// fan out over `jobs` workers (`1` serial, `0` all cores); results come
+/// back in grid order either way.
 pub fn length_width_sweep(
     corpus: &CorpusConfig,
     lengths: &[usize],
     widths: &[usize],
+    jobs: usize,
 ) -> Vec<LengthWidthCell> {
-    let mut out = Vec::new();
+    let mut cells = Vec::new();
     for &w in widths {
         for &l in lengths {
-            // Leafwise only: semi-paths would blur the length axis
-            // because a short-capped leafwise set still gets ancestor
-            // context through them; the figure isolates the §4.2
-            // hyper-parameters.
-            let exp = NameExperiment {
-                corpus: *corpus,
-                extraction: ExtractionConfig::with_limits(l, w),
-                ..NameExperiment::var_names(Language::JavaScript)
-            };
-            out.push(LengthWidthCell {
-                max_length: l,
-                max_width: w,
-                accuracy: run_name_experiment(&exp).accuracy,
-            });
+            cells.push((l, w));
         }
     }
-    out
+    parallel_map_indexed(&cells, jobs, |_, &(l, w)| {
+        // Leafwise only: semi-paths would blur the length axis
+        // because a short-capped leafwise set still gets ancestor
+        // context through them; the figure isolates the §4.2
+        // hyper-parameters.
+        let exp = NameExperiment {
+            corpus: *corpus,
+            extraction: ExtractionConfig::with_limits(l, w),
+            ..NameExperiment::var_names(Language::JavaScript)
+        };
+        LengthWidthCell {
+            max_length: l,
+            max_width: w,
+            accuracy: run_name_experiment(&exp).accuracy,
+        }
+    })
 }
 
 /// One point of the Fig. 11 curve: accuracy and training time at a
@@ -58,24 +63,23 @@ pub struct DownsamplePoint {
 }
 
 /// Fig. 11: downsampling keep-probability vs accuracy and training time
-/// (JavaScript variable names).
-pub fn downsample_sweep(corpus: &CorpusConfig, probs: &[f64]) -> Vec<DownsamplePoint> {
-    probs
-        .iter()
-        .map(|&p| {
-            let exp = NameExperiment {
-                corpus: *corpus,
-                keep_prob: p,
-                ..NameExperiment::var_names(Language::JavaScript)
-            };
-            let out = run_name_experiment(&exp);
-            DownsamplePoint {
-                keep_prob: p,
-                accuracy: out.accuracy,
-                train_secs: out.train_secs,
-            }
-        })
-        .collect()
+/// (JavaScript variable names). Points fan out over `jobs` workers; note
+/// that parallel points sharing cores perturbs the reported
+/// `train_secs`, so time-sensitive runs should pass `jobs = 1`.
+pub fn downsample_sweep(corpus: &CorpusConfig, probs: &[f64], jobs: usize) -> Vec<DownsamplePoint> {
+    parallel_map_indexed(probs, jobs, |_, &p| {
+        let exp = NameExperiment {
+            corpus: *corpus,
+            keep_prob: p,
+            ..NameExperiment::var_names(Language::JavaScript)
+        };
+        let out = run_name_experiment(&exp);
+        DownsamplePoint {
+            keep_prob: p,
+            accuracy: out.accuracy,
+            train_secs: out.train_secs,
+        }
+    })
 }
 
 /// One point of the Fig. 12 trade-off: an abstraction level's accuracy
@@ -94,24 +98,23 @@ pub struct AbstractionPoint {
 
 /// Fig. 12: accuracy vs training time across the abstraction levels of
 /// §5.6 (Java variable names, identical corpus and settings per level).
-pub fn abstraction_sweep(corpus: &CorpusConfig) -> Vec<AbstractionPoint> {
-    Abstraction::ALL
-        .iter()
-        .map(|&a| {
-            let exp = NameExperiment {
-                corpus: *corpus,
-                representation: Representation::AstPaths(a),
-                ..NameExperiment::var_names(Language::Java)
-            };
-            let out = run_name_experiment(&exp);
-            AbstractionPoint {
-                abstraction: a,
-                accuracy: out.accuracy,
-                train_secs: out.train_secs,
-                n_features: out.n_features,
-            }
-        })
-        .collect()
+/// Levels fan out over `jobs` workers; `train_secs` comparisons are only
+/// clean at `jobs = 1`.
+pub fn abstraction_sweep(corpus: &CorpusConfig, jobs: usize) -> Vec<AbstractionPoint> {
+    parallel_map_indexed(&Abstraction::ALL, jobs, |_, &a| {
+        let exp = NameExperiment {
+            corpus: *corpus,
+            representation: Representation::AstPaths(a),
+            ..NameExperiment::var_names(Language::Java)
+        };
+        let out = run_name_experiment(&exp);
+        AbstractionPoint {
+            abstraction: a,
+            accuracy: out.accuracy,
+            train_secs: out.train_secs,
+            n_features: out.n_features,
+        }
+    })
 }
 
 #[cfg(test)]
@@ -124,7 +127,7 @@ mod tests {
 
     #[test]
     fn length_sweep_shows_gain_from_longer_paths() {
-        let cells = length_width_sweep(&tiny(), &[2, 3], &[3]);
+        let cells = length_width_sweep(&tiny(), &[2, 3], &[3], 2);
         assert_eq!(cells.len(), 2);
         let short = cells.iter().find(|c| c.max_length == 2).unwrap();
         let long = cells.iter().find(|c| c.max_length == 3).unwrap();
@@ -138,7 +141,7 @@ mod tests {
 
     #[test]
     fn abstraction_sweep_orders_no_path_last() {
-        let points = abstraction_sweep(&tiny());
+        let points = abstraction_sweep(&tiny(), 2);
         assert_eq!(points.len(), 7);
         let full = points
             .iter()
@@ -159,7 +162,7 @@ mod tests {
 
     #[test]
     fn downsample_sweep_produces_monotone_sizes() {
-        let points = downsample_sweep(&tiny(), &[0.2, 1.0]);
+        let points = downsample_sweep(&tiny(), &[0.2, 1.0], 2);
         assert_eq!(points.len(), 2);
         assert!(points[1].accuracy >= points[0].accuracy - 0.15);
     }

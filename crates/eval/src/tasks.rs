@@ -3,10 +3,13 @@
 
 use crate::elements::{classify_elements, ElementClass};
 use crate::features::{extract_edge_features, extract_node_features, Representation};
-use crate::graph::{add_semi_paths, build_name_graph, build_type_graph, Vocabs};
+use crate::graph::{
+    add_semi_paths, add_semi_paths_lookup, build_name_graph, build_name_graph_lookup,
+    build_type_graph, build_type_graph_lookup, Vocabs,
+};
 use crate::metrics::Scoreboard;
-use crate::parallel::parallel_map_indexed;
 use pigeon_ast::{Ast, NodeId};
+use pigeon_core::parallel_map_indexed;
 use pigeon_core::{downsample, Abstraction, ExtractionConfig};
 use pigeon_corpus::{generate, generate_java_types, Corpus, CorpusConfig, Language};
 use pigeon_crf::{train as train_crf, CrfConfig, Instance};
@@ -123,18 +126,18 @@ pub struct TaskOutcome {
     pub oov_rate: f64,
 }
 
-fn parse_corpus(corpus: &Corpus) -> Vec<(Ast, &pigeon_corpus::Document)> {
-    corpus
-        .docs
-        .iter()
-        .map(|doc| {
-            let ast = corpus
-                .language
-                .parse(&doc.source)
-                .expect("generated documents parse");
-            (ast, doc)
-        })
-        .collect()
+/// Parses every document across `jobs` workers; pairs come back in
+/// document order.
+fn parse_corpus_jobs(corpus: &Corpus, jobs: usize) -> Vec<(Ast, &pigeon_corpus::Document)> {
+    parallel_map_indexed(&corpus.docs, jobs, |_, doc| {
+        corpus
+            .language
+            .parse(&doc.source)
+            .expect("generated documents parse")
+    })
+    .into_iter()
+    .zip(&corpus.docs)
+    .collect()
 }
 
 /// Per-document output of the parallel parse + extract stage, produced by
@@ -208,28 +211,32 @@ pub fn run_name_experiment(exp: &NameExperiment) -> TaskOutcome {
 
     let n_labels = vocabs.labels.len() as u32;
     let started = Instant::now();
-    let model = train_crf(&train_instances, n_labels, &exp.crf);
+    let crf_cfg = CrfConfig {
+        jobs: exp.jobs,
+        ..exp.crf
+    };
+    let model = train_crf(&train_instances, n_labels, &crf_cfg);
     let train_secs = started.elapsed().as_secs_f64();
 
-    let mut board = Scoreboard::new();
-    for doc in extract_corpus(&test_corpus, exp) {
-        let mut graph = build_name_graph(
-            exp.language,
-            &doc.ast,
-            exp.target,
-            &doc.features,
-            &mut vocabs,
-            false,
-        );
+    // Held-out scoring fans out per document: graph building is
+    // lookup-only against the frozen vocabularies and prediction runs on
+    // the model's shared compiled engine. Per-document scoreboards merge
+    // in document order.
+    let extracted = extract_corpus(&test_corpus, exp);
+    let vocabs = &vocabs;
+    let model = &model;
+    let boards = parallel_map_indexed(&extracted, exp.jobs, |_, doc| {
+        let mut board = Scoreboard::new();
+        let mut graph =
+            build_name_graph_lookup(exp.language, &doc.ast, exp.target, &doc.features, vocabs);
         if let Some(semis) = &doc.semis {
-            add_semi_paths(
+            add_semi_paths_lookup(
                 exp.language,
                 &doc.ast,
                 exp.target,
                 &mut graph,
                 semis,
-                &mut vocabs,
-                false,
+                vocabs,
             );
         }
         let predicted = model.predict(&graph.instance);
@@ -246,6 +253,11 @@ pub fn run_name_experiment(exp: &NameExperiment) -> TaskOutcome {
                 board.note_oov();
             }
         }
+        board
+    });
+    let mut board = Scoreboard::new();
+    for b in &boards {
+        board.merge(b);
     }
 
     TaskOutcome {
@@ -273,6 +285,10 @@ pub struct TypeExperiment {
     pub crf: CrfConfig,
     /// Fraction of documents used for training.
     pub train_frac: f64,
+    /// Worker threads for per-document parsing and held-out scoring
+    /// (`1` serial, `0` all cores); the trained model is identical for
+    /// any value.
+    pub jobs: usize,
 }
 
 impl Default for TypeExperiment {
@@ -283,6 +299,7 @@ impl Default for TypeExperiment {
             abstraction: Abstraction::Full,
             crf: CrfConfig::default(),
             train_frac: 0.8,
+            jobs: 1,
         }
     }
 }
@@ -293,8 +310,10 @@ pub fn run_type_experiment(exp: &TypeExperiment) -> TaskOutcome {
     let (train_corpus, _, test_corpus) = corpus.split(exp.train_frac, 0.0);
     let mut vocabs = Vocabs::new();
 
+    // Parsing fans out; graph building interns vocabulary entries and
+    // stays sequential in document order.
     let mut train_instances = Vec::new();
-    for (ast, doc) in parse_corpus(&train_corpus) {
+    for (ast, doc) in parse_corpus_jobs(&train_corpus, exp.jobs) {
         let graph = build_type_graph(
             &ast,
             &doc.truth.types,
@@ -308,27 +327,40 @@ pub fn run_type_experiment(exp: &TypeExperiment) -> TaskOutcome {
 
     let n_labels = vocabs.labels.len() as u32;
     let started = Instant::now();
-    let model = train_crf(&train_instances, n_labels, &exp.crf);
+    let crf_cfg = CrfConfig {
+        jobs: exp.jobs,
+        ..exp.crf
+    };
+    let model = train_crf(&train_instances, n_labels, &crf_cfg);
     let train_secs = started.elapsed().as_secs_f64();
 
-    let mut board = Scoreboard::new();
-    for (ast, doc) in parse_corpus(&test_corpus) {
-        let graph = build_type_graph(
-            &ast,
+    // Held-out scoring is per-document independent: lookup-only graph
+    // builds, shared compiled model, scoreboards merged in doc order.
+    let parsed = parse_corpus_jobs(&test_corpus, exp.jobs);
+    let vocabs_ref = &vocabs;
+    let model = &model;
+    let boards = parallel_map_indexed(&parsed, exp.jobs, |_, (ast, doc)| {
+        let mut board = Scoreboard::new();
+        let graph = build_type_graph_lookup(
+            ast,
             &doc.truth.types,
             &exp.extraction,
             exp.abstraction,
-            &mut vocabs,
-            false,
+            vocabs_ref,
         );
         let predicted = model.predict(&graph.instance);
         for &node in &graph.unknown_nodes {
             let gold = &graph.node_names[node];
-            let name = vocabs.label_name(predicted[node]);
+            let name = vocabs_ref.label_name(predicted[node]);
             // Types match exactly (FQNs are case-sensitive identifiers,
             // but our normalised comparison is equivalent here).
             board.record(name, gold, None);
         }
+        board
+    });
+    let mut board = Scoreboard::new();
+    for b in &boards {
+        board.merge(b);
     }
 
     TaskOutcome {

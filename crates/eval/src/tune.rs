@@ -9,7 +9,7 @@
 //! returned for a final test-set run.
 
 use crate::tasks::{run_name_experiment, NameExperiment, TaskOutcome};
-use pigeon_core::ExtractionConfig;
+use pigeon_core::{parallel_map_indexed, ExtractionConfig};
 
 /// The outcome of a grid search: the winning parameters and the grid.
 #[derive(Debug, Clone)]
@@ -29,6 +29,11 @@ pub struct TuneResult {
 /// fraction. The experiment's other settings (language, task,
 /// representation, CRF config) are held fixed.
 ///
+/// Cells are independent experiments, so they fan out over `base.jobs`
+/// workers; results come back in grid order and the argmax is resolved
+/// over that order (first strict improvement wins), so the winning cell
+/// is identical to a serial scan.
+///
 /// # Panics
 ///
 /// Panics if `lengths` or `widths` is empty.
@@ -44,27 +49,33 @@ pub fn tune_parameters(base: &NameExperiment, lengths: &[usize], widths: &[usize
     // caller then evaluates the winner with the original fractions on data
     // the search never saw.
     let valid_frac = base.train_frac * 0.8;
-    let mut grid = Vec::new();
-    let mut best = (lengths[0], widths[0], f64::MIN);
+    let mut cells = Vec::new();
     for &w in widths {
         for &l in lengths {
-            let mut exp = base.clone();
-            exp.extraction = ExtractionConfig {
-                max_length: l,
-                max_width: w,
-                semi_paths: base.extraction.semi_paths,
-            };
-            exp.train_frac = valid_frac;
-            // Only the validation prefix participates: shrink the corpus
-            // to the original training fraction so test data stays unseen.
-            exp.corpus = exp
-                .corpus
-                .with_files((base.corpus.files as f64 * base.train_frac).round() as usize);
-            let out = run_name_experiment(&exp);
-            grid.push((l, w, out.accuracy));
-            if out.accuracy > best.2 {
-                best = (l, w, out.accuracy);
-            }
+            cells.push((l, w));
+        }
+    }
+    let grid: Vec<(usize, usize, f64)> = parallel_map_indexed(&cells, base.jobs, |_, &(l, w)| {
+        let mut exp = base.clone();
+        exp.extraction = ExtractionConfig {
+            max_length: l,
+            max_width: w,
+            semi_paths: base.extraction.semi_paths,
+        };
+        exp.train_frac = valid_frac;
+        // Only the validation prefix participates: shrink the corpus
+        // to the original training fraction so test data stays unseen.
+        exp.corpus = exp
+            .corpus
+            .with_files((base.corpus.files as f64 * base.train_frac).round() as usize);
+        // The grid already occupies the workers; keep each cell serial.
+        exp.jobs = 1;
+        (l, w, run_name_experiment(&exp).accuracy)
+    });
+    let mut best = (lengths[0], widths[0], f64::MIN);
+    for &(l, w, accuracy) in &grid {
+        if accuracy > best.2 {
+            best = (l, w, accuracy);
         }
     }
     TuneResult {

@@ -225,10 +225,10 @@ pub fn run_w2v_experiment(exp: &W2vExperiment) -> crate::TaskOutcome {
                 board.record_oov();
                 continue;
             }
-            let ranked = model.predict(&ids, None);
+            // Bounded top-k: only the 5 best of the vocabulary are needed.
+            let ranked = model.predict_top_k(&ids, None, 5);
             let top: Vec<String> = ranked
                 .iter()
-                .take(5)
                 .map(|&(w, _)| words.resolve(w).clone())
                 .collect();
             let predicted = top.first().cloned().unwrap_or_default();

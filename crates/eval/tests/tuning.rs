@@ -53,7 +53,7 @@ fn semi_path_ablation() {
 #[ignore]
 fn fig10_shape_check() {
     let corpus = CorpusConfig::default().with_files(500);
-    let cells = length_width_sweep(&corpus, &[2, 3, 4, 5, 6], &[3]);
+    let cells = length_width_sweep(&corpus, &[2, 3, 4, 5, 6], &[3], 0);
     for c in cells {
         println!("L{} = {:.3}", c.max_length, c.accuracy);
     }

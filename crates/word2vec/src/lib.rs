@@ -27,6 +27,8 @@ use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 
 /// Training hyper-parameters for [`train`].
 #[derive(Debug, Clone, Copy)]
@@ -67,6 +69,17 @@ pub struct SgnsModel {
     ctx_vecs: Vec<f32>,
     /// Training frequency of each word (prediction tie-breaking).
     word_counts: Vec<u32>,
+    /// Euclidean norm of each word vector, clamped to ≥ 1e-12.
+    /// Derived from `word_vecs` — rebuilt on deserialisation, never stored.
+    word_norms: Vec<f32>,
+}
+
+/// Per-word Euclidean norms of a row-major `num_words × dim` table.
+fn compute_word_norms(word_vecs: &[f32], dim: usize) -> Vec<f32> {
+    word_vecs
+        .chunks_exact(dim.max(1))
+        .map(|v| v.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-12))
+        .collect()
 }
 
 // Hand-written (the vendored serde shim has no derive macro).
@@ -92,13 +105,17 @@ impl Deserialize for SgnsModel {
                     .ok_or_else(|| serde::Error::custom(format!("missing field `{key}`")))?,
             )
         }
+        let dim: usize = field(value, "dim")?;
+        let word_vecs: Vec<f32> = field(value, "word_vecs")?;
+        let word_norms = compute_word_norms(&word_vecs, dim);
         Ok(SgnsModel {
-            dim: field(value, "dim")?,
+            dim,
             num_words: field(value, "num_words")?,
             num_contexts: field(value, "num_contexts")?,
-            word_vecs: field(value, "word_vecs")?,
+            word_vecs,
             ctx_vecs: field(value, "ctx_vecs")?,
             word_counts: field(value, "word_counts")?,
+            word_norms,
         })
     }
 }
@@ -162,6 +179,7 @@ pub fn train(
         }
     }
 
+    let word_norms = compute_word_norms(&word_vecs, dim);
     SgnsModel {
         dim,
         num_words,
@@ -169,6 +187,7 @@ pub fn train(
         word_vecs,
         ctx_vecs,
         word_counts,
+        word_norms,
     }
 }
 
@@ -255,12 +274,8 @@ impl SgnsModel {
         &self.ctx_vecs[context as usize * self.dim..(context as usize + 1) * self.dim]
     }
 
-    /// Eq. 4 of the paper: ranks candidate words by `Σ_{c∈C} w·c`.
-    ///
-    /// Unseen context ids (`>= num_contexts`) are skipped — the test-time
-    /// analogue of an out-of-vocabulary feature. `candidates` restricts
-    /// the argmax; `None` ranks the entire word vocabulary.
-    pub fn predict(&self, contexts: &[u32], candidates: Option<&[u32]>) -> Vec<(u32, f32)> {
+    /// Summed context vector and the scoring closure's input for Eq. 4.
+    fn context_sum(&self, contexts: &[u32]) -> Vec<f32> {
         let mut ctx_sum = vec![0.0f32; self.dim];
         for &c in contexts {
             if (c as usize) < self.num_contexts {
@@ -269,11 +284,28 @@ impl SgnsModel {
                 }
             }
         }
-        let score = |w: u32| -> f32 {
-            let wv = self.word_vec(w);
-            wv.iter().zip(&ctx_sum).map(|(a, b)| a * b).sum::<f32>()
-                + 1e-6 * (self.word_counts[w as usize] as f32).ln_1p()
-        };
+        ctx_sum
+    }
+
+    /// Eq. 4 score of `word` against a precomputed context sum.
+    fn eq4_score(&self, w: u32, ctx_sum: &[f32]) -> f32 {
+        let wv = self.word_vec(w);
+        wv.iter().zip(ctx_sum).map(|(a, b)| a * b).sum::<f32>()
+            + 1e-6 * (self.word_counts[w as usize] as f32).ln_1p()
+    }
+
+    /// Eq. 4 of the paper: ranks candidate words by `Σ_{c∈C} w·c`.
+    ///
+    /// Unseen context ids (`>= num_contexts`) are skipped — the test-time
+    /// analogue of an out-of-vocabulary feature. `candidates` restricts
+    /// the argmax; `None` ranks the entire word vocabulary. Returns the
+    /// *full* ranking; when only the head is needed, [`predict_top_k`]
+    /// avoids sorting the whole vocabulary.
+    ///
+    /// [`predict_top_k`]: SgnsModel::predict_top_k
+    pub fn predict(&self, contexts: &[u32], candidates: Option<&[u32]>) -> Vec<(u32, f32)> {
+        let ctx_sum = self.context_sum(contexts);
+        let score = |w: u32| self.eq4_score(w, &ctx_sum);
         let mut scored: Vec<(u32, f32)> = match candidates {
             Some(cands) => cands.iter().map(|&w| (w, score(w))).collect(),
             None => (0..self.num_words as u32).map(|w| (w, score(w))).collect(),
@@ -282,23 +314,80 @@ impl SgnsModel {
         scored
     }
 
+    /// The top `k` rows of [`predict`]'s ranking, without sorting the
+    /// whole vocabulary: a bounded min-heap keeps the best `k` seen so
+    /// far, `O(n log k)` instead of `O(n log n)`. Identical output
+    /// (same scores, same `(score desc, id asc)` tie-break) to
+    /// `predict(..)[..k]`.
+    ///
+    /// [`predict`]: SgnsModel::predict
+    pub fn predict_top_k(
+        &self,
+        contexts: &[u32],
+        candidates: Option<&[u32]>,
+        k: usize,
+    ) -> Vec<(u32, f32)> {
+        let ctx_sum = self.context_sum(contexts);
+        let mut heap: BinaryHeap<WorstFirst> = BinaryHeap::with_capacity(k + 1);
+        let mut push = |w: u32| {
+            let entry = WorstFirst(w, self.eq4_score(w, &ctx_sum));
+            if heap.len() < k {
+                heap.push(entry);
+            } else if let Some(worst) = heap.peek() {
+                // `worst > entry` in worst-first order ⇔ entry ranks better.
+                if *worst > entry {
+                    heap.pop();
+                    heap.push(entry);
+                }
+            }
+        };
+        match candidates {
+            Some(cands) => cands.iter().for_each(|&w| push(w)),
+            None => (0..self.num_words as u32).for_each(push),
+        }
+        heap.into_sorted_vec()
+            .into_iter()
+            .map(|WorstFirst(w, s)| (w, s))
+            .collect()
+    }
+
     /// The `k` nearest words to `word` by cosine similarity of word
     /// vectors — the source of the paper's Table 4b synonym clusters.
+    /// Uses the norms precomputed at train/load time.
     pub fn neighbours(&self, word: u32, k: usize) -> Vec<(u32, f32)> {
         let wv = self.word_vec(word).to_vec();
-        let norm = |v: &[f32]| v.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-12);
-        let wn = norm(&wv);
+        let wn = self.word_norms[word as usize];
         let mut scored: Vec<(u32, f32)> = (0..self.num_words as u32)
             .filter(|&o| o != word)
             .map(|o| {
                 let ov = self.word_vec(o);
                 let dot: f32 = ov.iter().zip(&wv).map(|(a, b)| a * b).sum();
-                (o, dot / (wn * norm(ov)))
+                (o, dot / (wn * self.word_norms[o as usize]))
             })
             .collect();
         scored.sort_by(|x, y| y.1.total_cmp(&x.1).then(x.0.cmp(&y.0)));
         scored.truncate(k);
         scored
+    }
+}
+
+/// Heap entry ordered so the heap's maximum is the *worst*-ranked row:
+/// lower score is "greater", and on score ties a higher word id is
+/// "greater" (ids ascend within a score in the final ranking).
+#[derive(PartialEq)]
+struct WorstFirst(u32, f32);
+
+impl Eq for WorstFirst {}
+
+impl Ord for WorstFirst {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.1.total_cmp(&self.1).then(self.0.cmp(&other.0))
+    }
+}
+
+impl PartialOrd for WorstFirst {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
     }
 }
 
@@ -408,6 +497,32 @@ mod tests {
     #[should_panic(expected = "at least one pair")]
     fn empty_training_panics() {
         let _ = train(&[], 2, 4, &cfg());
+    }
+
+    #[test]
+    fn top_k_matches_the_full_ranking_head() {
+        let n_words = 8;
+        let pairs = banded_pairs(n_words, 120, 9);
+        let model = train(&pairs, n_words as usize, (n_words * 4 + 1) as usize, &cfg());
+        for contexts in [vec![0u32, 1, 2], vec![5, 6], vec![12]] {
+            let full = model.predict(&contexts, None);
+            for k in [0usize, 1, 3, 8, 20] {
+                let top = model.predict_top_k(&contexts, None, k);
+                assert_eq!(top, full[..k.min(full.len())].to_vec(), "k={k}");
+            }
+            let cands = [1u32, 4, 6];
+            let full_c = model.predict(&contexts, Some(&cands));
+            assert_eq!(model.predict_top_k(&contexts, Some(&cands), 2), full_c[..2]);
+        }
+    }
+
+    #[test]
+    fn deserialised_models_keep_their_neighbour_ranking() {
+        let pairs = banded_pairs(4, 80, 10);
+        let model = train(&pairs, 4, 17, &cfg());
+        let json = serde_json::to_string(&model).unwrap();
+        let restored: SgnsModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(model.neighbours(0, 3), restored.neighbours(0, 3));
     }
 
     #[test]

@@ -83,9 +83,10 @@ pub struct PigeonConfig {
     /// for much smaller models). `1.0` keeps everything; the sampling
     /// seed is fixed, so a given `keep_prob` is reproducible.
     pub keep_prob: f64,
-    /// Worker threads for per-source parse + extraction during training;
-    /// `1` is fully serial, `0` uses all available cores. Per-source
-    /// results merge in source order, so the trained model is
+    /// Worker threads for per-source parse + extraction and the CRF's
+    /// statistics pass during training; `1` is fully serial, `0` uses
+    /// all available cores. Per-source results merge in source order and
+    /// the statistics merge is commutative, so the trained model is
     /// byte-identical for any value.
     pub jobs: usize,
 }
@@ -199,7 +200,13 @@ impl Pigeon {
             let graph = build_name_graph(language, &ast, target, &features, &mut vocabs, true);
             instances.push(graph.instance);
         }
-        let model = pigeon_crf::train(&instances, vocabs.labels.len() as u32, &config.crf);
+        // The CRF's statistics pass shares the same worker budget; its
+        // sequential-update training is byte-identical for any value.
+        let crf_cfg = CrfConfig {
+            jobs: config.jobs,
+            ..config.crf
+        };
+        let model = pigeon_crf::train(&instances, vocabs.labels.len() as u32, &crf_cfg);
         Ok(Pigeon {
             language,
             target,

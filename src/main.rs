@@ -72,8 +72,9 @@ DEFAULTS:
                 4 for `train` (tuned for the small synthetic corpora)
   --max-width   3
   --jobs        1 (serial; 0 = all cores). Workers parallelise per-file
-                parse + path extraction; the trained model is
-                byte-identical for any value.
+                parse + path extraction, the CRF's statistics pass, and
+                held-out evaluation; the trained model is byte-identical
+                for any value.
   --keep-prob   1.0 (keep every path-context; lower values downsample
                 training contexts, §5.5 of the paper)
 

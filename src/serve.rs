@@ -67,6 +67,71 @@ impl Default for ServeConfig {
     }
 }
 
+/// Fixed-memory uniform sample of observed latencies (Vitter's
+/// Algorithm R): the first `CAPACITY` observations fill the buffer,
+/// after which the `n`-th observation replaces a random slot with
+/// probability `CAPACITY / n`. Percentiles read from the sample are
+/// unbiased estimates of the true distribution at O(1) memory, however
+/// long the server runs. Replacement indices come from a deterministic
+/// LCG so the sampler needs no RNG dependency.
+#[derive(Debug)]
+struct Reservoir {
+    samples: Vec<u64>,
+    /// Total observations offered, including those not retained.
+    seen: u64,
+    /// LCG state (Knuth's MMIX multiplier).
+    state: u64,
+}
+
+impl Reservoir {
+    const CAPACITY: usize = 1024;
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self
+            .state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        // The high bits of an LCG are the well-mixed ones.
+        self.state >> 11
+    }
+
+    fn offer(&mut self, value: u64) {
+        self.seen += 1;
+        if self.samples.len() < Self::CAPACITY {
+            self.samples.push(value);
+        } else {
+            let slot = self.next_u64() % self.seen;
+            if (slot as usize) < Self::CAPACITY {
+                self.samples[slot as usize] = value;
+            }
+        }
+    }
+
+    /// Nearest-rank percentiles over the current sample, one sort for
+    /// all requested ranks. Returns zeros while the sample is empty.
+    fn percentiles<const N: usize>(&self, ranks: [f64; N]) -> [u64; N] {
+        if self.samples.is_empty() {
+            return [0; N];
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        ranks.map(|q| {
+            let idx = ((q * sorted.len() as f64).ceil() as usize).max(1) - 1;
+            sorted[idx.min(sorted.len() - 1)]
+        })
+    }
+}
+
+impl Default for Reservoir {
+    fn default() -> Self {
+        Reservoir {
+            samples: Vec::new(),
+            seen: 0,
+            state: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
 /// Request/latency counters shared by every worker, exposed on `/stats`.
 #[derive(Debug, Default)]
 struct Stats {
@@ -76,6 +141,8 @@ struct Stats {
     predict_requests: AtomicU64,
     latency_micros: AtomicU64,
     latency_max_micros: AtomicU64,
+    /// Sampled individual latencies for the `/stats` percentiles.
+    latency_sample: Mutex<Reservoir>,
 }
 
 impl Stats {
@@ -84,6 +151,10 @@ impl Stats {
         self.predict_requests.fetch_add(1, Ordering::Relaxed);
         self.latency_micros.fetch_add(micros, Ordering::Relaxed);
         self.latency_max_micros.fetch_max(micros, Ordering::Relaxed);
+        self.latency_sample
+            .lock()
+            .expect("latency sample lock")
+            .offer(micros);
     }
 
     fn to_json(&self, uptime: Duration) -> serde_json::Value {
@@ -101,6 +172,11 @@ impl Stats {
         } else {
             0.0
         };
+        let [p50, p95, p99] = self
+            .latency_sample
+            .lock()
+            .expect("latency sample lock")
+            .percentiles([0.50, 0.95, 0.99]);
         serde_json::json!({
             "uptime_secs": uptime_secs,
             "requests_total": self.requests.load(Ordering::Relaxed),
@@ -109,6 +185,9 @@ impl Stats {
             "predictions_total": predictions,
             "latency_micros_total": latency_micros,
             "latency_micros_mean": mean_micros,
+            "latency_micros_p50": p50,
+            "latency_micros_p95": p95,
+            "latency_micros_p99": p99,
             "latency_micros_max": self.latency_max_micros.load(Ordering::Relaxed),
             "predictions_per_sec": throughput,
         })
@@ -447,4 +526,50 @@ pub fn serve(model: Pigeon, cfg: &ServeConfig) -> Result<(), String> {
         started.elapsed().as_secs_f64(),
     );
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reservoir_percentiles_are_exact_below_capacity() {
+        let mut r = Reservoir::default();
+        for v in 1..=100u64 {
+            r.offer(v);
+        }
+        assert_eq!(r.percentiles([0.50, 0.95, 0.99]), [50, 95, 99]);
+        assert_eq!(r.percentiles([1.0]), [100]);
+    }
+
+    #[test]
+    fn reservoir_memory_stays_bounded() {
+        let mut r = Reservoir::default();
+        for v in 0..10 * Reservoir::CAPACITY as u64 {
+            r.offer(v);
+        }
+        assert_eq!(r.samples.len(), Reservoir::CAPACITY);
+        assert_eq!(r.seen, 10 * Reservoir::CAPACITY as u64);
+    }
+
+    #[test]
+    fn reservoir_sample_tracks_the_distribution() {
+        // Offer 0..20_000; a uniform sample's median should land near
+        // 10_000. A sampler that only kept a prefix would sit at ~512.
+        let mut r = Reservoir::default();
+        for v in 0..20_000u64 {
+            r.offer(v);
+        }
+        let [p50] = r.percentiles([0.50]);
+        assert!(
+            (5_000..15_000).contains(&p50),
+            "median {p50} far from 10_000"
+        );
+    }
+
+    #[test]
+    fn empty_reservoir_reports_zeros() {
+        let r = Reservoir::default();
+        assert_eq!(r.percentiles([0.50, 0.99]), [0, 0]);
+    }
 }

@@ -163,12 +163,34 @@ fn serve_predicts_and_reports_stats() {
         "\"predict_requests_total\"",
         "\"predictions_total\"",
         "\"latency_micros_mean\"",
+        "\"latency_micros_p50\"",
+        "\"latency_micros_p95\"",
+        "\"latency_micros_p99\"",
         "\"latency_micros_max\"",
         "\"predictions_per_sec\"",
         "\"uptime_secs\"",
     ] {
         assert!(stats.contains(field), "missing {field} in {stats}");
     }
+    // Percentiles come from real samples and are ordered: p50 ≤ p95 ≤
+    // p99 ≤ max, with p50 > 0 after two timed predict requests.
+    let micros = |field: &str| -> u64 {
+        stats
+            .split(&format!("\"{field}\":"))
+            .nth(1)
+            .and_then(|rest| rest.split([',', '}']).next())
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or_else(|| panic!("no numeric {field} in {stats}"))
+    };
+    let (p50, p95, p99, max) = (
+        micros("latency_micros_p50"),
+        micros("latency_micros_p95"),
+        micros("latency_micros_p99"),
+        micros("latency_micros_max"),
+    );
+    assert!(p50 > 0, "{stats}");
+    assert!(p50 <= p95 && p95 <= p99 && p99 <= max, "{stats}");
+
     // /predict (3 names) + the good half of /predict_batch (1 name).
     assert!(stats.contains("\"predictions_total\":4"), "{stats}");
     // 404 + bad JSON + unparseable program.
