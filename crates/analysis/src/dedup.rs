@@ -1,0 +1,297 @@
+//! Corpus and split integrity: exact duplicates by normalized
+//! fingerprint, near-duplicates by MinHash over path bags, and the
+//! train/test leakage check.
+//!
+//! Exact duplication uses `pigeon_core::normalized_fingerprint`, which
+//! is blind to alpha-renaming — precisely the transformation that lets a
+//! "different" file leak memorized answers across an evaluation split.
+//! Near-duplication sketches each file's bag of path-contexts (ends
+//! alpha-normalized the same way) with a bottom-k MinHash and estimates
+//! Jaccard similarity from sketch overlap, so two files that share most
+//! of their paths are flagged even when they are not byte- or
+//! fingerprint-identical.
+
+use crate::diag::{Diagnostic, DuplicationSummary, Severity};
+use pigeon_ast::Ast;
+use pigeon_core::{leaf_pair_contexts, ExtractionConfig, Fnv64};
+use std::collections::HashMap;
+
+/// Sketch size: the `k` of bottom-k MinHash. 64 minima bound the
+/// standard error of the Jaccard estimate near 1/√64 ≈ 12%, plenty to
+/// separate near-duplicates (≳ 0.9) from ordinary same-generator files.
+pub const SKETCH_K: usize = 64;
+
+/// Default similarity at which a pair of files counts as near-duplicate.
+pub const NEAR_DUP_THRESHOLD: f64 = 0.9;
+
+/// A bottom-k MinHash sketch: the `k` smallest distinct 64-bit hashes
+/// of the file's normalized path bag, sorted ascending.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sketch {
+    mins: Vec<u64>,
+}
+
+impl Sketch {
+    /// Sketches `ast`'s path bag. Path ends are replaced by the dense
+    /// first-occurrence ordinal of their text (the same alpha-renaming
+    /// normalization the exact fingerprint uses), so renamed copies
+    /// sketch identically.
+    pub fn of(ast: &Ast) -> Sketch {
+        let cfg = ExtractionConfig::default();
+        let mut first_seen: HashMap<String, u64> = HashMap::new();
+        let mut ordinal = |text: &str| -> u64 {
+            let next = first_seen.len() as u64;
+            match first_seen.get(text) {
+                Some(&v) => v,
+                None => {
+                    first_seen.insert(text.to_string(), next);
+                    next
+                }
+            }
+        };
+        let mut hashes: Vec<u64> = Vec::new();
+        for context in leaf_pair_contexts(ast, &cfg) {
+            let mut h = Fnv64::new();
+            h.write_u64(ordinal(context.start.as_str()));
+            h.write(context.path.to_string().as_bytes());
+            h.write_u64(ordinal(context.end.as_str()));
+            hashes.push(h.finish());
+        }
+        hashes.sort_unstable();
+        hashes.dedup();
+        hashes.truncate(SKETCH_K);
+        Sketch { mins: hashes }
+    }
+
+    /// Bottom-k Jaccard estimate between two sketches: take the `k`
+    /// smallest hashes of the union and count how many are in both.
+    pub fn similarity(&self, other: &Sketch) -> f64 {
+        if self.mins.is_empty() && other.mins.is_empty() {
+            return 1.0;
+        }
+        let mut union: Vec<u64> = self.mins.iter().chain(other.mins.iter()).copied().collect();
+        union.sort_unstable();
+        union.dedup();
+        union.truncate(SKETCH_K);
+        let shared = union
+            .iter()
+            .filter(|h| self.mins.binary_search(h).is_ok() && other.mins.binary_search(h).is_ok())
+            .count();
+        shared as f64 / union.len() as f64
+    }
+}
+
+/// One audited file's identity for integrity checks.
+#[derive(Debug, Clone)]
+pub struct UnitPrint {
+    pub name: String,
+    pub fingerprint: u64,
+    pub sketch: Sketch,
+}
+
+/// Measures duplication across `units` and emits the corpus-level
+/// diagnostics. Duplication inside one corpus is an observation
+/// (`Info`), not a defect — synthetic and real corpora alike contain
+/// repeated idioms — but the measured rate feeds the report summary and
+/// the docs.
+pub fn corpus_diagnostics(
+    units: &[UnitPrint],
+    threshold: f64,
+) -> (DuplicationSummary, Vec<Diagnostic>) {
+    let mut diags = Vec::new();
+
+    // Exact-duplicate groups, in first-occurrence order.
+    let mut group_of: HashMap<u64, usize> = HashMap::new();
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for (i, unit) in units.iter().enumerate() {
+        let next = groups.len();
+        let g = *group_of.entry(unit.fingerprint).or_insert(next);
+        if g == groups.len() {
+            groups.push(Vec::new());
+        }
+        groups[g].push(i);
+    }
+    let duplicate_files: usize = groups.iter().map(|g| g.len() - 1).sum();
+    for group in groups.iter().filter(|g| g.len() > 1) {
+        let shown: Vec<&str> = group
+            .iter()
+            .take(5)
+            .map(|&i| units[i].name.as_str())
+            .collect();
+        let more = group.len().saturating_sub(5);
+        let suffix = if more > 0 {
+            format!(" (+{more} more)")
+        } else {
+            String::new()
+        };
+        diags.push(Diagnostic::new(
+            "corpus-duplicate",
+            Severity::Info,
+            units[group[0]].name.clone(),
+            format!(
+                "{} files share normalized fingerprint {:016x}: {}{}",
+                group.len(),
+                units[group[0]].fingerprint,
+                shown.join(", "),
+                suffix
+            ),
+        ));
+    }
+
+    // Near-duplicates among files that are not exact duplicates.
+    let mut near_duplicate_pairs = 0usize;
+    for i in 0..units.len() {
+        for j in (i + 1)..units.len() {
+            if units[i].fingerprint == units[j].fingerprint {
+                continue;
+            }
+            let sim = units[i].sketch.similarity(&units[j].sketch);
+            if sim >= threshold {
+                near_duplicate_pairs += 1;
+                diags.push(Diagnostic::new(
+                    "corpus-near-duplicate",
+                    Severity::Info,
+                    units[i].name.clone(),
+                    format!(
+                        "estimated path-bag similarity {:.2} with {}",
+                        sim, units[j].name
+                    ),
+                ));
+            }
+        }
+    }
+
+    let files = units.len();
+    let summary = DuplicationSummary {
+        files,
+        distinct_fingerprints: groups.len(),
+        duplicate_files,
+        duplication_rate: if files == 0 {
+            0.0
+        } else {
+            duplicate_files as f64 / files as f64
+        },
+        near_duplicate_pairs,
+    };
+    (summary, diags)
+}
+
+/// Refuses a train/test (or train/valid) split that shares an exact
+/// normalized fingerprint across the boundary: that is memorization
+/// leakage, and any accuracy measured over it is inflated.
+pub fn check_split(
+    train_label: &str,
+    train: &[(String, u64)],
+    test_label: &str,
+    test: &[(String, u64)],
+) -> Vec<Diagnostic> {
+    let mut train_by_fp: HashMap<u64, &str> = HashMap::new();
+    for (name, fp) in train {
+        train_by_fp.entry(*fp).or_insert(name.as_str());
+    }
+    let mut diags = Vec::new();
+    for (name, fp) in test {
+        if let Some(train_name) = train_by_fp.get(fp) {
+            diags.push(Diagnostic::new(
+                "split-leak",
+                Severity::Error,
+                name.clone(),
+                format!(
+                    "{test_label} document shares normalized fingerprint {fp:016x} with \
+                     {train_label} document {train_name}"
+                ),
+            ));
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pigeon_core::normalized_fingerprint;
+    use pigeon_corpus::Language;
+
+    fn print_of(language: Language, name: &str, source: &str) -> UnitPrint {
+        let ast = language.parse(source).unwrap();
+        UnitPrint {
+            name: name.to_string(),
+            fingerprint: normalized_fingerprint(&ast),
+            sketch: Sketch::of(&ast),
+        }
+    }
+
+    #[test]
+    fn renamed_copy_is_an_exact_duplicate() {
+        let a = print_of(
+            Language::JavaScript,
+            "a.js",
+            "function f(x) { return x + 1; }",
+        );
+        let b = print_of(
+            Language::JavaScript,
+            "b.js",
+            "function g(y) { return y + 1; }",
+        );
+        assert_eq!(a.fingerprint, b.fingerprint);
+        let (summary, diags) = corpus_diagnostics(&[a, b], NEAR_DUP_THRESHOLD);
+        assert_eq!(summary.duplicate_files, 1);
+        assert_eq!(summary.distinct_fingerprints, 1);
+        assert!(diags.iter().any(|d| d.code == "corpus-duplicate"));
+    }
+
+    #[test]
+    fn near_duplicate_is_flagged_below_exact_identity() {
+        // Same large body, one slightly different trailing statement:
+        // not an exact fingerprint match, but almost every path is
+        // shared.
+        let mut body = String::new();
+        for i in 0..4 {
+            body.push_str(&format!(
+                "var a{i} = {i}; var b{i} = a{i} + 2; if (b{i} > a{i}) {{ b{i} = b{i} - a{i}; }} "
+            ));
+        }
+        let left = format!("function f() {{ {body} return 1; }}");
+        let right = format!("function f() {{ {body} return 1 + 1; }}");
+        let a = print_of(Language::JavaScript, "a.js", &left);
+        let b = print_of(Language::JavaScript, "b.js", &right);
+        assert_ne!(a.fingerprint, b.fingerprint);
+        assert!(a.sketch.similarity(&b.sketch) >= NEAR_DUP_THRESHOLD);
+        let (summary, diags) = corpus_diagnostics(&[a, b], NEAR_DUP_THRESHOLD);
+        assert_eq!(summary.near_duplicate_pairs, 1);
+        assert!(diags.iter().any(|d| d.code == "corpus-near-duplicate"));
+    }
+
+    #[test]
+    fn unrelated_files_are_not_near_duplicates() {
+        let a = print_of(
+            Language::JavaScript,
+            "a.js",
+            "function f(x) { return x + 1; }",
+        );
+        let b = print_of(
+            Language::JavaScript,
+            "b.js",
+            "function g() { var t = {}; for (var i = 0; i < 3; i++) { t[i] = i * i; } return t; }",
+        );
+        assert!(a.sketch.similarity(&b.sketch) < NEAR_DUP_THRESHOLD);
+    }
+
+    #[test]
+    fn split_leak_is_an_error() {
+        let train = vec![("t0".to_string(), 42u64), ("t1".to_string(), 7u64)];
+        let test = vec![("e0".to_string(), 99u64), ("e1".to_string(), 7u64)];
+        let diags = check_split("train", &train, "test", &test);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "split-leak");
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert!(diags[0].message.contains("t1"));
+    }
+
+    #[test]
+    fn clean_split_passes() {
+        let train = vec![("t0".to_string(), 1u64)];
+        let test = vec![("e0".to_string(), 2u64)];
+        assert!(check_split("train", &train, "test", &test).is_empty());
+    }
+}

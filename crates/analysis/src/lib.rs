@@ -1,0 +1,210 @@
+//! Static analysis over PIGEON's pipeline artifacts: trees, corpora,
+//! splits and trained models.
+//!
+//! The paper's pipeline trusts its inputs at every stage — the frontend
+//! trusts its own trees, the extractor trusts the element grouping, the
+//! evaluation trusts that train and test don't overlap, and prediction
+//! trusts the weights it deserializes. This crate is the layer that
+//! checks instead of trusting. Four analyses share one diagnostic
+//! framework (see [`diag`]):
+//!
+//! 1. **Well-formedness** ([`wellformed`]): arena-structure invariants
+//!    plus per-frontend grammar invariants (kind classes, forced
+//!    arities, identifier value shape).
+//! 2. **Scope cross-check** ([`scopes`]): an independent scope/binding
+//!    resolver diffed against `pigeon_eval::classify_elements`;
+//!    disagreement is a hard error.
+//! 3. **Corpus & split integrity** ([`dedup`]): alpha-renaming-blind
+//!    duplicate detection, MinHash near-duplicates, and the train/test
+//!    leakage check.
+//! 4. **Model sanity** ([`modellint`]): non-finite weights, dead
+//!    tables, vocabulary coverage, empty candidate sets.
+//!
+//! [`audit_sources`] is the `pigeon audit` entry point: it fans file
+//! audits out with `parallel_map_indexed`, whose input-order result
+//! guarantee makes the report byte-identical for every `--jobs` value.
+//!
+//! ```
+//! use pigeon_analysis::{audit_sources, AuditConfig, SourceUnit};
+//! use pigeon_corpus::Language;
+//!
+//! let units = vec![SourceUnit {
+//!     name: "one.js".to_string(),
+//!     source: "function f(x) { return x + 1; }".to_string(),
+//! }];
+//! let report = audit_sources(Language::JavaScript, &units, &AuditConfig::default());
+//! assert_eq!(report.denied_count(pigeon_analysis::Severity::Warning), 0);
+//! ```
+
+pub mod dedup;
+pub mod diag;
+pub mod modellint;
+pub mod scopes;
+pub mod wellformed;
+
+pub use dedup::{check_split, Sketch, UnitPrint, NEAR_DUP_THRESHOLD};
+pub use diag::{Diagnostic, DuplicationSummary, Report, Severity};
+pub use modellint::{lint_crf, lint_sgns};
+pub use scopes::{cross_check, resolve, Resolution, ResolvedGroup, ScopeTree};
+pub use wellformed::check_ast;
+
+use pigeon_core::{normalized_fingerprint, parallel_map_indexed};
+use pigeon_corpus::Language;
+
+/// One source file to audit.
+#[derive(Debug, Clone)]
+pub struct SourceUnit {
+    /// Display name (file path or synthetic label).
+    pub name: String,
+    pub source: String,
+}
+
+/// Knobs for [`audit_sources`].
+#[derive(Debug, Clone)]
+pub struct AuditConfig {
+    /// Worker threads for per-file auditing; `0` means all cores. The
+    /// report is byte-identical for every value.
+    pub jobs: usize,
+    /// Estimated Jaccard similarity at which two files count as
+    /// near-duplicates.
+    pub near_dup_threshold: f64,
+    /// Whether to run the O(files²) near-duplicate scan.
+    pub near_dups: bool,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        AuditConfig {
+            jobs: 0,
+            near_dup_threshold: NEAR_DUP_THRESHOLD,
+            near_dups: true,
+        }
+    }
+}
+
+/// Audits one already-parsed tree: well-formedness plus the
+/// scope/binding cross-check. This is what `pigeon generate` runs over
+/// its own output before writing it.
+pub fn audit_ast(language: Language, unit: &str, ast: &pigeon_ast::Ast) -> Vec<Diagnostic> {
+    let mut diags = wellformed::check_ast(language, unit, ast);
+    let elements = pigeon_eval::classify_elements(language, ast);
+    diags.extend(scopes::cross_check(language, unit, ast, &elements));
+    diags
+}
+
+/// Audits a corpus of source files end to end: parse, per-file tree and
+/// scope checks (in parallel), then corpus-level duplication and
+/// near-duplication analysis.
+pub fn audit_sources(language: Language, units: &[SourceUnit], cfg: &AuditConfig) -> Report {
+    let per_file = parallel_map_indexed(units, cfg.jobs, |_, unit| {
+        match language.parse(&unit.source) {
+            Err(message) => (
+                vec![
+                    Diagnostic::new("parse-error", Severity::Error, unit.name.clone(), message)
+                        .with_language(language),
+                ],
+                None,
+            ),
+            Ok(ast) => {
+                let diags = audit_ast(language, &unit.name, &ast);
+                let print = UnitPrint {
+                    name: unit.name.clone(),
+                    fingerprint: normalized_fingerprint(&ast),
+                    sketch: Sketch::of(&ast),
+                };
+                (diags, Some(print))
+            }
+        }
+    });
+
+    let mut report = Report {
+        units_audited: units.len(),
+        ..Report::default()
+    };
+    let mut prints = Vec::new();
+    for (diags, print) in per_file {
+        report.diagnostics.extend(diags);
+        prints.extend(print);
+    }
+
+    let threshold = if cfg.near_dups {
+        cfg.near_dup_threshold
+    } else {
+        // A threshold above 1.0 can never fire; the summary still
+        // reports exact duplication.
+        f64::INFINITY
+    };
+    let (summary, corpus_diags) = dedup::corpus_diagnostics(&prints, threshold);
+    report.diagnostics.extend(corpus_diags);
+    report.duplication = Some(summary);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus_units(language: Language, files: usize) -> Vec<SourceUnit> {
+        let corpus = pigeon_corpus::generate(
+            language,
+            &pigeon_corpus::CorpusConfig::default().with_files(files),
+        );
+        corpus
+            .docs
+            .iter()
+            .enumerate()
+            .map(|(i, doc)| SourceUnit {
+                name: format!("doc{i:05}"),
+                source: doc.source.clone(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn generated_corpora_audit_without_errors_or_warnings() {
+        for language in Language::ALL {
+            let units = corpus_units(language, 12);
+            let report = audit_sources(language, &units, &AuditConfig::default());
+            let denied = report.denied_count(Severity::Warning);
+            assert_eq!(denied, 0, "{language:?}: {}", report.render_text());
+            assert_eq!(report.units_audited, units.len());
+            assert!(report.duplication.is_some());
+        }
+    }
+
+    #[test]
+    fn unparseable_source_is_a_parse_error() {
+        let units = vec![SourceUnit {
+            name: "bad.js".to_string(),
+            source: "function ((((".to_string(),
+        }];
+        let report = audit_sources(Language::JavaScript, &units, &AuditConfig::default());
+        assert!(report.diagnostics.iter().any(|d| d.code == "parse-error"));
+        assert!(report.denied_count(Severity::Error) > 0);
+    }
+
+    #[test]
+    fn report_is_byte_identical_across_jobs_values() {
+        let units = corpus_units(Language::Python, 10);
+        let baseline = audit_sources(
+            Language::Python,
+            &units,
+            &AuditConfig {
+                jobs: 1,
+                ..AuditConfig::default()
+            },
+        );
+        for jobs in [0, 2, 3, 7] {
+            let report = audit_sources(
+                Language::Python,
+                &units,
+                &AuditConfig {
+                    jobs,
+                    ..AuditConfig::default()
+                },
+            );
+            assert_eq!(report.render_text(), baseline.render_text(), "jobs={jobs}");
+            assert_eq!(report.render_json(), baseline.render_json(), "jobs={jobs}");
+        }
+    }
+}

@@ -188,6 +188,26 @@ impl Ast {
             .collect()
     }
 
+    /// Test-support hook: overwrites the recorded parent of `id`,
+    /// deliberately breaking the `π` = `δ⁻¹` invariant.
+    ///
+    /// A tree built through [`AstBuilder`] is correct by construction, so
+    /// checkers of the structural invariants (this crate's
+    /// [`Ast::check_invariants`], the audit layer's well-formedness pass)
+    /// have no failing inputs to exercise without this hook. It exists
+    /// only to seed violations in tests; nothing in the pipeline calls it.
+    #[doc(hidden)]
+    pub fn corrupt_parent_for_tests(&mut self, id: NodeId, parent: Option<NodeId>) {
+        self.nodes[id.index()].parent = parent;
+    }
+
+    /// Test-support hook: overwrites the recorded sibling position of
+    /// `id`. See [`Ast::corrupt_parent_for_tests`].
+    #[doc(hidden)]
+    pub fn corrupt_child_index_for_tests(&mut self, id: NodeId, child_index: u32) {
+        self.nodes[id.index()].child_index = child_index;
+    }
+
     /// Verifies the structural invariants of Definition 4.1; used by tests
     /// and by frontends in debug builds.
     ///

@@ -51,6 +51,7 @@ mod abstraction;
 mod context;
 mod element;
 mod extract;
+mod fingerprint;
 mod nwise;
 mod parallel;
 mod path;
@@ -64,6 +65,7 @@ pub use extract::{
     contexts_to_node, extract, leaf_pair_contexts, path_between, semi_path_contexts,
     ExtractionConfig,
 };
+pub use fingerprint::{fnv64, normalized_fingerprint, Fnv64};
 pub use nwise::{triple_contexts, NWiseContext};
 pub use parallel::{effective_jobs, parallel_map_indexed};
 pub use path::{AstPath, Direction};

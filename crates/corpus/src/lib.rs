@@ -209,6 +209,24 @@ impl Corpus {
         )
     }
 
+    /// Checks that every document parses back into a structurally sound
+    /// AST. Generators are trusted to emit valid programs; this makes
+    /// that trust checkable (`pigeon generate` performs the same
+    /// round-trip, plus the full audit, before writing any file). The
+    /// error names the offending document index and the parser's (or
+    /// invariant checker's) message.
+    pub fn validate_roundtrip(&self) -> Result<(), String> {
+        for (i, doc) in self.docs.iter().enumerate() {
+            let ast = self
+                .language
+                .parse(&doc.source)
+                .map_err(|e| format!("document {i} failed to parse: {e}"))?;
+            ast.check_invariants()
+                .map_err(|e| format!("document {i} produced a malformed AST: {e}"))?;
+        }
+        Ok(())
+    }
+
     /// Size statistics for reporting (Table 1).
     pub fn stats(&self) -> CorpusStats {
         CorpusStats {
@@ -238,6 +256,29 @@ mod tests {
     fn overfull_split_panics() {
         let corpus = generate(Language::Python, &CorpusConfig::default().with_files(4));
         let _ = corpus.split(0.9, 0.4);
+    }
+
+    #[test]
+    fn generated_corpora_roundtrip_in_every_language() {
+        for language in Language::ALL {
+            let corpus = generate(language, &CorpusConfig::default().with_files(10));
+            corpus
+                .validate_roundtrip()
+                .unwrap_or_else(|e| panic!("{}: {e}", language.name()));
+        }
+    }
+
+    #[test]
+    fn roundtrip_rejects_an_unparsable_document() {
+        let corpus = Corpus {
+            language: Language::Java,
+            docs: vec![Document {
+                source: "class {{{ nope".to_string(),
+                truth: GroundTruth::default(),
+            }],
+        };
+        let err = corpus.validate_roundtrip().unwrap_err();
+        assert!(err.contains("document 0"), "{err}");
     }
 
     #[test]

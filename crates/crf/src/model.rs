@@ -5,6 +5,11 @@ use crate::instance::{Instance, NodeAdjacency};
 use std::collections::HashMap;
 use std::sync::OnceLock;
 
+/// One borrowed candidate-table entry:
+/// `((path, other_label, side), suggestions)` — see
+/// [`CrfModel::candidate_entries`].
+pub type CandidateEntryRef<'a> = ((u32, u32, u8), &'a [(u32, u32)]);
+
 /// Feature weights and label statistics of a trained CRF.
 ///
 /// Scores are linear: the score of a joint assignment `y` is
@@ -123,6 +128,43 @@ impl CrfModel {
     /// Number of distinct unary features with non-zero weight.
     pub fn num_unary_features(&self) -> usize {
         self.unary_weights.len()
+    }
+
+    /// Read-only view of every pairwise weight as
+    /// `(path, label_a, label_b, weight)`, in arbitrary order. For audit
+    /// tooling; iteration never touches the compiled cache.
+    pub fn pair_weight_entries(&self) -> impl Iterator<Item = (u32, u32, u32, f32)> + '_ {
+        self.pair_weights
+            .iter()
+            .map(|(&(p, a, b), &w)| (p, a, b, w))
+    }
+
+    /// Read-only view of every unary weight as `(path, label, weight)`,
+    /// in arbitrary order.
+    pub fn unary_weight_entries(&self) -> impl Iterator<Item = (u32, u32, f32)> + '_ {
+        self.unary_weights.iter().map(|(&(p, l), &w)| (p, l, w))
+    }
+
+    /// The per-label training-frequency table (indexed by label id).
+    pub fn label_count_table(&self) -> &[u32] {
+        &self.label_counts
+    }
+
+    /// Read-only view of the candidate tables: each entry is
+    /// `((path, other_label, side), suggestions)` where suggestions are
+    /// `(label, co-occurrence count)` pairs.
+    pub fn candidate_entries(&self) -> impl Iterator<Item = CandidateEntryRef<'_>> {
+        self.candidates.iter().map(|(&k, v)| (k, v.as_slice()))
+    }
+
+    /// The global fallback candidate labels, most frequent first.
+    pub fn global_candidate_labels(&self) -> &[u32] {
+        &self.global_candidates
+    }
+
+    /// Maximum candidates considered per node during inference.
+    pub fn max_candidates(&self) -> usize {
+        self.max_candidates
     }
 
     fn pair_w(&self, path: u32, la: u32, lb: u32) -> f32 {

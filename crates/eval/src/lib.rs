@@ -30,6 +30,7 @@ mod elements;
 mod features;
 mod graph;
 mod metrics;
+mod split;
 mod sweeps;
 mod tasks;
 mod tune;
@@ -48,6 +49,7 @@ pub use metrics::{exact_match, normalize_name, subtoken_prf, subtokens, Scoreboa
 // The worker pool lives in `pigeon-core` (so `pigeon-crf` can share it);
 // re-exported here because every experiment driver fans out over it.
 pub use pigeon_core::{effective_jobs, parallel_map_indexed};
+pub use split::split_dedup;
 pub use sweeps::{
     abstraction_sweep, downsample_sweep, length_width_sweep, AbstractionPoint, DownsamplePoint,
     LengthWidthCell,

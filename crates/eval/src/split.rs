@@ -1,0 +1,160 @@
+//! Duplicate-safe train/valid/test splitting.
+//!
+//! Synthetic (and real) corpora contain duplicated programs — often
+//! identical up to identifier renaming. A naive prefix split lets such a
+//! pair straddle the train/test boundary, and a model then scores on a
+//! program it has memorized, inflating every reported number. This
+//! module splits like [`pigeon_corpus::Corpus::split`] but then drops
+//! any later-split document whose alpha-renaming-normalized fingerprint
+//! already occurs in an earlier split: training keeps every document
+//! (duplicates there are harmless), while validation and test only keep
+//! programs the model has genuinely never seen.
+
+use pigeon_core::{fnv64, normalized_fingerprint, parallel_map_indexed};
+use pigeon_corpus::Corpus;
+use std::collections::HashSet;
+
+/// Splits `corpus` into train/valid/test prefix fractions, then removes
+/// from valid every document sharing a normalized fingerprint with
+/// train, and from test every document sharing one with train or the
+/// kept valid set. `jobs` fans the per-document fingerprinting out
+/// (`1` serial, `0` all cores); the result is identical for any value.
+///
+/// A document that fails to parse (impossible for generated corpora,
+/// possible for user-supplied ones) falls back to a byte-content hash,
+/// so exact byte duplicates still never cross the boundary.
+pub fn split_dedup(
+    corpus: Corpus,
+    train_frac: f64,
+    valid_frac: f64,
+    jobs: usize,
+) -> (Corpus, Corpus, Corpus) {
+    let language = corpus.language;
+    let fingerprints: Vec<u64> = parallel_map_indexed(&corpus.docs, jobs, |_, doc| match language
+        .parse(&doc.source)
+    {
+        Ok(ast) => normalized_fingerprint(&ast),
+        Err(_) => fnv64(doc.source.as_bytes()),
+    });
+    let (train, valid, test) = corpus.split(train_frac, valid_frac);
+
+    // `split` is a prefix split, so the fingerprint list lines up:
+    // train gets [0, n_train), valid the next n_valid, test the rest.
+    let n_train = train.docs.len();
+    let n_valid = valid.docs.len();
+    let mut seen: HashSet<u64> = fingerprints[..n_train].iter().copied().collect();
+
+    let keep = |docs: Vec<pigeon_corpus::Document>,
+                fps: &[u64],
+                seen: &mut HashSet<u64>|
+     -> Vec<pigeon_corpus::Document> {
+        docs.into_iter()
+            .zip(fps)
+            .filter_map(|(doc, &fp)| seen.insert(fp).then_some(doc))
+            .collect()
+    };
+    let valid_docs = keep(
+        valid.docs,
+        &fingerprints[n_train..n_train + n_valid],
+        &mut seen,
+    );
+    let test_docs = keep(test.docs, &fingerprints[n_train + n_valid..], &mut seen);
+
+    (
+        train,
+        Corpus {
+            language,
+            docs: valid_docs,
+        },
+        Corpus {
+            language,
+            docs: test_docs,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pigeon_corpus::{generate, CorpusConfig, Document, Language};
+
+    fn fingerprint_set(corpus: &Corpus) -> HashSet<u64> {
+        corpus
+            .docs
+            .iter()
+            .map(|d| normalized_fingerprint(&corpus.language.parse(&d.source).unwrap()))
+            .collect()
+    }
+
+    #[test]
+    fn duplicate_straddling_the_boundary_is_dropped_from_test() {
+        // Two renamed copies of one program, placed so the prefix split
+        // puts one in train and one in test.
+        let twin_a = "function f(alpha) { var beta = alpha + 1; return beta; }";
+        let twin_b = "function g(left) { var right = left + 1; return right; }";
+        let filler = |i: usize| format!("function h{i}(x) {{ return x * {i}; }}");
+        let mut docs: Vec<Document> = Vec::new();
+        docs.push(Document {
+            source: twin_a.to_string(),
+            truth: Default::default(),
+        });
+        for i in 0..3 {
+            docs.push(Document {
+                source: filler(i),
+                truth: Default::default(),
+            });
+        }
+        docs.push(Document {
+            source: twin_b.to_string(),
+            truth: Default::default(),
+        });
+        let corpus = Corpus {
+            language: Language::JavaScript,
+            docs,
+        };
+
+        // The naive split leaks: twin_b lands in test while twin_a
+        // trained, with identical normalized fingerprints.
+        let (naive_train, _, naive_test) = corpus.clone().split(0.8, 0.0);
+        assert!(!naive_test.docs.is_empty());
+        let leak: Vec<u64> = fingerprint_set(&naive_train)
+            .intersection(&fingerprint_set(&naive_test))
+            .copied()
+            .collect();
+        assert!(!leak.is_empty(), "fixture must actually straddle the split");
+
+        // The dedup split drops the twin from test entirely.
+        let (train, _, test) = split_dedup(corpus, 0.8, 0.0, 1);
+        assert_eq!(train.docs.len(), 4);
+        assert!(test.docs.is_empty());
+    }
+
+    #[test]
+    fn clean_corpora_split_identically_to_the_naive_split() {
+        let corpus = generate(Language::Python, &CorpusConfig::default().with_files(30));
+        let naive = corpus.clone().split(0.8, 0.1);
+        let dedup = split_dedup(corpus, 0.8, 0.1, 1);
+        // Any documents dropped must be genuine cross-split duplicates;
+        // the train split is always untouched.
+        assert_eq!(naive.0.docs.len(), dedup.0.docs.len());
+        assert!(dedup.1.docs.len() <= naive.1.docs.len());
+        assert!(dedup.2.docs.len() <= naive.2.docs.len());
+        // And after dedup no fingerprint crosses any boundary.
+        let train_fps = fingerprint_set(&dedup.0);
+        let valid_fps = fingerprint_set(&dedup.1);
+        let test_fps = fingerprint_set(&dedup.2);
+        assert!(train_fps.is_disjoint(&test_fps));
+        assert!(train_fps.is_disjoint(&valid_fps));
+        assert!(valid_fps.is_disjoint(&test_fps));
+    }
+
+    #[test]
+    fn jobs_value_does_not_change_the_split() {
+        let corpus = generate(Language::Java, &CorpusConfig::default().with_files(20));
+        let serial = split_dedup(corpus.clone(), 0.8, 0.0, 1);
+        let parallel = split_dedup(corpus, 0.8, 0.0, 0);
+        let names = |c: &Corpus| c.docs.iter().map(|d| d.source.clone()).collect::<Vec<_>>();
+        assert_eq!(names(&serial.0), names(&parallel.0));
+        assert_eq!(names(&serial.2), names(&parallel.2));
+    }
+}

@@ -180,7 +180,10 @@ fn extract_corpus(corpus: &Corpus, exp: &NameExperiment) -> Vec<ExtractedDoc> {
 /// model does not depend on the worker count.
 pub fn run_name_experiment(exp: &NameExperiment) -> TaskOutcome {
     let corpus = generate(exp.language, &exp.corpus);
-    let (train_corpus, _, test_corpus) = corpus.split(exp.train_frac, 0.0);
+    // Duplicate-safe split: no program crosses into test under a mere
+    // renaming (see `split_dedup`).
+    let (train_corpus, _, test_corpus) =
+        crate::split::split_dedup(corpus, exp.train_frac, 0.0, exp.jobs);
     let mut vocabs = Vocabs::new();
     let mut rng = SmallRng::seed_from_u64(exp.corpus.seed ^ 0xD05A);
 
@@ -307,7 +310,8 @@ impl Default for TypeExperiment {
 /// Runs the full-type prediction experiment.
 pub fn run_type_experiment(exp: &TypeExperiment) -> TaskOutcome {
     let corpus = generate_java_types(&exp.corpus);
-    let (train_corpus, _, test_corpus) = corpus.split(exp.train_frac, 0.0);
+    let (train_corpus, _, test_corpus) =
+        crate::split::split_dedup(corpus, exp.train_frac, 0.0, exp.jobs);
     let mut vocabs = Vocabs::new();
 
     // Parsing fans out; graph building interns vocabulary entries and
@@ -379,7 +383,9 @@ pub fn run_type_experiment(exp: &TypeExperiment) -> TaskOutcome {
 /// every expression (24.1% in the paper).
 pub fn naive_string_type_accuracy(corpus_cfg: &CorpusConfig, train_frac: f64) -> TaskOutcome {
     let corpus = generate_java_types(corpus_cfg);
-    let (_, _, test_corpus) = corpus.split(train_frac, 0.0);
+    // Baselines score on the same deduplicated test split as the real
+    // experiments, keeping the comparison apples-to-apples.
+    let (_, _, test_corpus) = crate::split::split_dedup(corpus, train_frac, 0.0, 1);
     let mut board = Scoreboard::new();
     for doc in &test_corpus.docs {
         for t in &doc.truth.types {
@@ -403,7 +409,7 @@ pub fn naive_string_type_accuracy(corpus_cfg: &CorpusConfig, train_frac: f64) ->
 /// a name derived from the declared type (`HttpClient client`).
 pub fn rule_based_java_vars(corpus_cfg: &CorpusConfig, train_frac: f64) -> TaskOutcome {
     let corpus = generate(Language::Java, corpus_cfg);
-    let (_, _, test_corpus) = corpus.split(train_frac, 0.0);
+    let (_, _, test_corpus) = crate::split::split_dedup(corpus, train_frac, 0.0, 1);
     let mut board = Scoreboard::new();
     for doc in &test_corpus.docs {
         let ast = Language::Java

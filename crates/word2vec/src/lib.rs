@@ -256,6 +256,32 @@ impl SgnsModel {
         self.dim
     }
 
+    /// Number of words in the embedding table.
+    pub fn num_words(&self) -> usize {
+        self.num_words
+    }
+
+    /// Number of contexts in the embedding table.
+    pub fn num_contexts(&self) -> usize {
+        self.num_contexts
+    }
+
+    /// The full row-major `num_words × dim` word table, for audit
+    /// tooling that scans every coefficient.
+    pub fn word_table(&self) -> &[f32] {
+        &self.word_vecs
+    }
+
+    /// The full row-major `num_contexts × dim` context table.
+    pub fn ctx_table(&self) -> &[f32] {
+        &self.ctx_vecs
+    }
+
+    /// The per-word training-frequency table.
+    pub fn word_count_table(&self) -> &[u32] {
+        &self.word_counts
+    }
+
     /// The word vector for `word`.
     ///
     /// # Panics

@@ -43,6 +43,7 @@
 //! assert!(!predictions[0].candidates.is_empty());
 //! ```
 
+pub use pigeon_analysis as analysis;
 pub use pigeon_ast as ast;
 pub use pigeon_core as core;
 pub use pigeon_corpus as corpus;
@@ -219,6 +220,17 @@ impl Pigeon {
     /// The language this predictor was trained for.
     pub fn language(&self) -> Language {
         self.language
+    }
+
+    /// The trained CRF model, read-only — the `pigeon audit` model lint
+    /// inspects weight tables and candidate sets through this.
+    pub fn crf_model(&self) -> &CrfModel {
+        &self.model
+    }
+
+    /// The label/feature vocabularies the model was trained with.
+    pub fn vocabs(&self) -> &Vocabs {
+        &self.vocabs
     }
 
     /// Serialises the trained predictor (model, vocabularies and

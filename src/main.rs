@@ -9,9 +9,11 @@
 //! pigeon predict  --model model.json FILE         # suggest names
 //! pigeon serve    --model model.json --port 7470  # HTTP prediction server
 //! pigeon experiment --language js [--files N]     # quick accuracy run
+//! pigeon audit    --language js PATH...           # static-analysis audit
 //! ```
 
-use pigeon::core::{extract, Abstraction, ExtractionConfig};
+use pigeon::analysis::{audit_sources, lint_crf, AuditConfig, Severity, SourceUnit};
+use pigeon::core::{extract, parallel_map_indexed, Abstraction, ExtractionConfig};
 use pigeon::corpus::{generate, CorpusConfig, Language};
 use pigeon::eval::{run_name_experiment, NameExperiment};
 use pigeon::serve::{serve, ServeConfig};
@@ -29,6 +31,17 @@ fn main() -> ExitCode {
         Some("predict") => cmd_predict(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("experiment") => cmd_experiment(&args[1..]),
+        // `audit` owns its exit code: 0 clean, 2 when findings reach the
+        // `--deny` level, 1 (below) for usage/IO errors.
+        Some("audit") => {
+            return match cmd_audit(&args[1..]) {
+                Ok(code) => code,
+                Err(message) => {
+                    eprintln!("error: {message}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         Some("--help" | "-h" | "help") | None => {
             print!("{HELP}");
             Ok(())
@@ -50,7 +63,7 @@ pigeon — a general path-based representation for predicting program properties
 USAGE:
   pigeon paths      --language LANG [--max-length N] [--max-width N]
                     [--abstraction LEVEL] FILE
-  pigeon generate   --language LANG [--files N] [--seed N] DIR
+  pigeon generate   --language LANG [--files N] [--seed N] [--jobs N] DIR
   pigeon train      --language LANG --out MODEL.json [--task vars|methods]
                     [--max-length N] [--max-width N] [--jobs N]
                     [--keep-prob P] [--synthetic N | FILE...]
@@ -60,6 +73,9 @@ USAGE:
                     [--idle-timeout SECS]
   pigeon experiment --language LANG [--files N] [--task vars|methods]
                     [--jobs N]
+  pigeon audit      [--language LANG PATH...] [--model MODEL.json]
+                    [--format text|json] [--deny info|warning|error]
+                    [--jobs N] [--near-dups true|false]
 
 Flags take `--name value` or `--name=value`; a flag a subcommand does
 not know is an error, never silently ignored.
@@ -77,6 +93,20 @@ DEFAULTS:
                 for any value.
   --keep-prob   1.0 (keep every path-context; lower values downsample
                 training contexts, §5.5 of the paper)
+
+AUDIT:
+  Static analysis over sources and trained models. PATHs are source
+  files or directories (directories are walked for the language's
+  extension, sorted by name). Checks: AST well-formedness (codes ast-*),
+  scope/binding cross-check (scope-*), corpus duplication and
+  near-duplication (corpus-*, split-leak), and model sanity (model-*)
+  when --model is given.
+  --format      text (default) or json (schema pigeon-audit/1)
+  --deny        fail when any diagnostic is at or above this severity
+                (default: error)
+  --jobs        0 = all cores; output is byte-identical for any value
+  --near-dups   false skips the O(files²) MinHash near-duplicate scan
+  Exit status: 0 clean, 2 denied findings, 1 usage or I/O error.
 
 SERVE:
   POST /predict       {\"source\": \"<program>\"}        → predictions
@@ -213,26 +243,59 @@ fn cmd_paths(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// The file extension `pigeon generate` writes and `pigeon audit` walks
+/// directories for.
+fn language_ext(language: Language) -> &'static str {
+    match language {
+        Language::JavaScript => "js",
+        Language::Java => "java",
+        Language::Python => "py",
+        Language::CSharp => "cs",
+    }
+}
+
 fn cmd_generate(args: &[String]) -> Result<(), String> {
     let (flags, positional) = parse_flags(args)?;
-    check_flags("generate", &flags, &["language", "files", "seed"])?;
+    check_flags("generate", &flags, &["language", "files", "seed", "jobs"])?;
     let language = required_language(&flags)?;
     let [dir] = positional.as_slice() else {
         return Err("expected exactly one output DIR".into());
     };
     let files = parse_usize(&flags, "files", 100)?;
     let seed = parse_usize(&flags, "seed", 0x9147_00D5)? as u64;
+    let jobs = parse_usize(&flags, "jobs", 1)?;
     let corpus = generate(
         language,
         &CorpusConfig::default().with_files(files).with_seed(seed),
     );
+    let ext = language_ext(language);
+    // Round-trip every document through the matching parser and the
+    // well-formedness + scope checks before anything touches disk: a
+    // generator bug must fail the run loudly, not poison a corpus.
+    let verdicts = parallel_map_indexed(&corpus.docs, jobs, |i, doc| {
+        let name = format!("doc{i:05}.{ext}");
+        let ast = language
+            .parse(&doc.source)
+            .map_err(|e| format!("{name}: generated source fails to re-parse: {e}"))?;
+        ast.check_invariants().map_err(|e| format!("{name}: {e}"))?;
+        let errors: Vec<String> = pigeon::analysis::audit_ast(language, &name, &ast)
+            .into_iter()
+            .filter(|d| d.severity >= Severity::Warning)
+            .map(|d| d.render_text())
+            .collect();
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{name}: generated source fails the well-formedness audit: {}",
+                errors.join("; ")
+            ))
+        }
+    });
+    if let Some(failure) = verdicts.into_iter().find_map(Result::err) {
+        return Err(failure);
+    }
     std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
-    let ext = match language {
-        Language::JavaScript => "js",
-        Language::Java => "java",
-        Language::Python => "py",
-        Language::CSharp => "cs",
-    };
     for (i, doc) in corpus.docs.iter().enumerate() {
         let path = Path::new(dir).join(format!("doc{i:05}.{ext}"));
         std::fs::write(&path, &doc.source).map_err(|e| format!("{}: {e}", path.display()))?;
@@ -415,6 +478,115 @@ fn cmd_experiment(args: &[String]) -> Result<(), String> {
         out.train_secs,
     );
     Ok(())
+}
+
+/// Expands `paths` into audit units: files are taken as-is, directories
+/// are walked (non-recursively) for the language's extension, sorted by
+/// name so the report is stable.
+fn collect_audit_units(language: Language, paths: &[String]) -> Result<Vec<SourceUnit>, String> {
+    let ext = language_ext(language);
+    let mut units = Vec::new();
+    for path in paths {
+        let meta = std::fs::metadata(path).map_err(|e| format!("{path}: {e}"))?;
+        if meta.is_dir() {
+            let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(path)
+                .map_err(|e| format!("{path}: {e}"))?
+                .filter_map(|entry| entry.ok().map(|e| e.path()))
+                .filter(|p| p.is_file() && p.extension().is_some_and(|e| e == ext))
+                .collect();
+            files.sort();
+            for file in files {
+                let name = file.display().to_string();
+                units.push(SourceUnit {
+                    source: read_file(&name)?,
+                    name,
+                });
+            }
+        } else {
+            units.push(SourceUnit {
+                name: path.clone(),
+                source: read_file(path)?,
+            });
+        }
+    }
+    Ok(units)
+}
+
+fn cmd_audit(args: &[String]) -> Result<ExitCode, String> {
+    let (flags, positional) = parse_flags(args)?;
+    check_flags(
+        "audit",
+        &flags,
+        &["language", "model", "format", "deny", "jobs", "near-dups"],
+    )?;
+    let format = flag(&flags, "format").unwrap_or("text");
+    if !matches!(format, "text" | "json") {
+        return Err(format!("--format expects text or json, got `{format}`"));
+    }
+    let deny = match flag(&flags, "deny") {
+        None => Severity::Error,
+        Some(name) => Severity::from_name(name)
+            .ok_or_else(|| format!("--deny expects info, warning or error, got `{name}`"))?,
+    };
+    let jobs = parse_usize(&flags, "jobs", 0)?;
+    let near_dups = match flag(&flags, "near-dups") {
+        None | Some("true") => true,
+        Some("false") => false,
+        Some(v) => return Err(format!("--near-dups expects true or false, got `{v}`")),
+    };
+    let model_path = flag(&flags, "model");
+    if positional.is_empty() && model_path.is_none() {
+        return Err("provide source PATHs (with --language) and/or --model MODEL.json".into());
+    }
+
+    let mut report = pigeon::analysis::Report::default();
+    if !positional.is_empty() {
+        let language = required_language(&flags)?;
+        let units = collect_audit_units(language, &positional)?;
+        report = audit_sources(
+            language,
+            &units,
+            &AuditConfig {
+                jobs,
+                near_dups,
+                ..AuditConfig::default()
+            },
+        );
+    }
+    if let Some(path) = model_path {
+        report.units_audited += 1;
+        match Pigeon::from_json(&read_file(path)?) {
+            Err(e) => report.diagnostics.push(pigeon::analysis::Diagnostic::new(
+                "model-load",
+                Severity::Error,
+                path,
+                e.to_string(),
+            )),
+            Ok(model) => {
+                let language = model.language();
+                report.diagnostics.extend(
+                    lint_crf(
+                        path,
+                        model.crf_model(),
+                        model.vocabs().features.len(),
+                        model.vocabs().labels.len(),
+                    )
+                    .into_iter()
+                    .map(|d| d.with_language(language)),
+                );
+            }
+        }
+    }
+
+    match format {
+        "json" => println!("{}", report.render_json()),
+        _ => print!("{}", report.render_text()),
+    }
+    Ok(if report.denied_count(deny) > 0 {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    })
 }
 
 #[cfg(test)]
