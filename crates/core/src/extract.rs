@@ -18,7 +18,12 @@
 use crate::context::{PathContext, PathEnd};
 use crate::path::{AstPath, Direction};
 use pigeon_ast::{Ast, Kind, NodeId};
+use pigeon_telemetry as telemetry;
 use std::collections::HashMap;
+
+/// Counter family for extracted path-contexts, split by `kind` label
+/// (`leaf_pair`, `semi_path`, `to_node`).
+const PATHS_TOTAL: &str = "pigeon_paths_extracted_total";
 
 /// Hyper-parameters controlling which paths are extracted.
 ///
@@ -146,6 +151,8 @@ struct PendingPair {
 /// [`path_between`]-per-pair loop which re-walked the tree and
 /// re-allocated for all `O(leaves²)` candidates.
 pub fn leaf_pair_contexts(ast: &Ast, cfg: &ExtractionConfig) -> Vec<PathContext> {
+    let _span = telemetry::span("extract_doc");
+    telemetry::count("pigeon_documents_extracted_total", 1);
     if cfg.max_length < 2 {
         // A leafwise path climbs at least one edge and descends at least
         // one, so nothing can survive.
@@ -265,6 +272,7 @@ pub fn leaf_pair_contexts(ast: &Ast, cfg: &ExtractionConfig) -> Vec<PathContext>
             end_node: leaves[b],
         });
     }
+    telemetry::count_with(PATHS_TOTAL, &[("kind", "leaf_pair")], out.len() as u64);
     out
 }
 
@@ -292,6 +300,7 @@ pub fn semi_path_contexts(ast: &Ast, cfg: &ExtractionConfig) -> Vec<PathContext>
             });
         }
     }
+    telemetry::count_with(PATHS_TOTAL, &[("kind", "semi_path")], out.len() as u64);
     out
 }
 
@@ -382,6 +391,9 @@ pub fn contexts_to_node(ast: &Ast, target: NodeId, cfg: &ExtractionConfig) -> Ve
             end_node: target,
         });
     }
+    // Counter only: this runs per predicted node on the serve hot path,
+    // where a span per call would dominate the cost being measured.
+    telemetry::count_with(PATHS_TOTAL, &[("kind", "to_node")], out.len() as u64);
     out
 }
 

@@ -8,7 +8,9 @@
 //! processed what — so a downstream consumer that interns features in
 //! encounter order produces output byte-identical to a serial run.
 
+use pigeon_telemetry as telemetry;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Resolves a `jobs` knob to a concrete worker count: `0` means "use all
 /// available parallelism", anything else is taken literally.
@@ -39,30 +41,53 @@ where
     F: Fn(usize, &T) -> R + Sync,
 {
     let jobs = effective_jobs(jobs).min(items.len().max(1));
+    telemetry::count("pigeon_pool_items_total", items.len() as u64);
     if jobs <= 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
+    // Telemetry recorded inside `f` must not depend on thread
+    // interleaving: each worker writes into a private shard of the
+    // caller's sink, and shards merge back in worker order after the
+    // join — the same ordered-merge discipline as the result slots.
+    let sink = if telemetry::enabled() {
+        Some(telemetry::current())
+    } else {
+        None
+    };
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
     slots.resize_with(items.len(), || None);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..jobs)
             .map(|_| {
-                scope.spawn(|| {
-                    let mut local: Vec<(usize, R)> = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= items.len() {
-                            break;
+                let (sink, next, f) = (&sink, &next, &f);
+                scope.spawn(move || {
+                    let shard = sink.as_ref().map(|parent| Arc::new(parent.shard()));
+                    let run = || {
+                        let mut local: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= items.len() {
+                                break;
+                            }
+                            local.push((i, f(i, &items[i])));
                         }
-                        local.push((i, f(i, &items[i])));
-                    }
-                    local
+                        local
+                    };
+                    let local = match &shard {
+                        Some(shard) => telemetry::with_shard(shard, run),
+                        None => run(),
+                    };
+                    (local, shard)
                 })
             })
             .collect();
         for handle in handles {
-            for (i, r) in handle.join().expect("worker thread panicked") {
+            let (local, shard) = handle.join().expect("worker thread panicked");
+            if let (Some(parent), Some(shard)) = (&sink, shard) {
+                parent.merge(&shard);
+            }
+            for (i, r) in local {
                 slots[i] = Some(r);
             }
         }

@@ -37,6 +37,7 @@
 
 use crate::instance::Instance;
 use crate::model::CrfModel;
+use pigeon_telemetry as telemetry;
 use std::cell::RefCell;
 use std::collections::HashMap;
 
@@ -594,7 +595,14 @@ pub(crate) fn infer<W: WeightStore>(
     for i in 0..ws.unknowns.len() {
         ws.dirty[ws.unknowns[i] as usize] = true;
     }
+    // ICM work counters accumulate locally and post once per call: this
+    // is the training/serving hot loop, and one atomic add per call (not
+    // per node) keeps the instrumentation overhead unmeasurable.
+    let mut sweeps = 0u64;
+    let mut rescores = 0u64;
+    let mut flips = 0u64;
     for _ in 0..shared.max_passes {
+        sweeps += 1;
         let mut changed = false;
         for i in 0..ws.unknowns.len() {
             let u = ws.unknowns[i] as usize;
@@ -602,11 +610,13 @@ pub(crate) fn infer<W: WeightStore>(
                 continue;
             }
             ws.dirty[u] = false;
+            rescores += 1;
             collect_candidates(shared, inst, ws, u);
             let best = argmax(shared, weights, inst, ws, u, loss_augment);
             if best != ws.labels[u] {
                 ws.labels[u] = best;
                 changed = true;
+                flips += 1;
                 for j in ws.pair_off[u] as usize..ws.pair_off[u + 1] as usize {
                     let pf = inst.pairwise[ws.pair_adj[j] as usize];
                     let v = if pf.a == u { pf.b } else { pf.a };
@@ -619,6 +629,11 @@ pub(crate) fn infer<W: WeightStore>(
         if !changed {
             break;
         }
+    }
+    if telemetry::enabled() {
+        telemetry::count("pigeon_icm_sweeps_total", sweeps);
+        telemetry::count("pigeon_icm_rescores_total", rescores);
+        telemetry::count("pigeon_icm_flips_total", flips);
     }
     ws.labels.clone()
 }

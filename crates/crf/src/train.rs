@@ -21,6 +21,7 @@ use crate::compiled::{compile_shared, infer, pair_key, BucketWeights, Workspace}
 use crate::instance::Instance;
 use crate::model::CrfModel;
 use pigeon_core::parallel_map_indexed;
+use pigeon_telemetry as telemetry;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -74,6 +75,7 @@ impl Default for CrfConfig {
 ///
 /// Panics if any instance references a label `>= num_labels`.
 pub fn train(instances: &[Instance], num_labels: u32, cfg: &CrfConfig) -> CrfModel {
+    let _span = telemetry::span("crf_train");
     // Only the unary ablation needs its own copy (with unary factors
     // stripped); the common path borrows the caller's instances.
     let stripped: Vec<Instance>;
@@ -112,6 +114,8 @@ pub fn train(instances: &[Instance], num_labels: u32, cfg: &CrfConfig) -> CrfMod
     let mut unary_sum: HashMap<(u32, u32), f64> = HashMap::new();
 
     for _epoch in 0..cfg.epochs {
+        let _epoch_span = telemetry::span("crf_epoch");
+        let mut epoch_updates = 0u64;
         order.shuffle(&mut rng);
         for &idx in &order {
             let inst = &instances[idx];
@@ -120,6 +124,7 @@ pub fn train(instances: &[Instance], num_labels: u32, cfg: &CrfConfig) -> CrfMod
             if predicted == gold {
                 continue;
             }
+            epoch_updates += 1;
             // Subgradient step: +lr toward gold features, -lr away from
             // the violator, only where they disagree.
             for pf in &inst.pairwise {
@@ -150,6 +155,9 @@ pub fn train(instances: &[Instance], num_labels: u32, cfg: &CrfConfig) -> CrfMod
         weights.1.for_each(|path, key, w| {
             *unary_sum.entry((path, key as u32)).or_insert(0.0) += f64::from(w);
         });
+        // The per-epoch objective proxy: how many instances still violate
+        // the margin (drove a subgradient update) this epoch.
+        telemetry::count("pigeon_crf_updates_total", epoch_updates);
     }
 
     // Replace final weights by the epoch average.
@@ -211,6 +219,7 @@ fn build_statistics(
     num_labels: u32,
     cfg: &CrfConfig,
 ) {
+    let _span = telemetry::span("crf_statistics");
     // Validate serially first so the panic (message and which label
     // triggers it) is deterministic regardless of `jobs`.
     for inst in instances {
@@ -223,13 +232,18 @@ fn build_statistics(
         }
     }
 
-    let jobs = pigeon_core::effective_jobs(cfg.jobs);
-    let (mut counts, mut suggestions) = if jobs <= 1 || instances.len() < 2 {
+    // Shard count is FIXED (not derived from `jobs`): telemetry recorded
+    // per shard must be byte-identical for any `--jobs`, and the merge
+    // below is commutative integer addition, so the statistics themselves
+    // are unaffected by how many workers process the shards.
+    const STAT_SHARDS: usize = 16;
+    let (mut counts, mut suggestions) = if instances.is_empty() {
         chunk_statistics(instances, num_labels)
     } else {
-        let chunk_size = instances.len().div_ceil(jobs);
+        let shards = STAT_SHARDS.min(instances.len());
+        let chunk_size = instances.len().div_ceil(shards);
         let chunks: Vec<&[Instance]> = instances.chunks(chunk_size).collect();
-        let mut partials = parallel_map_indexed(&chunks, jobs, |_, chunk| {
+        let mut partials = parallel_map_indexed(&chunks, cfg.jobs, |_, chunk| {
             chunk_statistics(chunk, num_labels)
         })
         .into_iter();

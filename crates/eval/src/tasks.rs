@@ -13,6 +13,7 @@ use pigeon_core::parallel_map_indexed;
 use pigeon_core::{downsample, Abstraction, ExtractionConfig};
 use pigeon_corpus::{generate, generate_java_types, Corpus, CorpusConfig, Language};
 use pigeon_crf::{train as train_crf, CrfConfig, Instance};
+use pigeon_telemetry as telemetry;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -129,6 +130,7 @@ pub struct TaskOutcome {
 /// Parses every document across `jobs` workers; pairs come back in
 /// document order.
 fn parse_corpus_jobs(corpus: &Corpus, jobs: usize) -> Vec<(Ast, &pigeon_corpus::Document)> {
+    let _phase = telemetry::span("parse_extract");
     parallel_map_indexed(&corpus.docs, jobs, |_, doc| {
         corpus
             .language
@@ -153,6 +155,7 @@ struct ExtractedDoc {
 /// Results come back in document order, so downstream vocabulary
 /// interning encounters features in the same order as a serial run.
 fn extract_corpus(corpus: &Corpus, exp: &NameExperiment) -> Vec<ExtractedDoc> {
+    let _phase = telemetry::span("parse_extract");
     parallel_map_indexed(&corpus.docs, exp.jobs, |_, doc| {
         let ast = corpus
             .language
@@ -179,37 +182,47 @@ fn extract_corpus(corpus: &Corpus, exp: &NameExperiment) -> Vec<ExtractedDoc> {
 /// and graph building stay sequential in document order, so the trained
 /// model does not depend on the worker count.
 pub fn run_name_experiment(exp: &NameExperiment) -> TaskOutcome {
-    let corpus = generate(exp.language, &exp.corpus);
+    let _span = telemetry::span("name_experiment");
+    let corpus = {
+        let _phase = telemetry::span("corpus_generate");
+        generate(exp.language, &exp.corpus)
+    };
     // Duplicate-safe split: no program crosses into test under a mere
     // renaming (see `split_dedup`).
-    let (train_corpus, _, test_corpus) =
-        crate::split::split_dedup(corpus, exp.train_frac, 0.0, exp.jobs);
+    let (train_corpus, _, test_corpus) = {
+        let _phase = telemetry::span("split_dedup");
+        crate::split::split_dedup(corpus, exp.train_frac, 0.0, exp.jobs)
+    };
     let mut vocabs = Vocabs::new();
     let mut rng = SmallRng::seed_from_u64(exp.corpus.seed ^ 0xD05A);
 
+    let train_docs = extract_corpus(&train_corpus, exp);
     let mut train_instances: Vec<Instance> = Vec::new();
-    for doc in extract_corpus(&train_corpus, exp) {
-        let features = downsample(doc.features, exp.keep_prob, &mut rng);
-        let mut graph = build_name_graph(
-            exp.language,
-            &doc.ast,
-            exp.target,
-            &features,
-            &mut vocabs,
-            true,
-        );
-        if let Some(semis) = &doc.semis {
-            add_semi_paths(
+    {
+        let _phase = telemetry::span("graph_build");
+        for doc in train_docs {
+            let features = downsample(doc.features, exp.keep_prob, &mut rng);
+            let mut graph = build_name_graph(
                 exp.language,
                 &doc.ast,
                 exp.target,
-                &mut graph,
-                semis,
+                &features,
                 &mut vocabs,
                 true,
             );
+            if let Some(semis) = &doc.semis {
+                add_semi_paths(
+                    exp.language,
+                    &doc.ast,
+                    exp.target,
+                    &mut graph,
+                    semis,
+                    &mut vocabs,
+                    true,
+                );
+            }
+            train_instances.push(graph.instance);
         }
-        train_instances.push(graph.instance);
     }
 
     let n_labels = vocabs.labels.len() as u32;
@@ -226,6 +239,7 @@ pub fn run_name_experiment(exp: &NameExperiment) -> TaskOutcome {
     // the model's shared compiled engine. Per-document scoreboards merge
     // in document order.
     let extracted = extract_corpus(&test_corpus, exp);
+    let _score_phase = telemetry::span("eval_score");
     let vocabs = &vocabs;
     let model = &model;
     let boards = parallel_map_indexed(&extracted, exp.jobs, |_, doc| {
@@ -309,24 +323,34 @@ impl Default for TypeExperiment {
 
 /// Runs the full-type prediction experiment.
 pub fn run_type_experiment(exp: &TypeExperiment) -> TaskOutcome {
-    let corpus = generate_java_types(&exp.corpus);
-    let (train_corpus, _, test_corpus) =
-        crate::split::split_dedup(corpus, exp.train_frac, 0.0, exp.jobs);
+    let _span = telemetry::span("type_experiment");
+    let corpus = {
+        let _phase = telemetry::span("corpus_generate");
+        generate_java_types(&exp.corpus)
+    };
+    let (train_corpus, _, test_corpus) = {
+        let _phase = telemetry::span("split_dedup");
+        crate::split::split_dedup(corpus, exp.train_frac, 0.0, exp.jobs)
+    };
     let mut vocabs = Vocabs::new();
 
     // Parsing fans out; graph building interns vocabulary entries and
     // stays sequential in document order.
+    let train_parsed = parse_corpus_jobs(&train_corpus, exp.jobs);
     let mut train_instances = Vec::new();
-    for (ast, doc) in parse_corpus_jobs(&train_corpus, exp.jobs) {
-        let graph = build_type_graph(
-            &ast,
-            &doc.truth.types,
-            &exp.extraction,
-            exp.abstraction,
-            &mut vocabs,
-            true,
-        );
-        train_instances.push(graph.instance);
+    {
+        let _phase = telemetry::span("graph_build");
+        for (ast, doc) in train_parsed {
+            let graph = build_type_graph(
+                &ast,
+                &doc.truth.types,
+                &exp.extraction,
+                exp.abstraction,
+                &mut vocabs,
+                true,
+            );
+            train_instances.push(graph.instance);
+        }
     }
 
     let n_labels = vocabs.labels.len() as u32;
@@ -341,6 +365,7 @@ pub fn run_type_experiment(exp: &TypeExperiment) -> TaskOutcome {
     // Held-out scoring is per-document independent: lookup-only graph
     // builds, shared compiled model, scoreboards merged in doc order.
     let parsed = parse_corpus_jobs(&test_corpus, exp.jobs);
+    let _score_phase = telemetry::span("eval_score");
     let vocabs_ref = &vocabs;
     let model = &model;
     let boards = parallel_map_indexed(&parsed, exp.jobs, |_, (ast, doc)| {

@@ -1,0 +1,204 @@
+//! The two metric primitives: monotonic counters and fixed-bucket
+//! histograms. Both are lock-free (plain atomic adds), both merge by
+//! integer addition — the property that makes shard aggregation across
+//! worker pools order-independent and therefore byte-identical for any
+//! `--jobs` value.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Folds another counter's value into this one (shard merge).
+    pub fn merge_from(&self, other: &Counter) {
+        self.add(other.get());
+    }
+
+    /// Zeroes the counter in place, keeping every held handle valid.
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A histogram over fixed, strictly increasing upper bounds.
+///
+/// Bucket `i` counts observations `v <= bounds[i]` (Prometheus `le`
+/// semantics, applied non-cumulatively in storage); one extra overflow
+/// bucket catches everything beyond the last bound. Values are unitless
+/// `u64`s — by convention microseconds for duration families.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// # Panics
+    ///
+    /// Panics unless `bounds` is non-empty and strictly increasing.
+    pub fn new(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let mut buckets = Vec::with_capacity(bounds.len() + 1);
+        buckets.resize_with(bounds.len() + 1, AtomicU64::default);
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets,
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured upper bounds (exclusive of the implicit `+Inf`).
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        let idx = self.bounds.partition_point(|&b| b < value);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket (non-cumulative) counts, overflow bucket last.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Folds another histogram into this one (shard merge).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the bucket layouts differ.
+    pub fn merge_from(&self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot merge histograms with different bucket layouts"
+        );
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.sum.fetch_add(other.sum(), Ordering::Relaxed);
+        self.count.fetch_add(other.count(), Ordering::Relaxed);
+    }
+
+    /// Zeroes all buckets in place, keeping every held handle valid.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+        self.count.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_adds_and_merges() {
+        let a = Counter::new();
+        let b = Counter::new();
+        a.inc();
+        a.add(4);
+        b.add(10);
+        a.merge_from(&b);
+        assert_eq!(a.get(), 15);
+        a.reset();
+        assert_eq!(a.get(), 0);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive_le() {
+        let h = Histogram::new(&[10, 100, 1000]);
+        // One observation per region, including both edges of each bound.
+        for v in [0, 9, 10, 11, 100, 101, 1000, 1001, u64::MAX] {
+            h.observe(v);
+        }
+        // le=10: {0, 9, 10}; le=100: {11, 100}; le=1000: {101, 1000};
+        // +Inf: {1001, MAX}.
+        assert_eq!(h.bucket_counts(), [3, 2, 2, 2]);
+        assert_eq!(h.count(), 9);
+    }
+
+    #[test]
+    fn histogram_sum_and_count_track_observations() {
+        let h = Histogram::new(&[5]);
+        h.observe(3);
+        h.observe(7);
+        assert_eq!(h.sum(), 10);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.bucket_counts(), [1, 1]);
+    }
+
+    #[test]
+    fn histogram_merge_adds_bucketwise() {
+        let a = Histogram::new(&[10, 20]);
+        let b = Histogram::new(&[10, 20]);
+        a.observe(5);
+        b.observe(15);
+        b.observe(25);
+        a.merge_from(&b);
+        assert_eq!(a.bucket_counts(), [1, 1, 1]);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 45);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket layouts")]
+    fn histogram_merge_rejects_mismatched_bounds() {
+        let a = Histogram::new(&[10]);
+        let b = Histogram::new(&[20]);
+        a.merge_from(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_bounds() {
+        let _ = Histogram::new(&[10, 10]);
+    }
+}

@@ -1,0 +1,449 @@
+//! The metric registry: named counter/histogram series, Prometheus text
+//! rendering, Chrome trace-event collection, and ordered shard merging.
+
+use crate::clock::{Clock, WallClock};
+use crate::metrics::{Counter, Histogram};
+use crate::trace::TraceEvent;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Identity of one metric series: family name plus sorted label pairs.
+///
+/// `BTreeMap` keys ordered by `(name, labels)` give the registry its
+/// byte-stable rendering order for free.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SeriesKey {
+    pub name: &'static str,
+    pub labels: Vec<(String, String)>,
+}
+
+impl SeriesKey {
+    fn new(name: &'static str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        SeriesKey { name, labels }
+    }
+}
+
+/// Escapes a label value for the Prometheus text format.
+fn escape_label(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn render_labels(out: &mut String, labels: &[(String, String)], extra: Option<(&str, &str)>) {
+    if labels.is_empty() && extra.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+    }
+    if let Some((k, v)) = extra {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{v}\"");
+    }
+    out.push('}');
+}
+
+/// A process- or shard-scoped collection of metric series and trace
+/// events.
+///
+/// One global instance (see [`crate::global`]) aggregates the whole
+/// process; worker pools additionally create short-lived **shards**
+/// ([`Registry::shard`]) that buffer a worker's events locally and are
+/// [`Registry::merge`]d back in worker order — the same ordered-merge
+/// discipline as the CRF statistics pass, so metric totals never depend
+/// on thread interleaving.
+pub struct Registry {
+    clock: RwLock<Arc<dyn Clock>>,
+    counters: RwLock<BTreeMap<SeriesKey, Arc<Counter>>>,
+    histograms: RwLock<BTreeMap<SeriesKey, Arc<Histogram>>>,
+    /// Family name → help text, shown as `# HELP` lines.
+    help: RwLock<BTreeMap<&'static str, &'static str>>,
+    trace: Mutex<Vec<TraceEvent>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("counters", &self.counters.read().unwrap().len())
+            .field("histograms", &self.histograms.read().unwrap().len())
+            .finish()
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new(Arc::new(WallClock::new()))
+    }
+}
+
+impl Registry {
+    pub fn new(clock: Arc<dyn Clock>) -> Self {
+        Registry {
+            clock: RwLock::new(clock),
+            counters: RwLock::new(BTreeMap::new()),
+            histograms: RwLock::new(BTreeMap::new()),
+            help: RwLock::new(BTreeMap::new()),
+            trace: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Replaces the time source (tests inject a [`crate::ManualClock`]).
+    pub fn set_clock(&self, clock: Arc<dyn Clock>) {
+        *self.clock.write().unwrap() = clock;
+    }
+
+    /// A reading from the registry's clock.
+    pub fn now_micros(&self) -> u64 {
+        self.clock.read().unwrap().now_micros()
+    }
+
+    /// An empty registry sharing this one's clock — a worker-local shard
+    /// destined for [`Registry::merge`].
+    pub fn shard(&self) -> Registry {
+        Registry::new(Arc::clone(&*self.clock.read().unwrap()))
+    }
+
+    /// Registers help text for a metric family (first writer wins).
+    pub fn describe(&self, name: &'static str, help: &'static str) {
+        self.help.write().unwrap().entry(name).or_insert(help);
+    }
+
+    /// The counter series `name{labels}`, registered on first use.
+    pub fn counter(&self, name: &'static str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let key = SeriesKey::new(name, labels);
+        if let Some(c) = self.counters.read().unwrap().get(&key) {
+            return Arc::clone(c);
+        }
+        Arc::clone(
+            self.counters
+                .write()
+                .unwrap()
+                .entry(key)
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// The histogram series `name{labels}` with the given bucket bounds,
+    /// registered on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the series exists with different bounds.
+    pub fn histogram(
+        &self,
+        name: &'static str,
+        labels: &[(&str, &str)],
+        bounds: &[u64],
+    ) -> Arc<Histogram> {
+        let key = SeriesKey::new(name, labels);
+        if let Some(h) = self.histograms.read().unwrap().get(&key) {
+            assert_eq!(
+                h.bounds(),
+                bounds,
+                "histogram {name} re-registered with different bounds"
+            );
+            return Arc::clone(h);
+        }
+        Arc::clone(
+            self.histograms
+                .write()
+                .unwrap()
+                .entry(key)
+                .or_insert_with(|| Arc::new(Histogram::new(bounds))),
+        )
+    }
+
+    /// Appends one completed-span trace event.
+    pub fn record_trace(&self, event: TraceEvent) {
+        self.trace.lock().unwrap().push(event);
+    }
+
+    /// Drains a copy of the collected trace events.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.trace.lock().unwrap().clone()
+    }
+
+    /// Folds `other` into `self`: counters and histogram buckets add,
+    /// trace events append in `other`'s order. Called once per shard in
+    /// worker order, this is the deterministic aggregation step.
+    pub fn merge(&self, other: &Registry) {
+        // NB: bind the read-lock probe to its own statement so the guard
+        // drops before the write lock is taken (an `if let` scrutinee
+        // guard would outlive the `else` branch and self-deadlock).
+        for (key, theirs) in other.counters.read().unwrap().iter() {
+            let existing = self.counters.read().unwrap().get(key).cloned();
+            let mine = existing.unwrap_or_else(|| {
+                Arc::clone(
+                    self.counters
+                        .write()
+                        .unwrap()
+                        .entry(key.clone())
+                        .or_insert_with(|| Arc::new(Counter::new())),
+                )
+            });
+            mine.merge_from(theirs);
+        }
+        for (key, theirs) in other.histograms.read().unwrap().iter() {
+            let existing = self.histograms.read().unwrap().get(key).cloned();
+            let mine = existing.unwrap_or_else(|| {
+                Arc::clone(
+                    self.histograms
+                        .write()
+                        .unwrap()
+                        .entry(key.clone())
+                        .or_insert_with(|| Arc::new(Histogram::new(theirs.bounds()))),
+                )
+            });
+            mine.merge_from(theirs);
+        }
+        for (name, help) in other.help.read().unwrap().iter() {
+            self.describe(name, help);
+        }
+        self.trace
+            .lock()
+            .unwrap()
+            .extend(other.trace.lock().unwrap().iter().cloned());
+    }
+
+    /// Zeroes every series and clears the trace buffer, in place: handles
+    /// held by instrumentation sites stay valid.
+    pub fn reset(&self) {
+        for c in self.counters.read().unwrap().values() {
+            c.reset();
+        }
+        for h in self.histograms.read().unwrap().values() {
+            h.reset();
+        }
+        self.trace.lock().unwrap().clear();
+    }
+
+    /// Renders every series in the Prometheus text exposition format.
+    ///
+    /// Output is byte-stable: families and series render in `BTreeMap`
+    /// order (name, then sorted labels), counters before histograms, and
+    /// all values are integers.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let help = self.help.read().unwrap();
+        let mut last_family = "";
+
+        for (key, counter) in self.counters.read().unwrap().iter() {
+            if key.name != last_family {
+                last_family = key.name;
+                if let Some(h) = help.get(key.name) {
+                    let _ = writeln!(out, "# HELP {} {h}", key.name);
+                }
+                let _ = writeln!(out, "# TYPE {} counter", key.name);
+            }
+            out.push_str(key.name);
+            render_labels(&mut out, &key.labels, None);
+            let _ = writeln!(out, " {}", counter.get());
+        }
+
+        last_family = "";
+        for (key, hist) in self.histograms.read().unwrap().iter() {
+            if key.name != last_family {
+                last_family = key.name;
+                if let Some(h) = help.get(key.name) {
+                    let _ = writeln!(out, "# HELP {} {h}", key.name);
+                }
+                let _ = writeln!(out, "# TYPE {} histogram", key.name);
+            }
+            let mut cumulative = 0u64;
+            let counts = hist.bucket_counts();
+            for (bound, n) in hist.bounds().iter().zip(&counts) {
+                cumulative += n;
+                let _ = write!(out, "{}_bucket", key.name);
+                render_labels(&mut out, &key.labels, Some(("le", &bound.to_string())));
+                let _ = writeln!(out, " {cumulative}");
+            }
+            cumulative += counts.last().copied().unwrap_or(0);
+            let _ = write!(out, "{}_bucket", key.name);
+            render_labels(&mut out, &key.labels, Some(("le", "+Inf")));
+            let _ = writeln!(out, " {cumulative}");
+            let _ = write!(out, "{}_sum", key.name);
+            render_labels(&mut out, &key.labels, None);
+            let _ = writeln!(out, " {}", hist.sum());
+            let _ = write!(out, "{}_count", key.name);
+            render_labels(&mut out, &key.labels, None);
+            let _ = writeln!(out, " {}", hist.count());
+        }
+        out
+    }
+
+    /// An end-of-run phase-time table over the `pigeon_phase_micros`
+    /// family: one row per phase, sorted by total time (descending, name
+    /// as tie-break), rendered for stderr.
+    pub fn phase_summary(&self) -> String {
+        let mut rows: Vec<(String, u64, u64)> = Vec::new();
+        for (key, hist) in self.histograms.read().unwrap().iter() {
+            if key.name != crate::PHASE_HISTOGRAM {
+                continue;
+            }
+            let phase = key
+                .labels
+                .iter()
+                .find(|(k, _)| k == "phase")
+                .map(|(_, v)| v.clone())
+                .unwrap_or_default();
+            if hist.count() > 0 {
+                rows.push((phase, hist.count(), hist.sum()));
+            }
+        }
+        if rows.is_empty() {
+            return "no phase timings recorded\n".to_string();
+        }
+        rows.sort_by(|a, b| b.2.cmp(&a.2).then_with(|| a.0.cmp(&b.0)));
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<24} {:>10} {:>14} {:>14}",
+            "phase", "count", "total ms", "mean µs"
+        );
+        for (phase, count, sum) in &rows {
+            let _ = writeln!(
+                out,
+                "{phase:<24} {count:>10} {:>14.1} {:>14.1}",
+                *sum as f64 / 1_000.0,
+                *sum as f64 / *count as f64,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    #[test]
+    fn series_register_once_and_share_handles() {
+        let r = Registry::default();
+        let a = r.counter("x_total", &[("k", "v")]);
+        let b = r.counter("x_total", &[("k", "v")]);
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+    }
+
+    #[test]
+    fn label_order_does_not_split_series() {
+        let r = Registry::default();
+        let a = r.counter("x_total", &[("a", "1"), ("b", "2")]);
+        let b = r.counter("x_total", &[("b", "2"), ("a", "1")]);
+        a.inc();
+        assert_eq!(b.get(), 1);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_byte_stable_and_sorted() {
+        let r = Registry::default();
+        r.describe("zz_total", "last family");
+        r.counter("zz_total", &[]).add(7);
+        r.counter(
+            "aa_total",
+            &[("endpoint", "/v1/predict"), ("status", "200")],
+        )
+        .add(3);
+        r.counter("aa_total", &[("endpoint", "/v1/health"), ("status", "200")])
+            .inc();
+        r.histogram("lat_micros", &[], &[10, 100]).observe(5);
+        r.histogram("lat_micros", &[], &[10, 100]).observe(50);
+        let text = r.render_prometheus();
+        let expected = "# TYPE aa_total counter\n\
+             aa_total{endpoint=\"/v1/health\",status=\"200\"} 1\n\
+             aa_total{endpoint=\"/v1/predict\",status=\"200\"} 3\n\
+             # HELP zz_total last family\n\
+             # TYPE zz_total counter\n\
+             zz_total 7\n\
+             # TYPE lat_micros histogram\n\
+             lat_micros_bucket{le=\"10\"} 1\n\
+             lat_micros_bucket{le=\"100\"} 2\n\
+             lat_micros_bucket{le=\"+Inf\"} 2\n\
+             lat_micros_sum 55\n\
+             lat_micros_count 2\n";
+        assert_eq!(text, expected);
+        assert_eq!(r.render_prometheus(), text, "second render identical");
+    }
+
+    #[test]
+    fn merge_is_order_insensitive_for_totals() {
+        let base = Registry::default();
+        let s1 = base.shard();
+        let s2 = base.shard();
+        s1.counter("n_total", &[]).add(2);
+        s2.counter("n_total", &[]).add(5);
+        s1.histogram("h", &[], &[10]).observe(3);
+        s2.histogram("h", &[], &[10]).observe(30);
+
+        base.merge(&s1);
+        base.merge(&s2);
+        assert_eq!(base.counter("n_total", &[]).get(), 7);
+        assert_eq!(base.histogram("h", &[], &[10]).bucket_counts(), [1, 1]);
+
+        let swapped = Registry::default();
+        swapped.merge(&s2);
+        swapped.merge(&s1);
+        assert_eq!(swapped.render_prometheus(), base.render_prometheus());
+    }
+
+    #[test]
+    fn merge_carries_trace_events_in_shard_order() {
+        let base = Registry::default();
+        let shard = base.shard();
+        shard.record_trace(TraceEvent {
+            name: "a",
+            ts: 1,
+            dur: 2,
+            tid: 3,
+            parent: None,
+        });
+        base.merge(&shard);
+        let events = base.trace_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "a");
+    }
+
+    #[test]
+    fn reset_keeps_handles_valid() {
+        let r = Registry::default();
+        let c = r.counter("c_total", &[]);
+        c.add(9);
+        r.reset();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        assert_eq!(r.counter("c_total", &[]).get(), 1);
+    }
+
+    #[test]
+    fn shard_shares_the_parent_clock() {
+        let r = Registry::new(Arc::new(ManualClock::frozen(77)));
+        let s = r.shard();
+        assert_eq!(s.now_micros(), 77);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::default();
+        r.counter("e_total", &[("path", "a\"b\\c\nd")]).inc();
+        let text = r.render_prometheus();
+        assert!(text.contains(r#"path="a\"b\\c\nd""#), "{text}");
+    }
+}

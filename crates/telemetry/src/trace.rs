@@ -1,0 +1,125 @@
+//! Chrome trace-event export: the span tree serialised as `ph:"X"`
+//! (complete) events, loadable in `chrome://tracing` / Perfetto.
+//!
+//! The JSON is written by hand so the crate stays dependency-free; the
+//! format is tiny (one object shape) and the only dynamic strings are
+//! span names, which are `&'static str` identifiers chosen by the
+//! instrumentation sites (no escaping hazards beyond the standard ones,
+//! which [`escape_json`] handles anyway).
+
+use std::fmt::Write as _;
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Span name (phase identifier).
+    pub name: &'static str,
+    /// Start time, microseconds.
+    pub ts: u64,
+    /// Duration, microseconds.
+    pub dur: u64,
+    /// Small dense thread id.
+    pub tid: u32,
+    /// Enclosing span's name at entry, if any.
+    pub parent: Option<&'static str>,
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders events as a Chrome trace-event JSON document.
+///
+/// Events are sorted by `(tid, ts, reverse dur, name)` — a stable order
+/// in which a parent span always precedes its children, making the
+/// nesting obvious to both tools and tests.
+pub fn render_trace(events: &[TraceEvent]) -> String {
+    let mut events: Vec<&TraceEvent> = events.iter().collect();
+    events.sort_by(|a, b| {
+        (a.tid, a.ts, std::cmp::Reverse(a.dur), a.name).cmp(&(
+            b.tid,
+            b.ts,
+            std::cmp::Reverse(b.dur),
+            b.name,
+        ))
+    });
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"pigeon\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}",
+            escape_json(e.name),
+            e.ts,
+            e.dur,
+            e.tid
+        );
+        if let Some(parent) = e.parent {
+            let _ = write!(out, ",\"args\":{{\"parent\":\"{}\"}}", escape_json(parent));
+        }
+        out.push('}');
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_sorted_nested_events() {
+        let events = vec![
+            TraceEvent {
+                name: "child",
+                ts: 5,
+                dur: 2,
+                tid: 1,
+                parent: Some("root"),
+            },
+            TraceEvent {
+                name: "root",
+                ts: 0,
+                dur: 10,
+                tid: 1,
+                parent: None,
+            },
+        ];
+        let json = render_trace(&events);
+        let root = json.find("\"name\":\"root\"").expect("root present");
+        let child = json.find("\"name\":\"child\"").expect("child present");
+        assert!(root < child, "parent sorts before child: {json}");
+        assert!(json.contains("\"args\":{\"parent\":\"root\"}"), "{json}");
+        assert!(json.starts_with("{\"traceEvents\":["), "{json}");
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        assert_eq!(escape_json("a\"b\\c\nd\u{1}"), "a\\\"b\\\\c\\nd\\u0001");
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        assert_eq!(
+            render_trace(&[]),
+            "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}"
+        );
+    }
+}

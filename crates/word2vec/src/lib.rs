@@ -23,6 +23,7 @@
 //! assert_eq!(top[0].0, 0);
 //! ```
 
+use pigeon_telemetry as telemetry;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -132,6 +133,8 @@ pub fn train(
     num_contexts: usize,
     cfg: &SgnsConfig,
 ) -> SgnsModel {
+    let _span = telemetry::span("sgns_train");
+    telemetry::count("pigeon_sgns_pairs_total", pairs.len() as u64);
     assert!(!pairs.is_empty(), "training requires at least one pair");
     let mut word_counts = vec![0u32; num_words];
     let mut ctx_counts = vec![0u64; num_contexts];
@@ -156,6 +159,7 @@ pub fn train(
     let mut step = 0f32;
 
     for _ in 0..cfg.epochs {
+        let _epoch_span = telemetry::span("sgns_epoch");
         order.shuffle(&mut rng);
         for &i in &order {
             let (w, c) = pairs[i];

@@ -53,6 +53,7 @@ pub use pigeon_eval as eval;
 pub use pigeon_java as java;
 pub use pigeon_js as js;
 pub use pigeon_python as python;
+pub use pigeon_telemetry as telemetry;
 pub use pigeon_word2vec as word2vec;
 
 pub mod serve;
@@ -105,10 +106,197 @@ impl Default for PigeonConfig {
     }
 }
 
-/// An error from the [`Pigeon`] facade: a source file failed to parse.
+impl PigeonConfig {
+    /// A validating builder starting from the defaults. Unlike struct
+    /// literals, [`PigeonConfigBuilder::build`] rejects configurations
+    /// that would silently train a useless model (`max_length == 0`,
+    /// `keep_prob` outside `(0, 1]`, …).
+    pub fn builder() -> PigeonConfigBuilder {
+        PigeonConfigBuilder {
+            config: PigeonConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`PigeonConfig`]; see [`PigeonConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct PigeonConfigBuilder {
+    config: PigeonConfig,
+}
+
+impl PigeonConfigBuilder {
+    /// Path length/width limits (§4.2 of the paper).
+    pub fn extraction(mut self, extraction: ExtractionConfig) -> Self {
+        self.config.extraction = extraction;
+        self
+    }
+
+    /// Shorthand for the two extraction limits.
+    pub fn limits(mut self, max_length: usize, max_width: usize) -> Self {
+        let semi = self.config.extraction.semi_paths;
+        self.config.extraction =
+            ExtractionConfig::with_limits(max_length, max_width).semi_paths(semi);
+        self
+    }
+
+    /// Also emit semi-paths (terminal → ancestor).
+    pub fn semi_paths(mut self, on: bool) -> Self {
+        self.config.extraction.semi_paths = on;
+        self
+    }
+
+    /// Path abstraction level (§5.6).
+    pub fn abstraction(mut self, abstraction: Abstraction) -> Self {
+        self.config.abstraction = abstraction;
+        self
+    }
+
+    /// CRF training parameters.
+    pub fn crf(mut self, crf: CrfConfig) -> Self {
+        self.config.crf = crf;
+        self
+    }
+
+    /// Candidates returned per prediction.
+    pub fn top_k(mut self, top_k: usize) -> Self {
+        self.config.top_k = top_k;
+        self
+    }
+
+    /// Training-time path-context keep probability (§5.5).
+    pub fn keep_prob(mut self, keep_prob: f64) -> Self {
+        self.config.keep_prob = keep_prob;
+        self
+    }
+
+    /// Worker threads (`0` = all cores).
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.config.jobs = jobs;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PigeonError`] with [`ErrorKind::Config`] when the
+    /// configuration is unusable:
+    /// * `max_length == 0` — no path fits, extraction is empty;
+    /// * `keep_prob` outside `(0, 1]` or not finite;
+    /// * `top_k == 0` — predictions could never carry a candidate;
+    /// * `crf.epochs == 0` — the model would never train.
+    pub fn build(self) -> Result<PigeonConfig, PigeonError> {
+        let c = &self.config;
+        if c.extraction.max_length == 0 {
+            return Err(PigeonError::config(
+                "extraction.max_length must be at least 1 (0 extracts nothing)",
+            ));
+        }
+        if !(c.keep_prob > 0.0 && c.keep_prob <= 1.0) {
+            return Err(PigeonError::config(format!(
+                "keep_prob must be in (0, 1], got {}",
+                c.keep_prob
+            )));
+        }
+        if c.top_k == 0 {
+            return Err(PigeonError::config("top_k must be at least 1"));
+        }
+        if c.crf.epochs == 0 {
+            return Err(PigeonError::config(
+                "crf.epochs must be at least 1 (0 never trains)",
+            ));
+        }
+        Ok(self.config)
+    }
+}
+
+/// Stable classification of a [`PigeonError`] — the machine-readable
+/// part of the v1 API error contract. The [`PigeonError::code`] string
+/// of each kind appears verbatim in HTTP error bodies and per-source
+/// batch errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ErrorKind {
+    /// A source program failed to parse.
+    Parse,
+    /// A configuration was rejected (builder validation, bad CLI flag).
+    Config,
+    /// A serialised model failed to load or validate.
+    ModelFormat,
+    /// An underlying I/O operation failed.
+    Io,
+    /// Anything else — a bug or an unclassified failure.
+    Internal,
+}
+
+impl ErrorKind {
+    /// The stable machine-readable code for this kind.
+    pub fn code(self) -> &'static str {
+        match self {
+            ErrorKind::Parse => "parse",
+            ErrorKind::Config => "config",
+            ErrorKind::ModelFormat => "model-format",
+            ErrorKind::Io => "io",
+            ErrorKind::Internal => "internal",
+        }
+    }
+}
+
+/// An error from the [`Pigeon`] facade, classified by [`ErrorKind`].
 #[derive(Debug, Clone)]
 pub struct PigeonError {
+    kind: ErrorKind,
     message: String,
+}
+
+impl PigeonError {
+    fn new(kind: ErrorKind, message: impl Into<String>) -> Self {
+        PigeonError {
+            kind,
+            message: message.into(),
+        }
+    }
+
+    /// A parse failure.
+    pub fn parse(message: impl Into<String>) -> Self {
+        PigeonError::new(ErrorKind::Parse, message)
+    }
+
+    /// A rejected configuration.
+    pub fn config(message: impl Into<String>) -> Self {
+        PigeonError::new(ErrorKind::Config, message)
+    }
+
+    /// A malformed or invalid serialised model.
+    pub fn model_format(message: impl Into<String>) -> Self {
+        PigeonError::new(ErrorKind::ModelFormat, message)
+    }
+
+    /// An I/O failure.
+    pub fn io(message: impl Into<String>) -> Self {
+        PigeonError::new(ErrorKind::Io, message)
+    }
+
+    /// An unclassified failure.
+    pub fn internal(message: impl Into<String>) -> Self {
+        PigeonError::new(ErrorKind::Internal, message)
+    }
+
+    /// The error's stable classification.
+    pub fn kind(&self) -> ErrorKind {
+        self.kind
+    }
+
+    /// The stable machine-readable code (`"parse"`, `"config"`,
+    /// `"model-format"`, `"io"`, `"internal"`) carried by API responses.
+    pub fn code(&self) -> &'static str {
+        self.kind.code()
+    }
+
+    /// The human-readable message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
 }
 
 impl fmt::Display for PigeonError {
@@ -118,6 +306,12 @@ impl fmt::Display for PigeonError {
 }
 
 impl std::error::Error for PigeonError {}
+
+impl From<std::io::Error> for PigeonError {
+    fn from(e: std::io::Error) -> Self {
+        PigeonError::io(e.to_string())
+    }
+}
 
 /// One predicted name for a program element.
 #[derive(Debug, Clone)]
@@ -176,30 +370,35 @@ impl Pigeon {
         sources: &[&str],
         config: &PigeonConfig,
     ) -> Result<Pigeon, PigeonError> {
+        let _span = telemetry::span("train");
         let rep = Representation::AstPaths(config.abstraction);
         // Parse + extract fan out over the worker pool; everything that
         // interns into the shared vocabularies (downsampling included,
         // because it consumes the sampling rng) runs afterwards in
         // source order, so the model is identical for any `jobs`.
-        let extracted = parallel_map_indexed(sources, config.jobs, |_, source| {
-            language.parse(source).map(|ast| {
-                let features = extract_edge_features(language, &ast, rep, &config.extraction);
-                (ast, features)
+        let extracted = {
+            let _phase = telemetry::span("parse_extract");
+            parallel_map_indexed(sources, config.jobs, |_, source| {
+                language.parse(source).map(|ast| {
+                    let features = extract_edge_features(language, &ast, rep, &config.extraction);
+                    (ast, features)
+                })
             })
-        });
+        };
         if let Some((i, Err(e))) = extracted.iter().enumerate().find(|(_, r)| r.is_err()) {
-            return Err(PigeonError {
-                message: format!("training source {i}: {e}"),
-            });
+            return Err(PigeonError::parse(format!("training source {i}: {e}")));
         }
         let mut vocabs = Vocabs::new();
         let mut rng = SmallRng::seed_from_u64(0x9160_704E);
         let mut instances = Vec::with_capacity(sources.len());
-        for result in extracted {
-            let (ast, features) = result.expect("errors returned above");
-            let features = downsample(features, config.keep_prob, &mut rng);
-            let graph = build_name_graph(language, &ast, target, &features, &mut vocabs, true);
-            instances.push(graph.instance);
+        {
+            let _phase = telemetry::span("graph_build");
+            for result in extracted {
+                let (ast, features) = result.expect("errors returned above");
+                let features = downsample(features, config.keep_prob, &mut rng);
+                let graph = build_name_graph(language, &ast, target, &features, &mut vocabs, true);
+                instances.push(graph.instance);
+            }
         }
         // The CRF's statistics pass shares the same worker budget; its
         // sequential-update training is byte-identical for any value.
@@ -272,9 +471,7 @@ impl Pigeon {
     ///
     /// Returns [`PigeonError`] on malformed input.
     pub fn from_json(json: &str) -> Result<Pigeon, PigeonError> {
-        let err = |m: &str| PigeonError {
-            message: format!("model file: {m}"),
-        };
+        let err = |m: &str| PigeonError::model_format(format!("model file: {m}"));
         let v: serde_json::Value = serde_json::from_str(json).map_err(|e| err(&e.to_string()))?;
         let str_field = |k: &str| -> Result<&str, PigeonError> {
             v.get(k)
@@ -348,10 +545,8 @@ impl Pigeon {
     ///
     /// Returns [`PigeonError`] when `source` fails to parse.
     pub fn predict(&self, source: &str) -> Result<Vec<Prediction>, PigeonError> {
-        let ast = self
-            .language
-            .parse(source)
-            .map_err(|e| PigeonError { message: e })?;
+        let _span = telemetry::span("predict");
+        let ast = self.language.parse(source).map_err(PigeonError::parse)?;
         let rep = Representation::AstPaths(self.config.abstraction);
         let features = extract_edge_features(self.language, &ast, rep, &self.config.extraction);
         // Lookup-only graph build: prediction never grows the

@@ -66,13 +66,15 @@ USAGE:
   pigeon generate   --language LANG [--files N] [--seed N] [--jobs N] DIR
   pigeon train      --language LANG --out MODEL.json [--task vars|methods]
                     [--max-length N] [--max-width N] [--jobs N]
-                    [--keep-prob P] [--synthetic N | FILE...]
-  pigeon predict    --model MODEL.json FILE
+                    [--keep-prob P] [--trace-out FILE] [--timings BOOL]
+                    [--synthetic N | FILE...]
+  pigeon predict    --model MODEL.json [--trace-out FILE] [--timings BOOL]
+                    FILE
   pigeon serve      --model MODEL.json [--host ADDR] [--port N] [--jobs N]
                     [--max-request-bytes N] [--read-timeout-ms N]
                     [--idle-timeout SECS]
   pigeon experiment --language LANG [--files N] [--task vars|methods]
-                    [--jobs N]
+                    [--jobs N] [--trace-out FILE] [--timings BOOL]
   pigeon audit      [--language LANG PATH...] [--model MODEL.json]
                     [--format text|json] [--deny info|warning|error]
                     [--jobs N] [--near-dups true|false]
@@ -108,11 +110,22 @@ AUDIT:
   --near-dups   false skips the O(files²) MinHash near-duplicate scan
   Exit status: 0 clean, 2 denied findings, 1 usage or I/O error.
 
-SERVE:
-  POST /predict       {\"source\": \"<program>\"}        → predictions
-  POST /predict_batch {\"sources\": [\"<program>\", …]}  → per-source results
-  GET  /stats         request/latency/throughput counters
-  GET  /health        liveness probe
+OBSERVABILITY:
+  --trace-out FILE  write a Chrome trace-event JSON timeline of the
+                    run's pipeline spans (open in chrome://tracing or
+                    Perfetto)
+  --timings BOOL    print a per-phase wall-time table to stderr
+  PIGEON_TELEMETRY  set to 0/off/false to disable all telemetry
+                    collection (counters, spans, /metrics)
+
+SERVE (v1 API; every JSON response carries \"api\": \"pigeon/1\"):
+  POST /v1/predict       {\"source\": \"<program>\"}        → predictions
+  POST /v1/predict_batch {\"sources\": [\"<program>\", …]}  → per-source results
+  GET  /v1/stats         request/latency/throughput counters (JSON)
+  GET  /v1/health        liveness probe
+  GET  /v1/metrics       Prometheus text exposition
+  Unversioned paths (/predict, /stats, …) still answer, with a
+  `Deprecation: true` header. Error bodies carry a stable `code`.
   --port        7470 (0 = ephemeral, printed on startup)
   --jobs        0 = one worker per core
   --idle-timeout  0 = serve until SIGINT/SIGTERM
@@ -199,6 +212,45 @@ fn parse_f64(flags: &[(String, String)], name: &str, default: f64) -> Result<f64
         Some(v) => v
             .parse()
             .map_err(|_| format!("--{name} expects a number, got `{v}`")),
+    }
+}
+
+fn parse_bool(flags: &[(String, String)], name: &str, default: bool) -> Result<bool, String> {
+    match flag(flags, name) {
+        None => Ok(default),
+        Some("true") => Ok(true),
+        Some("false") => Ok(false),
+        Some(v) => Err(format!("--{name} expects true or false, got `{v}`")),
+    }
+}
+
+/// The shared `--trace-out FILE` / `--timings BOOL` observability flags.
+/// Parse before the instrumented work runs (trace recording must be
+/// armed up front), then call [`Observability::finish`] once it is done.
+struct Observability {
+    trace_out: Option<String>,
+    timings: bool,
+}
+
+impl Observability {
+    fn from_flags(flags: &Flags) -> Result<Self, String> {
+        let trace_out = flag(flags, "trace-out").map(str::to_owned);
+        let timings = parse_bool(flags, "timings", false)?;
+        if trace_out.is_some() {
+            pigeon::telemetry::set_tracing(true);
+        }
+        Ok(Observability { trace_out, timings })
+    }
+
+    fn finish(&self) -> Result<(), String> {
+        if let Some(path) = &self.trace_out {
+            std::fs::write(path, pigeon::telemetry::trace_json())
+                .map_err(|e| format!("{path}: {e}"))?;
+        }
+        if self.timings {
+            eprint!("{}", pigeon::telemetry::phase_summary());
+        }
+        Ok(())
     }
 }
 
@@ -311,21 +363,20 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
 }
 
 fn train_config(flags: &[(String, String)]) -> Result<PigeonConfig, String> {
-    let mut config = PigeonConfig::default();
     // Default length 4 (the facade's training default, tuned for the
     // synthetic corpora) — deliberately shorter than `pigeon paths`'
     // default of 7, which shows the paper's untuned Table 2 setting.
-    config.extraction.max_length = parse_usize(flags, "max-length", 4)?;
-    config.extraction.max_width = parse_usize(flags, "max-width", 3)?;
-    config.jobs = parse_usize(flags, "jobs", 1)?;
-    config.keep_prob = parse_f64(flags, "keep-prob", 1.0)?;
-    if !(0.0..=1.0).contains(&config.keep_prob) {
-        return Err(format!(
-            "--keep-prob expects a probability in [0, 1], got `{}`",
-            config.keep_prob
-        ));
-    }
-    Ok(config)
+    // The builder owns the validation (`keep_prob` must be a probability
+    // in (0, 1], limits must be non-zero, …).
+    PigeonConfig::builder()
+        .limits(
+            parse_usize(flags, "max-length", 4)?,
+            parse_usize(flags, "max-width", 3)?,
+        )
+        .jobs(parse_usize(flags, "jobs", 1)?)
+        .keep_prob(parse_f64(flags, "keep-prob", 1.0)?)
+        .build()
+        .map_err(|e| e.to_string())
 }
 
 fn cmd_train(args: &[String]) -> Result<(), String> {
@@ -342,12 +393,15 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
             "jobs",
             "keep-prob",
             "synthetic",
+            "trace-out",
+            "timings",
         ],
     )?;
     let language = required_language(&flags)?;
     let out = flag(&flags, "out").ok_or("--out is required")?;
     let task = flag(&flags, "task").unwrap_or("vars");
     let config = train_config(&flags)?;
+    let observability = Observability::from_flags(&flags)?;
 
     let sources: Vec<String> = if let Some(n) = flag(&flags, "synthetic") {
         let n: usize = n
@@ -375,20 +429,23 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
     .map_err(|e| e.to_string())?;
     let json = model.to_json().map_err(|e| e.to_string())?;
     std::fs::write(out, json).map_err(|e| format!("{out}: {e}"))?;
+    observability.finish()?;
     println!("trained on {} files; model saved to {out}", refs.len());
     Ok(())
 }
 
 fn cmd_predict(args: &[String]) -> Result<(), String> {
     let (flags, positional) = parse_flags(args)?;
-    check_flags("predict", &flags, &["model"])?;
+    check_flags("predict", &flags, &["model", "trace-out", "timings"])?;
     let model_path = flag(&flags, "model").ok_or("--model is required")?;
     let [file] = positional.as_slice() else {
         return Err("expected exactly one FILE".into());
     };
+    let observability = Observability::from_flags(&flags)?;
     let model = Pigeon::from_json(&read_file(model_path)?).map_err(|e| e.to_string())?;
     let source = read_file(file)?;
     let predictions = model.predict(&source).map_err(|e| e.to_string())?;
+    observability.finish()?;
     if predictions.is_empty() {
         println!("no predictable elements found");
         return Ok(());
@@ -455,7 +512,11 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 
 fn cmd_experiment(args: &[String]) -> Result<(), String> {
     let (flags, _) = parse_flags(args)?;
-    check_flags("experiment", &flags, &["language", "files", "task", "jobs"])?;
+    check_flags(
+        "experiment",
+        &flags,
+        &["language", "files", "task", "jobs", "trace-out", "timings"],
+    )?;
     let language = required_language(&flags)?;
     let files = parse_usize(&flags, "files", 400)?;
     let task = flag(&flags, "task").unwrap_or("vars");
@@ -466,7 +527,9 @@ fn cmd_experiment(args: &[String]) -> Result<(), String> {
     };
     exp.corpus = exp.corpus.with_files(files);
     exp.jobs = parse_usize(&flags, "jobs", 1)?;
+    let observability = Observability::from_flags(&flags)?;
     let out = run_name_experiment(&exp);
+    observability.finish()?;
     println!(
         "{language} {task}: accuracy {:.1}%  top-{} {:.1}%  F1 {:.1}  ({} predictions, {} features, trained in {:.1}s)",
         100.0 * out.accuracy,
@@ -640,7 +703,24 @@ mod tests {
     fn train_config_validates_keep_prob() {
         let flags = vec![("keep-prob".to_owned(), "1.5".to_owned())];
         let err = train_config(&flags).unwrap_err();
-        assert!(err.contains("probability"), "{err}");
+        assert!(err.contains("keep_prob"), "{err}");
+        assert!(err.contains("(0, 1]"), "{err}");
+    }
+
+    #[test]
+    fn train_config_rejects_zero_max_length() {
+        let flags = vec![("max-length".to_owned(), "0".to_owned())];
+        let err = train_config(&flags).unwrap_err();
+        assert!(err.contains("max_length"), "{err}");
+    }
+
+    #[test]
+    fn parse_bool_accepts_true_false_only() {
+        assert!(parse_bool(&[], "timings", false).is_ok_and(|b| !b));
+        let flags = vec![("timings".to_owned(), "true".to_owned())];
+        assert!(parse_bool(&flags, "timings", false).unwrap());
+        let flags = vec![("timings".to_owned(), "yes".to_owned())];
+        assert!(parse_bool(&flags, "timings", false).is_err());
     }
 
     #[test]

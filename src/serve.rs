@@ -7,21 +7,30 @@
 //! (no vocabulary clone, no interning), so one model serves any number
 //! of worker threads concurrently.
 //!
-//! # Protocol
+//! # Protocol (v1)
 //!
-//! Minimal HTTP/1.1, one request per connection (`Connection: close`):
+//! Minimal HTTP/1.1, one request per connection (`Connection: close`).
+//! Every JSON response carries `"api": "pigeon/1"`; errors come back as
+//! `{"api": "pigeon/1", "code": "<stable code>", "error": "<message>"}`
+//! with a 4xx status, where `code` matches [`crate::ErrorKind::code`]
+//! for failures originating in the facade.
 //!
-//! * `POST /predict` — body `{"source": "<program text>"}`; responds
+//! * `POST /v1/predict` — body `{"source": "<program text>"}`; responds
 //!   `{"predictions": [{"current_name", "predicted_name",
 //!   "candidates": [[name, score], …]}, …]}`.
-//! * `POST /predict_batch` — body `{"sources": ["<program>", …]}`;
+//! * `POST /v1/predict_batch` — body `{"sources": ["<program>", …]}`;
 //!   responds `{"results": [<per-source predict response>, …]}` in
-//!   request order.
-//! * `GET /stats` — request/error/prediction counters, latency and
+//!   request order (per-source failures inline as `{"error", "code"}`).
+//! * `GET /v1/stats` — request/error/prediction counters, latency and
 //!   throughput since startup.
-//! * `GET /health` — liveness probe, `{"status": "ok"}`.
+//! * `GET /v1/health` — liveness probe, `{"status": "ok"}`.
+//! * `GET /v1/metrics` — Prometheus text exposition: the process-global
+//!   telemetry registry (training phases, extraction counters, …)
+//!   merged with this server's request counters and latency histogram.
 //!
-//! Errors come back as `{"error": "<message>"}` with a 4xx status.
+//! The pre-versioning paths (`/predict`, `/predict_batch`, `/stats`,
+//! `/health`, `/metrics`) remain as aliases; they answer normally but
+//! add a `Deprecation: true` header pointing clients at `/v1/…`.
 //!
 //! # Robustness
 //!
@@ -31,11 +40,16 @@
 //! a request, joining all workers before returning.
 
 use crate::{Pigeon, Prediction};
+use pigeon_telemetry as telemetry;
+use pigeon_telemetry::{Counter, Histogram, Registry};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// The API version tag stamped on every JSON response.
+pub const API_VERSION: &str = "pigeon/1";
 
 /// Configuration of one [`serve`] run.
 #[derive(Debug, Clone)]
@@ -132,24 +146,72 @@ impl Default for Reservoir {
     }
 }
 
-/// Request/latency counters shared by every worker, exposed on `/stats`.
-#[derive(Debug, Default)]
+/// Request/latency series shared by every worker, exposed on `/stats`
+/// and (merged with the process-global registry) on `/metrics`.
+///
+/// Counters and the latency histogram live in a **per-server** telemetry
+/// [`Registry`] so two servers in one process never mix numbers; the
+/// reservoir stays because the `/stats` percentiles are exact
+/// order-statistics of a uniform sample, which histogram buckets cannot
+/// provide (a bucket upper bound can exceed the observed max).
 struct Stats {
-    requests: AtomicU64,
-    errors: AtomicU64,
-    predictions: AtomicU64,
-    predict_requests: AtomicU64,
-    latency_micros: AtomicU64,
+    registry: Arc<Registry>,
+    requests: Arc<Counter>,
+    errors: Arc<Counter>,
+    predictions: Arc<Counter>,
+    /// Predict/batch request latency, microseconds (sum and count double
+    /// as the `/stats` totals).
+    latency: Arc<Histogram>,
     latency_max_micros: AtomicU64,
     /// Sampled individual latencies for the `/stats` percentiles.
     latency_sample: Mutex<Reservoir>,
 }
 
 impl Stats {
+    fn new() -> Self {
+        let registry = Arc::new(telemetry::global().shard());
+        registry.describe(
+            "pigeon_http_requests_total",
+            "HTTP requests answered, by endpoint and status",
+        );
+        registry.describe("pigeon_requests_total", "Connections handled");
+        registry.describe(
+            "pigeon_request_errors_total",
+            "Requests answered with an error status",
+        );
+        registry.describe("pigeon_predictions_total", "Program elements predicted");
+        registry.describe(
+            "pigeon_predict_latency_micros",
+            "Predict endpoint latency in microseconds",
+        );
+        Stats {
+            requests: registry.counter("pigeon_requests_total", &[]),
+            errors: registry.counter("pigeon_request_errors_total", &[]),
+            predictions: registry.counter("pigeon_predictions_total", &[]),
+            latency: registry.histogram(
+                "pigeon_predict_latency_micros",
+                &[],
+                telemetry::LATENCY_BOUNDS,
+            ),
+            registry,
+            latency_max_micros: AtomicU64::new(0),
+            latency_sample: Mutex::new(Reservoir::default()),
+        }
+    }
+
+    /// Counts one answered request under its canonical endpoint + status.
+    fn record_http(&self, endpoint: &'static str, status: u16) {
+        self.registry
+            .counter(
+                "pigeon_http_requests_total",
+                &[("endpoint", endpoint), ("status", &status.to_string())],
+            )
+            .inc();
+    }
+
     fn record_latency(&self, elapsed: Duration) {
         let micros = elapsed.as_micros() as u64;
-        self.predict_requests.fetch_add(1, Ordering::Relaxed);
-        self.latency_micros.fetch_add(micros, Ordering::Relaxed);
+        self.latency.observe(micros);
         self.latency_max_micros.fetch_max(micros, Ordering::Relaxed);
         self.latency_sample
             .lock()
@@ -157,10 +219,20 @@ impl Stats {
             .offer(micros);
     }
 
+    /// The `/metrics` document: the process-global registry (pipeline
+    /// phases, extraction counters) merged with this server's request
+    /// series, rendered in the byte-stable Prometheus text format.
+    fn render_metrics(&self) -> String {
+        let merged = Registry::default();
+        merged.merge(telemetry::global());
+        merged.merge(&self.registry);
+        merged.render_prometheus()
+    }
+
     fn to_json(&self, uptime: Duration) -> serde_json::Value {
-        let predict_requests = self.predict_requests.load(Ordering::Relaxed);
-        let latency_micros = self.latency_micros.load(Ordering::Relaxed);
-        let predictions = self.predictions.load(Ordering::Relaxed);
+        let predict_requests = self.latency.count();
+        let latency_micros = self.latency.sum();
+        let predictions = self.predictions.get();
         let uptime_secs = uptime.as_secs_f64();
         let mean_micros = if predict_requests == 0 {
             0.0
@@ -179,8 +251,8 @@ impl Stats {
             .percentiles([0.50, 0.95, 0.99]);
         serde_json::json!({
             "uptime_secs": uptime_secs,
-            "requests_total": self.requests.load(Ordering::Relaxed),
-            "errors_total": self.errors.load(Ordering::Relaxed),
+            "requests_total": self.requests.get(),
+            "errors_total": self.errors.get(),
             "predict_requests_total": predict_requests,
             "predictions_total": predictions,
             "latency_micros_total": latency_micros,
@@ -226,20 +298,77 @@ struct Request {
     body: String,
 }
 
-/// An HTTP error response: status, reason phrase, JSON error message.
-type HttpError = (u16, &'static str, String);
+/// An HTTP error response: status, reason phrase, a stable
+/// machine-readable code (matching [`crate::ErrorKind::code`] when the
+/// failure came from the facade), and a human-readable message.
+struct HttpError {
+    status: u16,
+    reason: &'static str,
+    code: &'static str,
+    message: String,
+}
 
-fn render_response(status: u16, reason: &str, body: &str) -> String {
+impl HttpError {
+    fn new(status: u16, reason: &'static str, code: &'static str, message: String) -> Self {
+        HttpError {
+            status,
+            reason,
+            code,
+            message,
+        }
+    }
+
+    fn bad_request(message: String) -> Self {
+        HttpError::new(400, "Bad Request", "bad-request", message)
+    }
+}
+
+/// A successful response body: JSON for the API endpoints, Prometheus
+/// text for `/metrics`.
+enum Payload {
+    Json(serde_json::Value),
+    Metrics(String),
+}
+
+fn render_response(
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    deprecated: bool,
+    body: &str,
+) -> String {
+    let deprecation = if deprecated {
+        "Deprecation: true\r\n"
+    } else {
+        ""
+    };
     format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\n{deprecation}Connection: close\r\n\r\n{body}",
         body.len()
     )
 }
 
-fn error_body(message: &str) -> String {
-    serde_json::to_string(&serde_json::json!({ "error": message }))
-        .unwrap_or_else(|_| "{\"error\":\"internal\"}".to_owned())
+/// Stamps the v1 API version field onto a JSON object response.
+fn with_api(value: serde_json::Value) -> serde_json::Value {
+    match value {
+        serde_json::Value::Object(mut map) => {
+            map.insert(
+                "api".to_owned(),
+                serde_json::Value::String(API_VERSION.to_owned()),
+            );
+            serde_json::Value::Object(map)
+        }
+        other => other,
+    }
+}
+
+fn error_body(code: &str, message: &str) -> String {
+    serde_json::to_string(&with_api(serde_json::json!({
+        "code": code,
+        "error": message,
+    })))
+    .unwrap_or_else(|_| "{\"error\":\"internal\"}".to_owned())
 }
 
 /// Reads and parses one request off the socket, enforcing the body-size
@@ -250,17 +379,20 @@ fn read_request(reader: &mut BufReader<&TcpStream>, max_body: usize) -> Result<R
     const MAX_HEADER_BYTES: usize = 16 * 1024;
     let map_io = |e: std::io::Error| -> HttpError {
         match e.kind() {
-            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
-                (408, "Request Timeout", "connection read timed out".into())
-            }
-            _ => (400, "Bad Request", format!("read failed: {e}")),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => HttpError::new(
+                408,
+                "Request Timeout",
+                "timeout",
+                "connection read timed out".into(),
+            ),
+            _ => HttpError::new(400, "Bad Request", "io", format!("read failed: {e}")),
         }
     };
     let mut line = String::new();
     reader.read_line(&mut line).map_err(map_io)?;
     let mut parts = line.split_whitespace();
     let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
-        return Err((400, "Bad Request", "malformed request line".into()));
+        return Err(HttpError::bad_request("malformed request line".into()));
     };
     let (method, path) = (method.to_owned(), path.to_owned());
 
@@ -271,9 +403,10 @@ fn read_request(reader: &mut BufReader<&TcpStream>, max_body: usize) -> Result<R
         reader.read_line(&mut header).map_err(map_io)?;
         header_bytes += header.len();
         if header_bytes > MAX_HEADER_BYTES {
-            return Err((
+            return Err(HttpError::new(
                 431,
                 "Request Header Fields Too Large",
+                "bad-request",
                 "headers too large".into(),
             ));
         }
@@ -286,21 +419,22 @@ fn read_request(reader: &mut BufReader<&TcpStream>, max_body: usize) -> Result<R
                 content_length = value
                     .trim()
                     .parse()
-                    .map_err(|_| (400, "Bad Request", "bad Content-Length".to_owned()))?;
+                    .map_err(|_| HttpError::bad_request("bad Content-Length".to_owned()))?;
             }
         }
     }
     if content_length > max_body {
-        return Err((
+        return Err(HttpError::new(
             413,
             "Payload Too Large",
+            "too-large",
             format!("request body of {content_length} bytes exceeds the {max_body}-byte limit"),
         ));
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body).map_err(map_io)?;
     let body = String::from_utf8(body)
-        .map_err(|_| (400, "Bad Request", "request body is not UTF-8".to_owned()))?;
+        .map_err(|_| HttpError::bad_request("request body is not UTF-8".to_owned()))?;
     Ok(Request { method, path, body })
 }
 
@@ -325,83 +459,103 @@ fn predictions_to_json(predictions: &[Prediction]) -> serde_json::Value {
 }
 
 fn parse_json_body(body: &str) -> Result<serde_json::Value, HttpError> {
-    serde_json::from_str(body).map_err(|e| {
-        (
-            400,
-            "Bad Request",
-            format!("request is not valid JSON: {e}"),
-        )
-    })
+    serde_json::from_str(body)
+        .map_err(|e| HttpError::bad_request(format!("request is not valid JSON: {e}")))
 }
 
-/// Routes one request. `Ok` is the JSON body of a 200 response.
+/// Maps a request path to its canonical v1 endpoint, flagging the
+/// pre-versioning aliases (they answer, but with a `Deprecation: true`
+/// header). Unknown paths come back as `("other", false)` so the
+/// request-counter label set stays bounded however clients probe.
+fn canonical_endpoint(path: &str) -> (&'static str, bool) {
+    match path {
+        "/v1/predict" => ("/v1/predict", false),
+        "/predict" => ("/v1/predict", true),
+        "/v1/predict_batch" => ("/v1/predict_batch", false),
+        "/predict_batch" => ("/v1/predict_batch", true),
+        "/v1/stats" => ("/v1/stats", false),
+        "/stats" => ("/v1/stats", true),
+        "/v1/health" => ("/v1/health", false),
+        "/health" => ("/v1/health", true),
+        "/v1/metrics" => ("/v1/metrics", false),
+        "/metrics" => ("/v1/metrics", true),
+        _ => ("other", false),
+    }
+}
+
+/// Routes one request (already canonicalised to its v1 endpoint).
 fn route(
     model: &Pigeon,
     stats: &Stats,
     started: Instant,
+    endpoint: &'static str,
     req: &Request,
-) -> Result<serde_json::Value, HttpError> {
-    match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/predict") => {
+) -> Result<Payload, HttpError> {
+    match (req.method.as_str(), endpoint) {
+        ("POST", "/v1/predict") => {
             let t = Instant::now();
             let value = parse_json_body(&req.body)?;
             let source = value
                 .get("source")
                 .and_then(|s| s.as_str())
                 .ok_or_else(|| {
-                    (
-                        400,
-                        "Bad Request",
+                    HttpError::bad_request(
                         "expected a JSON object with a string `source` field".to_owned(),
                     )
                 })?;
-            let predictions = model
-                .predict(source)
-                .map_err(|e| (422, "Unprocessable Entity", e.to_string()))?;
-            stats
-                .predictions
-                .fetch_add(predictions.len() as u64, Ordering::Relaxed);
+            let predictions = model.predict(source).map_err(|e| {
+                HttpError::new(422, "Unprocessable Entity", e.code(), e.to_string())
+            })?;
+            stats.predictions.add(predictions.len() as u64);
             stats.record_latency(t.elapsed());
-            Ok(serde_json::json!({ "predictions": predictions_to_json(&predictions) }))
+            Ok(Payload::Json(
+                serde_json::json!({ "predictions": predictions_to_json(&predictions) }),
+            ))
         }
-        ("POST", "/predict_batch") => {
+        ("POST", "/v1/predict_batch") => {
             let t = Instant::now();
             let value = parse_json_body(&req.body)?;
             let sources = value
                 .get("sources")
                 .and_then(|s| s.as_array())
                 .ok_or_else(|| {
-                    (
-                        400,
-                        "Bad Request",
+                    HttpError::bad_request(
                         "expected a JSON object with a `sources` array".to_owned(),
                     )
                 })?;
             let mut results = Vec::with_capacity(sources.len());
             for source in sources {
                 let Some(source) = source.as_str() else {
-                    return Err((400, "Bad Request", "`sources` must hold strings".to_owned()));
+                    return Err(HttpError::bad_request(
+                        "`sources` must hold strings".to_owned(),
+                    ));
                 };
                 // Per-source failures are reported in place so one bad
-                // program does not void the rest of the batch.
+                // program does not void the rest of the batch; they carry
+                // the same stable `code` as top-level error bodies.
                 results.push(match model.predict(source) {
                     Ok(predictions) => {
-                        stats
-                            .predictions
-                            .fetch_add(predictions.len() as u64, Ordering::Relaxed);
+                        stats.predictions.add(predictions.len() as u64);
                         serde_json::json!({ "predictions": predictions_to_json(&predictions) })
                     }
-                    Err(e) => serde_json::json!({ "error": e.to_string() }),
+                    Err(e) => serde_json::json!({
+                        "code": e.code(),
+                        "error": e.to_string(),
+                    }),
                 });
             }
             stats.record_latency(t.elapsed());
-            Ok(serde_json::json!({ "results": serde_json::Value::Array(results) }))
+            Ok(Payload::Json(
+                serde_json::json!({ "results": serde_json::Value::Array(results) }),
+            ))
         }
-        ("GET", "/stats") => Ok(stats.to_json(started.elapsed())),
-        ("GET", "/health") => Ok(serde_json::json!({ "status": "ok" })),
-        _ => Err((
+        ("GET", "/v1/stats") => Ok(Payload::Json(stats.to_json(started.elapsed()))),
+        ("GET", "/v1/health") => Ok(Payload::Json(serde_json::json!({ "status": "ok" }))),
+        ("GET", "/v1/metrics") => Ok(Payload::Metrics(stats.render_metrics())),
+        _ => Err(HttpError::new(
             404,
             "Not Found",
+            "not-found",
             format!("no route for {} {}", req.method, req.path),
         )),
     }
@@ -415,18 +569,45 @@ fn handle_connection(
     cfg: &ServeConfig,
 ) {
     let _ = stream.set_read_timeout(Some(cfg.read_timeout));
-    stats.requests.fetch_add(1, Ordering::Relaxed);
+    stats.requests.inc();
     let mut reader = BufReader::new(&stream);
-    let response = match read_request(&mut reader, cfg.max_request_bytes)
-        .and_then(|req| route(model, stats, started, &req))
-    {
-        Ok(body) => {
-            let body = serde_json::to_string(&body).unwrap_or_else(|_| "{}".to_owned());
-            render_response(200, "OK", &body)
+    let (endpoint, deprecated, result) = match read_request(&mut reader, cfg.max_request_bytes) {
+        Ok(req) => {
+            let (endpoint, deprecated) = canonical_endpoint(&req.path);
+            (
+                endpoint,
+                deprecated,
+                route(model, stats, started, endpoint, &req),
+            )
         }
-        Err((status, reason, message)) => {
-            stats.errors.fetch_add(1, Ordering::Relaxed);
-            render_response(status, reason, &error_body(&message))
+        Err(e) => ("other", false, Err(e)),
+    };
+    let response = match result {
+        Ok(Payload::Json(body)) => {
+            stats.record_http(endpoint, 200);
+            let body = serde_json::to_string(&with_api(body)).unwrap_or_else(|_| "{}".to_owned());
+            render_response(200, "OK", "application/json", deprecated, &body)
+        }
+        Ok(Payload::Metrics(text)) => {
+            stats.record_http(endpoint, 200);
+            render_response(
+                200,
+                "OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                deprecated,
+                &text,
+            )
+        }
+        Err(e) => {
+            stats.errors.inc();
+            stats.record_http(endpoint, e.status);
+            render_response(
+                e.status,
+                e.reason,
+                "application/json",
+                deprecated,
+                &error_body(e.code, &e.message),
+            )
         }
     };
     let _ = (&stream).write_all(response.as_bytes());
@@ -456,7 +637,7 @@ pub fn serve(model: Pigeon, cfg: &ServeConfig) -> Result<(), String> {
     install_shutdown_handler();
 
     let model = Arc::new(model);
-    let stats = Arc::new(Stats::default());
+    let stats = Arc::new(Stats::new());
     let started = Instant::now();
     let (tx, rx) = mpsc::channel::<TcpStream>();
     let rx = Arc::new(Mutex::new(rx));
@@ -520,9 +701,9 @@ pub fn serve(model: Pigeon, cfg: &ServeConfig) -> Result<(), String> {
 
     println!(
         "pigeon serve: shut down after {} requests ({} errors, {} predictions) in {:.1}s",
-        stats.requests.load(Ordering::Relaxed),
-        stats.errors.load(Ordering::Relaxed),
-        stats.predictions.load(Ordering::Relaxed),
+        stats.requests.get(),
+        stats.errors.get(),
+        stats.predictions.get(),
         started.elapsed().as_secs_f64(),
     );
     Ok(())

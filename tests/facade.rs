@@ -129,3 +129,53 @@ fn method_namer_targets_methods_not_variables() {
     assert_eq!(predictions.len(), 1, "only the function name is unknown");
     assert_eq!(predictions[0].current_name, "m");
 }
+
+#[test]
+fn config_builder_matches_default_and_validates() {
+    use pigeon::ErrorKind;
+
+    // A builder with no overrides reproduces `PigeonConfig::default()`,
+    // so existing `Default` users lose nothing by migrating.
+    let built = PigeonConfig::builder().build().expect("defaults are valid");
+    let default = PigeonConfig::default();
+    assert_eq!(built.extraction.max_length, default.extraction.max_length);
+    assert_eq!(built.extraction.max_width, default.extraction.max_width);
+    assert_eq!(built.top_k, default.top_k);
+    assert_eq!(built.jobs, default.jobs);
+    assert_eq!(built.keep_prob, default.keep_prob);
+
+    for (config, needle) in [
+        (PigeonConfig::builder().limits(0, 3).build(), "max_length"),
+        (PigeonConfig::builder().keep_prob(0.0).build(), "keep_prob"),
+        (PigeonConfig::builder().keep_prob(1.5).build(), "keep_prob"),
+        (
+            PigeonConfig::builder().keep_prob(f64::NAN).build(),
+            "keep_prob",
+        ),
+        (PigeonConfig::builder().top_k(0).build(), "top_k"),
+    ] {
+        let err = config.expect_err(needle);
+        assert_eq!(err.kind(), ErrorKind::Config, "{err}");
+        assert_eq!(err.code(), "config");
+        assert!(err.to_string().contains(needle), "{err}");
+    }
+}
+
+#[test]
+fn errors_carry_stable_machine_readable_codes() {
+    use pigeon::ErrorKind;
+
+    let namer = trained_namer(Language::JavaScript, 40);
+    let err = namer.predict("function { syntax error").unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::Parse);
+    assert_eq!(err.code(), "parse");
+
+    let err = Pigeon::from_json("{\"not\": \"a model\"}").unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::ModelFormat);
+    assert_eq!(err.code(), "model-format");
+
+    // Codes are part of the serve wire format; they must never drift.
+    assert_eq!(ErrorKind::Config.code(), "config");
+    assert_eq!(ErrorKind::Io.code(), "io");
+    assert_eq!(ErrorKind::Internal.code(), "internal");
+}

@@ -75,8 +75,8 @@ fn spawn_server(model: &Path, extra: &[&str]) -> (Child, String, BufReader<Child
     (child, addr, reader)
 }
 
-/// Sends one raw HTTP request and returns `(status_code, body)`.
-fn http(addr: &str, request: &str) -> (u16, String) {
+/// Sends one raw HTTP request and returns `(status_code, headers, body)`.
+fn http_full(addr: &str, request: &str) -> (u16, String, String) {
     let mut stream = TcpStream::connect(addr).expect("connects");
     stream.write_all(request.as_bytes()).expect("writes");
     let mut response = String::new();
@@ -87,10 +87,16 @@ fn http(addr: &str, request: &str) -> (u16, String) {
         .expect("status line")
         .parse()
         .expect("numeric status");
-    let body = response
+    let (head, body) = response
         .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
+        .map(|(h, b)| (h.to_string(), b.to_string()))
         .unwrap_or_default();
+    (status, head, body)
+}
+
+/// Sends one raw HTTP request and returns `(status_code, body)`.
+fn http(addr: &str, request: &str) -> (u16, String) {
+    let (status, _, body) = http_full(addr, request);
     (status, body)
 }
 
@@ -107,6 +113,13 @@ fn post(addr: &str, path: &str, body: &str) -> (u16, String) {
 
 fn get(addr: &str, path: &str) -> (u16, String) {
     http(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"),
+    )
+}
+
+fn get_full(addr: &str, path: &str) -> (u16, String, String) {
+    http_full(
         addr,
         &format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"),
     )
@@ -272,6 +285,102 @@ fn serve_rejects_oversized_requests() {
     // The server survives and keeps answering.
     let (status, _) = get(&addr, "/health");
     assert_eq!(status, 200);
+    child.kill().expect("kills");
+    let _ = child.wait();
+}
+
+/// Pins the v1 API contract: versioned paths, the `"api"` field on every
+/// JSON body, stable machine-readable error codes, the `Deprecation`
+/// header on pre-versioning aliases, and the Prometheus exposition.
+#[test]
+fn serve_v1_api_contract() {
+    let dir = tmp_dir("v1");
+    let model = train_model(&dir);
+    let (mut child, addr, _stdout) = spawn_server(&model, &["--idle-timeout", "60"]);
+
+    // Every v1 JSON response carries the API version; the serde map is
+    // sorted, so `"api"` renders first.
+    let (status, head, body) = get_full(&addr, "/v1/health");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.starts_with(r#"{"api":"pigeon/1""#), "{body}");
+    assert!(body.contains("\"ok\""), "{body}");
+    assert!(
+        !head.contains("Deprecation"),
+        "v1 is not deprecated: {head}"
+    );
+
+    let (status, body) = post(&addr, "/v1/predict", QUERY);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"api\":\"pigeon/1\""), "{body}");
+    assert!(body.contains("\"predictions\""), "{body}");
+
+    let (status, body) = post(
+        &addr,
+        "/v1/predict_batch",
+        r#"{"sources": ["function g(x) { return x; }", "not valid js ((("]}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    // The broken source reports an inline error with a stable code.
+    assert!(body.contains("\"code\":\"parse\""), "{body}");
+
+    let (status, body) = get(&addr, "/v1/stats");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"api\":\"pigeon/1\""), "{body}");
+    assert!(body.contains("\"requests_total\""), "{body}");
+
+    // Error bodies carry machine-readable codes per kind.
+    let (status, body) = post(&addr, "/v1/predict", "{not json");
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("\"code\":\"bad-request\""), "{body}");
+    let (status, body) = post(&addr, "/v1/predict", r#"{"source": "function ((("}"#);
+    assert_eq!(status, 422, "{body}");
+    assert!(body.contains("\"code\":\"parse\""), "{body}");
+    let (status, body) = get(&addr, "/no-such-route");
+    assert_eq!(status, 404, "{body}");
+    assert!(body.contains("\"code\":\"not-found\""), "{body}");
+
+    // Pre-versioning paths still answer, flagged deprecated; their
+    // bodies match the v1 schema.
+    for path in ["/predict", "/stats", "/health", "/metrics"] {
+        let (status, head, body) = match path {
+            "/predict" => {
+                let (s, h, b) = http_full(
+                    &addr,
+                    &format!(
+                        "POST /predict HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\
+                         Connection: close\r\n\r\n{QUERY}",
+                        QUERY.len()
+                    ),
+                );
+                (s, h, b)
+            }
+            _ => get_full(&addr, path),
+        };
+        assert_eq!(status, 200, "{path}: {body}");
+        assert!(
+            head.contains("Deprecation: true"),
+            "{path} must signal deprecation: {head}"
+        );
+    }
+
+    // The Prometheus exposition: request counters by endpoint and
+    // status, the predict latency histogram, and content-type framing.
+    let (status, head, metrics) = get_full(&addr, "/v1/metrics");
+    assert_eq!(status, 200, "{metrics}");
+    assert!(head.contains("Content-Type: text/plain"), "{head}");
+    for needle in [
+        "# TYPE pigeon_http_requests_total counter",
+        "pigeon_http_requests_total{endpoint=\"/v1/predict\",status=\"200\"}",
+        "pigeon_http_requests_total{endpoint=\"/v1/predict\",status=\"400\"}",
+        "pigeon_http_requests_total{endpoint=\"other\",status=\"404\"}",
+        "# TYPE pigeon_predict_latency_micros histogram",
+        "pigeon_predict_latency_micros_bucket",
+        "le=\"+Inf\"",
+        "pigeon_predictions_total",
+    ] {
+        assert!(metrics.contains(needle), "missing {needle} in:\n{metrics}");
+    }
+
     child.kill().expect("kills");
     let _ = child.wait();
 }
