@@ -41,7 +41,7 @@ mod registry;
 mod trace;
 
 pub use clock::{Clock, ManualClock, WallClock};
-pub use metrics::{Counter, Histogram};
+pub use metrics::{Counter, Gauge, Histogram};
 pub use registry::{Registry, SeriesKey};
 pub use trace::{render_trace, TraceEvent};
 
@@ -164,6 +164,16 @@ pub fn counter(name: &'static str) -> Arc<Counter> {
 /// A labelled counter on the current sink.
 pub fn counter_with(name: &'static str, labels: &[(&str, &str)]) -> Arc<Counter> {
     current().counter(name, labels)
+}
+
+/// A gauge on the current sink (no labels).
+pub fn gauge(name: &'static str) -> Arc<Gauge> {
+    current().gauge(name, &[])
+}
+
+/// A labelled gauge on the current sink.
+pub fn gauge_with(name: &'static str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+    current().gauge(name, labels)
 }
 
 /// A histogram on the current sink.

@@ -1,10 +1,10 @@
-//! The two metric primitives: monotonic counters and fixed-bucket
-//! histograms. Both are lock-free (plain atomic adds), both merge by
-//! integer addition — the property that makes shard aggregation across
-//! worker pools order-independent and therefore byte-identical for any
-//! `--jobs` value.
+//! The metric primitives: monotonic counters, up/down gauges and
+//! fixed-bucket histograms. All are lock-free (plain atomic adds);
+//! counters and histograms merge by integer addition — the property
+//! that makes shard aggregation across worker pools order-independent
+//! and therefore byte-identical for any `--jobs` value.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 
 /// A monotonically increasing counter.
 #[derive(Debug, Default)]
@@ -38,6 +38,54 @@ impl Counter {
     }
 
     /// Zeroes the counter in place, keeping every held handle valid.
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An instantaneous value that can go up and down — queue depths,
+/// in-flight request counts, loaded-model counts.
+///
+/// Unlike [`Counter`], a gauge reports a *current* state, so shard
+/// merging adds the shards' values (each shard holds a disjoint part of
+/// the whole, e.g. its own in-flight count); a gauge that represents a
+/// single global quantity should live on one registry only.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the gauge to an absolute value.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative via [`Gauge::sub`]).
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`.
+    pub fn sub(&self, n: i64) {
+        self.value.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Folds another gauge's value into this one (shard merge).
+    pub fn merge_from(&self, other: &Gauge) {
+        self.add(other.get());
+    }
+
+    /// Zeroes the gauge in place, keeping every held handle valid.
     pub fn reset(&self) {
         self.value.store(0, Ordering::Relaxed);
     }
@@ -150,6 +198,22 @@ mod tests {
         assert_eq!(a.get(), 15);
         a.reset();
         assert_eq!(a.get(), 0);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways_and_merges() {
+        let g = Gauge::new();
+        g.add(5);
+        g.sub(2);
+        assert_eq!(g.get(), 3);
+        g.set(-7);
+        assert_eq!(g.get(), -7);
+        let other = Gauge::new();
+        other.set(10);
+        g.merge_from(&other);
+        assert_eq!(g.get(), 3);
+        g.reset();
+        assert_eq!(g.get(), 0);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! rendering, Chrome trace-event collection, and ordered shard merging.
 
 use crate::clock::{Clock, WallClock};
-use crate::metrics::{Counter, Histogram};
+use crate::metrics::{Counter, Gauge, Histogram};
 use crate::trace::TraceEvent;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -71,6 +71,7 @@ fn render_labels(out: &mut String, labels: &[(String, String)], extra: Option<(&
 pub struct Registry {
     clock: RwLock<Arc<dyn Clock>>,
     counters: RwLock<BTreeMap<SeriesKey, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<SeriesKey, Arc<Gauge>>>,
     histograms: RwLock<BTreeMap<SeriesKey, Arc<Histogram>>>,
     /// Family name → help text, shown as `# HELP` lines.
     help: RwLock<BTreeMap<&'static str, &'static str>>,
@@ -97,6 +98,7 @@ impl Registry {
         Registry {
             clock: RwLock::new(clock),
             counters: RwLock::new(BTreeMap::new()),
+            gauges: RwLock::new(BTreeMap::new()),
             histograms: RwLock::new(BTreeMap::new()),
             help: RwLock::new(BTreeMap::new()),
             trace: Mutex::new(Vec::new()),
@@ -136,6 +138,21 @@ impl Registry {
                 .unwrap()
                 .entry(key)
                 .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// The gauge series `name{labels}`, registered on first use.
+    pub fn gauge(&self, name: &'static str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let key = SeriesKey::new(name, labels);
+        if let Some(g) = self.gauges.read().unwrap().get(&key) {
+            return Arc::clone(g);
+        }
+        Arc::clone(
+            self.gauges
+                .write()
+                .unwrap()
+                .entry(key)
+                .or_insert_with(|| Arc::new(Gauge::new())),
         )
     }
 
@@ -199,6 +216,19 @@ impl Registry {
             });
             mine.merge_from(theirs);
         }
+        for (key, theirs) in other.gauges.read().unwrap().iter() {
+            let existing = self.gauges.read().unwrap().get(key).cloned();
+            let mine = existing.unwrap_or_else(|| {
+                Arc::clone(
+                    self.gauges
+                        .write()
+                        .unwrap()
+                        .entry(key.clone())
+                        .or_insert_with(|| Arc::new(Gauge::new())),
+                )
+            });
+            mine.merge_from(theirs);
+        }
         for (key, theirs) in other.histograms.read().unwrap().iter() {
             let existing = self.histograms.read().unwrap().get(key).cloned();
             let mine = existing.unwrap_or_else(|| {
@@ -227,6 +257,9 @@ impl Registry {
         for c in self.counters.read().unwrap().values() {
             c.reset();
         }
+        for g in self.gauges.read().unwrap().values() {
+            g.reset();
+        }
         for h in self.histograms.read().unwrap().values() {
             h.reset();
         }
@@ -236,8 +269,8 @@ impl Registry {
     /// Renders every series in the Prometheus text exposition format.
     ///
     /// Output is byte-stable: families and series render in `BTreeMap`
-    /// order (name, then sorted labels), counters before histograms, and
-    /// all values are integers.
+    /// order (name, then sorted labels), counters before gauges before
+    /// histograms, and all values are integers.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
         let help = self.help.read().unwrap();
@@ -254,6 +287,20 @@ impl Registry {
             out.push_str(key.name);
             render_labels(&mut out, &key.labels, None);
             let _ = writeln!(out, " {}", counter.get());
+        }
+
+        last_family = "";
+        for (key, gauge) in self.gauges.read().unwrap().iter() {
+            if key.name != last_family {
+                last_family = key.name;
+                if let Some(h) = help.get(key.name) {
+                    let _ = writeln!(out, "# HELP {} {h}", key.name);
+                }
+                let _ = writeln!(out, "# TYPE {} gauge", key.name);
+            }
+            out.push_str(key.name);
+            render_labels(&mut out, &key.labels, None);
+            let _ = writeln!(out, " {}", gauge.get());
         }
 
         last_family = "";
@@ -381,6 +428,39 @@ mod tests {
              lat_micros_count 2\n";
         assert_eq!(text, expected);
         assert_eq!(r.render_prometheus(), text, "second render identical");
+    }
+
+    #[test]
+    fn gauges_render_between_counters_and_histograms() {
+        let r = Registry::default();
+        r.counter("a_total", &[]).inc();
+        r.describe("q_depth", "items waiting");
+        r.gauge("q_depth", &[]).set(4);
+        r.histogram("z_micros", &[], &[10]).observe(1);
+        let text = r.render_prometheus();
+        let expected = "# TYPE a_total counter\n\
+             a_total 1\n\
+             # HELP q_depth items waiting\n\
+             # TYPE q_depth gauge\n\
+             q_depth 4\n\
+             # TYPE z_micros histogram\n\
+             z_micros_bucket{le=\"10\"} 1\n\
+             z_micros_bucket{le=\"+Inf\"} 1\n\
+             z_micros_sum 1\n\
+             z_micros_count 1\n";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn gauges_merge_and_reset() {
+        let base = Registry::default();
+        let shard = base.shard();
+        shard.gauge("g", &[]).set(3);
+        base.gauge("g", &[]).set(2);
+        base.merge(&shard);
+        assert_eq!(base.gauge("g", &[]).get(), 5);
+        base.reset();
+        assert_eq!(base.gauge("g", &[]).get(), 0);
     }
 
     #[test]

@@ -577,14 +577,19 @@ impl Pigeon {
     /// worker threads; `1` is fully serial, `0` uses all available
     /// cores.
     ///
+    /// Accepts any slice of string-likes (`&[&str]`, `&[String]`, …) so
+    /// callers that own their sources — like the serving layer's
+    /// admission queue, which coalesces concurrent requests into
+    /// micro-batches of owned bodies — need no intermediate re-borrow.
+    ///
     /// Results come back in `sources` order and each entry is exactly
     /// what [`Pigeon::predict`] returns for that source — prediction is
     /// read-only, so the output is identical for any `jobs` value.
-    pub fn predict_batch(
+    pub fn predict_batch<S: AsRef<str> + Sync>(
         &self,
-        sources: &[&str],
+        sources: &[S],
         jobs: usize,
     ) -> Vec<Result<Vec<Prediction>, PigeonError>> {
-        parallel_map_indexed(sources, jobs, |_, source| self.predict(source))
+        parallel_map_indexed(sources, jobs, |_, source| self.predict(source.as_ref()))
     }
 }

@@ -72,7 +72,9 @@ USAGE:
                     FILE
   pigeon serve      --model MODEL.json [--host ADDR] [--port N] [--jobs N]
                     [--max-request-bytes N] [--read-timeout-ms N]
-                    [--idle-timeout SECS]
+                    [--idle-timeout SECS] [--keep-alive BOOL]
+                    [--max-conn-requests N] [--batch-max N]
+                    [--batch-wait-ms N] [--queue-cap N]
   pigeon experiment --language LANG [--files N] [--task vars|methods]
                     [--jobs N] [--trace-out FILE] [--timings BOOL]
   pigeon audit      [--language LANG PATH...] [--model MODEL.json]
@@ -121,14 +123,25 @@ OBSERVABILITY:
 SERVE (v1 API; every JSON response carries \"api\": \"pigeon/1\"):
   POST /v1/predict       {\"source\": \"<program>\"}        → predictions
   POST /v1/predict_batch {\"sources\": [\"<program>\", …]}  → per-source results
-  GET  /v1/stats         request/latency/throughput counters (JSON)
+  POST /v1/models        <model JSON> — load + hot-swap the active model
+  GET  /v1/models        list loaded model versions
+  GET  /v1/stats         request/latency/throughput counters, per-model
+                         version slices (JSON)
   GET  /v1/health        liveness probe
   GET  /v1/metrics       Prometheus text exposition
   Unversioned paths (/predict, /stats, …) still answer, with a
   `Deprecation: true` header. Error bodies carry a stable `code`.
+  Connections are HTTP/1.1 keep-alive; /v1/predict requests coalesce
+  into micro-batches through a bounded admission queue (full queue →
+  429 with Retry-After).
   --port        7470 (0 = ephemeral, printed on startup)
   --jobs        0 = one worker per core
   --idle-timeout  0 = serve until SIGINT/SIGTERM
+  --keep-alive  true; false closes after every response
+  --max-conn-requests  1000 requests served per connection before close
+  --batch-max   16, largest micro-batch handed to predict_batch
+  --batch-wait-ms  2, how long the batcher waits for companion requests
+  --queue-cap   256 queued predicts before the server answers 429
 ";
 
 /// A parsed `--name value` flag list.
@@ -480,6 +493,11 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "max-request-bytes",
             "read-timeout-ms",
             "idle-timeout",
+            "keep-alive",
+            "max-conn-requests",
+            "batch-max",
+            "batch-wait-ms",
+            "queue-cap",
         ],
     )?;
     if !positional.is_empty() {
@@ -506,6 +524,15 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             defaults.read_timeout.as_millis() as usize,
         )? as u64),
         idle_timeout: (idle_secs > 0).then(|| Duration::from_secs(idle_secs as u64)),
+        keep_alive: parse_bool(&flags, "keep-alive", defaults.keep_alive)?,
+        max_conn_requests: parse_usize(&flags, "max-conn-requests", defaults.max_conn_requests)?,
+        batch_max: parse_usize(&flags, "batch-max", defaults.batch_max)?,
+        batch_wait: Duration::from_millis(parse_usize(
+            &flags,
+            "batch-wait-ms",
+            defaults.batch_wait.as_millis() as usize,
+        )? as u64),
+        queue_cap: parse_usize(&flags, "queue-cap", defaults.queue_cap)?,
     };
     serve(model, &config)
 }

@@ -1,32 +1,59 @@
-//! `pigeon serve`: a dependency-free HTTP prediction server.
+//! `pigeon serve`: a dependency-free high-throughput HTTP prediction
+//! server.
 //!
 //! The lineage system of the paper's CRF — Nice2Predict, deployed at
 //! jsnice.org — was a prediction *service*; this module turns a trained
-//! [`Pigeon`] model into one using nothing beyond `std`. The model is
-//! loaded once; every request runs the read-only prediction hot path
-//! (no vocabulary clone, no interning), so one model serves any number
-//! of worker threads concurrently.
+//! [`Pigeon`] model into one using nothing beyond `std`. Three layers
+//! carry the traffic:
+//!
+//! 1. **Keep-alive connections.** HTTP/1.1 connections are persistent by
+//!    default: each worker loops `read_request` on its socket until the
+//!    client sends `Connection: close`, the idle read timeout passes
+//!    between requests (closed silently — no 408 written into the void),
+//!    or the per-connection request cap is reached. This removes the TCP
+//!    connect/teardown tax that made one-request-per-connection serving
+//!    ~2× slower than the in-process loop (see `EXPERIMENTS.md`).
+//! 2. **Admission queue + micro-batching.** `POST /v1/predict` bodies do
+//!    not run inference on the connection worker; they enter a bounded
+//!    admission queue that a batcher thread drains into
+//!    [`Pigeon::predict_batch`] micro-batches sized by current queue
+//!    depth (bounded companion wait, default 2 ms, cut short at
+//!    `batch_max`). Past `queue_cap` waiting jobs the server answers
+//!    `429` with `Retry-After` and the stable code `overloaded` instead
+//!    of accepting unbounded work.
+//! 3. **Versioned model registry with atomic hot swap.** The model given
+//!    at startup is version 1; `POST /v1/models` loads a new model JSON
+//!    into an `Arc` and swaps it in atomically — in-flight batches keep
+//!    their own handle to the old version, so a swap never fails a
+//!    request. `GET /v1/models` lists every version; `/v1/stats` carries
+//!    per-version request/prediction slices.
 //!
 //! # Protocol (v1)
 //!
-//! Minimal HTTP/1.1, one request per connection (`Connection: close`).
-//! Every JSON response carries `"api": "pigeon/1"`; errors come back as
-//! `{"api": "pigeon/1", "code": "<stable code>", "error": "<message>"}`
-//! with a 4xx status, where `code` matches [`crate::ErrorKind::code`]
-//! for failures originating in the facade.
+//! Minimal HTTP/1.1 with keep-alive. Every JSON response carries
+//! `"api": "pigeon/1"`; errors come back as `{"api": "pigeon/1",
+//! "code": "<stable code>", "error": "<message>"}` with a 4xx/5xx
+//! status, where `code` matches [`crate::ErrorKind::code`] for failures
+//! originating in the facade.
 //!
 //! * `POST /v1/predict` — body `{"source": "<program text>"}`; responds
-//!   `{"predictions": [{"current_name", "predicted_name",
-//!   "candidates": [[name, score], …]}, …]}`.
+//!   `{"model_version": N, "predictions": [{"current_name",
+//!   "predicted_name", "candidates": [[name, score], …]}, …]}`.
 //! * `POST /v1/predict_batch` — body `{"sources": ["<program>", …]}`;
-//!   responds `{"results": [<per-source predict response>, …]}` in
-//!   request order (per-source failures inline as `{"error", "code"}`).
-//! * `GET /v1/stats` — request/error/prediction counters, latency and
-//!   throughput since startup.
+//!   responds `{"model_version": N, "results": [<per-source predict
+//!   response>, …]}` in request order (per-source failures inline as
+//!   `{"error", "code"}`).
+//! * `POST /v1/models` — body is a model JSON (the `pigeon train --out`
+//!   format); loads it, makes it the active version, responds
+//!   `{"version": N, "language", "active": true}`.
+//! * `GET /v1/models` — every loaded version with its origin and
+//!   active flag.
+//! * `GET /v1/stats` — request/error/prediction counters, latency,
+//!   throughput, queue/batch counters, and per-model-version slices.
 //! * `GET /v1/health` — liveness probe, `{"status": "ok"}`.
 //! * `GET /v1/metrics` — Prometheus text exposition: the process-global
-//!   telemetry registry (training phases, extraction counters, …)
-//!   merged with this server's request counters and latency histogram.
+//!   telemetry registry merged with this server's request counters,
+//!   queue-depth gauge, and batch-size/latency histograms.
 //!
 //! The pre-versioning paths (`/predict`, `/predict_batch`, `/stats`,
 //! `/health`, `/metrics`) remain as aliases; they answer normally but
@@ -35,21 +62,33 @@
 //! # Robustness
 //!
 //! Every connection gets a read timeout and a bounded request size, so a
-//! slow or hostile client cannot wedge a worker. The accept loop exits
-//! cleanly on SIGINT/SIGTERM or after `--idle-timeout` seconds without
-//! a request, joining all workers before returning.
+//! slow or hostile client cannot wedge a worker. Request handling runs
+//! under `catch_unwind`: a panicking handler answers `500` with a
+//! contract-conforming error body and the worker lives on. Every lock in
+//! the serving path recovers from poisoning (`PoisonError::into_inner`)
+//! — one panic while holding the latency reservoir or the worker-pool
+//! receiver must degrade that one request, never the server. The accept
+//! loop exits cleanly on SIGINT/SIGTERM or after `--idle-timeout`
+//! seconds without a request, joining all workers and the batcher before
+//! returning.
 
-use crate::{Pigeon, Prediction};
+use crate::{Pigeon, PigeonError, Prediction};
 use pigeon_telemetry as telemetry;
-use pigeon_telemetry::{Counter, Histogram, Registry};
+use pigeon_telemetry::{Counter, Gauge, Histogram, Registry};
+use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
 use std::time::{Duration, Instant};
 
 /// The API version tag stamped on every JSON response.
 pub const API_VERSION: &str = "pigeon/1";
+
+/// Bucket bounds for the `pigeon_batch_size` histogram: micro-batches
+/// are sized by queue depth, capped by `--batch-max`.
+pub const BATCH_SIZE_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128];
 
 /// Configuration of one [`serve`] run.
 #[derive(Debug, Clone)]
@@ -58,14 +97,33 @@ pub struct ServeConfig {
     pub host: String,
     /// Port to bind; `0` picks an ephemeral port (printed on startup).
     pub port: u16,
-    /// Worker threads handling connections; `0` uses all cores.
+    /// Worker threads handling connections; `0` uses all cores. Also the
+    /// fan-out for inference inside one micro-batch.
     pub workers: usize,
     /// Largest accepted request body, in bytes.
     pub max_request_bytes: usize,
-    /// Per-connection socket read timeout.
+    /// Per-connection socket read timeout. Mid-request, hitting it is a
+    /// `408`; between keep-alive requests it closes the connection
+    /// silently.
     pub read_timeout: Duration,
     /// Exit after this long without a request; `None` serves forever.
     pub idle_timeout: Option<Duration>,
+    /// Honor HTTP/1.1 persistent connections. `false` restores the old
+    /// one-request-per-connection behaviour (`Connection: close` on
+    /// every response).
+    pub keep_alive: bool,
+    /// Requests served on one connection before the server closes it
+    /// (bounds per-connection resource pinning).
+    pub max_conn_requests: usize,
+    /// Largest micro-batch the admission queue hands to
+    /// [`Pigeon::predict_batch`].
+    pub batch_max: usize,
+    /// How long the batcher waits for companion requests after the first
+    /// job of a batch arrives (cut short once `batch_max` are queued).
+    pub batch_wait: Duration,
+    /// Admission-queue capacity; a submit past this answers `429` with
+    /// `Retry-After`.
+    pub queue_cap: usize,
 }
 
 impl Default for ServeConfig {
@@ -77,8 +135,22 @@ impl Default for ServeConfig {
             max_request_bytes: 1 << 20,
             read_timeout: Duration::from_secs(5),
             idle_timeout: None,
+            keep_alive: true,
+            max_conn_requests: 1000,
+            batch_max: 16,
+            batch_wait: Duration::from_millis(2),
+            queue_cap: 256,
         }
     }
+}
+
+/// Locks a mutex, recovering from poisoning: the data under every lock
+/// in the serving path stays usable after a panic (a half-updated
+/// reservoir sample or queue is still structurally valid), so a single
+/// panicking request must not turn into a denial of service where every
+/// later `.lock().expect(…)` panics too.
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Fixed-memory uniform sample of observed latencies (Vitter's
@@ -149,16 +221,32 @@ impl Default for Reservoir {
 /// Request/latency series shared by every worker, exposed on `/stats`
 /// and (merged with the process-global registry) on `/metrics`.
 ///
-/// Counters and the latency histogram live in a **per-server** telemetry
+/// Counters, gauges and histograms live in a **per-server** telemetry
 /// [`Registry`] so two servers in one process never mix numbers; the
 /// reservoir stays because the `/stats` percentiles are exact
 /// order-statistics of a uniform sample, which histogram buckets cannot
 /// provide (a bucket upper bound can exceed the observed max).
+///
+/// Every family is registered eagerly in [`Stats::new`] so `/v1/metrics`
+/// exposes the full schema (queue depth, batch size, …) from the first
+/// scrape, before any traffic — and so the exposition is byte-stable for
+/// a given request sequence whatever `--jobs` is.
 struct Stats {
     registry: Arc<Registry>,
+    connections: Arc<Counter>,
     requests: Arc<Counter>,
     errors: Arc<Counter>,
     predictions: Arc<Counter>,
+    /// `429` answers: submits rejected by the full admission queue.
+    rejected: Arc<Counter>,
+    /// Models activated via `POST /v1/models`.
+    model_swaps: Arc<Counter>,
+    /// Jobs currently waiting in the admission queue.
+    queue_depth: Arc<Gauge>,
+    /// Micro-batch sizes handed to `predict_batch`.
+    batch_size: Arc<Histogram>,
+    /// Time jobs spent queued before their batch started, microseconds.
+    queue_wait: Arc<Histogram>,
     /// Predict/batch request latency, microseconds (sum and count double
     /// as the `/stats` totals).
     latency: Arc<Histogram>,
@@ -174,20 +262,51 @@ impl Stats {
             "pigeon_http_requests_total",
             "HTTP requests answered, by endpoint and status",
         );
-        registry.describe("pigeon_requests_total", "Connections handled");
+        registry.describe("pigeon_connections_total", "Connections accepted");
+        registry.describe("pigeon_requests_total", "HTTP requests parsed");
         registry.describe(
             "pigeon_request_errors_total",
             "Requests answered with an error status",
         );
         registry.describe("pigeon_predictions_total", "Program elements predicted");
         registry.describe(
+            "pigeon_queue_rejected_total",
+            "Predict submissions rejected with 429 because the admission queue was full",
+        );
+        registry.describe(
+            "pigeon_model_swaps_total",
+            "Model versions activated via POST /v1/models",
+        );
+        registry.describe(
+            "pigeon_queue_depth",
+            "Predict jobs currently waiting in the admission queue",
+        );
+        registry.describe(
+            "pigeon_batch_size",
+            "Micro-batch sizes the admission queue handed to predict_batch",
+        );
+        registry.describe(
+            "pigeon_queue_wait_micros",
+            "Time predict jobs spent in the admission queue, microseconds",
+        );
+        registry.describe(
             "pigeon_predict_latency_micros",
             "Predict endpoint latency in microseconds",
         );
         Stats {
+            connections: registry.counter("pigeon_connections_total", &[]),
             requests: registry.counter("pigeon_requests_total", &[]),
             errors: registry.counter("pigeon_request_errors_total", &[]),
             predictions: registry.counter("pigeon_predictions_total", &[]),
+            rejected: registry.counter("pigeon_queue_rejected_total", &[]),
+            model_swaps: registry.counter("pigeon_model_swaps_total", &[]),
+            queue_depth: registry.gauge("pigeon_queue_depth", &[]),
+            batch_size: registry.histogram("pigeon_batch_size", &[], BATCH_SIZE_BOUNDS),
+            queue_wait: registry.histogram(
+                "pigeon_queue_wait_micros",
+                &[],
+                telemetry::LATENCY_BOUNDS,
+            ),
             latency: registry.histogram(
                 "pigeon_predict_latency_micros",
                 &[],
@@ -213,10 +332,7 @@ impl Stats {
         let micros = elapsed.as_micros() as u64;
         self.latency.observe(micros);
         self.latency_max_micros.fetch_max(micros, Ordering::Relaxed);
-        self.latency_sample
-            .lock()
-            .expect("latency sample lock")
-            .offer(micros);
+        lock_unpoisoned(&self.latency_sample).offer(micros);
     }
 
     /// The `/metrics` document: the process-global registry (pipeline
@@ -229,7 +345,7 @@ impl Stats {
         merged.render_prometheus()
     }
 
-    fn to_json(&self, uptime: Duration) -> serde_json::Value {
+    fn to_json(&self, uptime: Duration, models: &ModelRegistry) -> serde_json::Value {
         let predict_requests = self.latency.count();
         let latency_micros = self.latency.sum();
         let predictions = self.predictions.get();
@@ -244,17 +360,31 @@ impl Stats {
         } else {
             0.0
         };
-        let [p50, p95, p99] = self
-            .latency_sample
-            .lock()
-            .expect("latency sample lock")
-            .percentiles([0.50, 0.95, 0.99]);
+        let [p50, p95, p99] = lock_unpoisoned(&self.latency_sample).percentiles([0.50, 0.95, 0.99]);
+        let (active_version, versions) = models.snapshot();
+        let model_slices: Vec<serde_json::Value> = versions
+            .iter()
+            .map(|m| {
+                serde_json::json!({
+                    "version": m.version,
+                    "language": m.language,
+                    "origin": m.origin.as_str(),
+                    "active": m.version == active_version,
+                    "predict_requests_total": m.predict_requests.load(Ordering::Relaxed),
+                    "predictions_total": m.predictions.load(Ordering::Relaxed),
+                    "errors_total": m.errors.load(Ordering::Relaxed),
+                })
+            })
+            .collect();
         serde_json::json!({
             "uptime_secs": uptime_secs,
+            "connections_total": self.connections.get(),
             "requests_total": self.requests.get(),
             "errors_total": self.errors.get(),
+            "rejected_total": self.rejected.get(),
             "predict_requests_total": predict_requests,
             "predictions_total": predictions,
+            "batches_total": self.batch_size.count(),
             "latency_micros_total": latency_micros,
             "latency_micros_mean": mean_micros,
             "latency_micros_p50": p50,
@@ -262,7 +392,265 @@ impl Stats {
             "latency_micros_p99": p99,
             "latency_micros_max": self.latency_max_micros.load(Ordering::Relaxed),
             "predictions_per_sec": throughput,
+            "models": serde_json::Value::Array(model_slices),
         })
+    }
+}
+
+/// One loaded model: an immutable `Arc<Pigeon>` plus per-version request
+/// accounting for the `/v1/stats` slices. In-flight batches hold their
+/// own `Arc<ModelVersion>`, so activating a new version never drops a
+/// model out from under a running prediction.
+struct ModelVersion {
+    version: u64,
+    language: &'static str,
+    /// Where this version came from: `"startup"` or `"api"`.
+    origin: String,
+    model: Arc<Pigeon>,
+    predict_requests: AtomicU64,
+    predictions: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl ModelVersion {
+    fn new(version: u64, model: Pigeon, origin: &str) -> Self {
+        ModelVersion {
+            version,
+            language: model.language().name(),
+            origin: origin.to_owned(),
+            model: Arc::new(model),
+            predict_requests: AtomicU64::new(0),
+            predictions: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, result: &Result<Vec<Prediction>, PigeonError>) {
+        self.predict_requests.fetch_add(1, Ordering::Relaxed);
+        match result {
+            Ok(p) => {
+                self.predictions
+                    .fetch_add(p.len() as u64, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// The versioned model registry behind `POST /v1/models`: an append-only
+/// version list plus an atomically swappable active handle.
+struct ModelRegistry {
+    versions: RwLock<Vec<Arc<ModelVersion>>>,
+    active: RwLock<Arc<ModelVersion>>,
+}
+
+impl ModelRegistry {
+    fn new(model: Pigeon, origin: &str) -> Self {
+        let entry = Arc::new(ModelVersion::new(1, model, origin));
+        ModelRegistry {
+            versions: RwLock::new(vec![Arc::clone(&entry)]),
+            active: RwLock::new(entry),
+        }
+    }
+
+    /// The version new work should run against. Callers keep the `Arc`
+    /// for the whole batch, so a concurrent swap cannot unload it.
+    fn active(&self) -> Arc<ModelVersion> {
+        Arc::clone(&self.active.read().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Registers `model` as the next version and atomically makes it
+    /// active. Returns the new entry.
+    fn install(&self, model: Pigeon, origin: &str) -> Arc<ModelVersion> {
+        let mut versions = self
+            .versions
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        let entry = Arc::new(ModelVersion::new(versions.len() as u64 + 1, model, origin));
+        versions.push(Arc::clone(&entry));
+        *self.active.write().unwrap_or_else(PoisonError::into_inner) = Arc::clone(&entry);
+        entry
+    }
+
+    /// `(active version, all versions in load order)`.
+    fn snapshot(&self) -> (u64, Vec<Arc<ModelVersion>>) {
+        let active = self.active().version;
+        let versions = self
+            .versions
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        (active, versions)
+    }
+}
+
+/// One queued predict job: the program source and the channel its
+/// connection worker blocks on for the batch result.
+struct Job {
+    source: String,
+    enqueued: Instant,
+    reply: mpsc::Sender<JobReply>,
+}
+
+struct JobReply {
+    result: Result<Vec<Prediction>, PigeonError>,
+    model_version: u64,
+}
+
+#[derive(Debug)]
+enum SubmitError {
+    /// Queue at capacity — the backpressure (429) path.
+    Full,
+    /// Server shutting down.
+    Closed,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+/// The bounded admission queue in front of the batcher. Connection
+/// workers [`AdmissionQueue::submit`] single-predict jobs; the batcher
+/// thread drains them in [`AdmissionQueue::next_batch`] micro-batches
+/// sized by current depth.
+struct AdmissionQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+    cap: usize,
+    depth_gauge: Arc<Gauge>,
+}
+
+impl AdmissionQueue {
+    fn new(cap: usize, depth_gauge: Arc<Gauge>) -> Self {
+        AdmissionQueue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            cap: cap.max(1),
+            depth_gauge,
+        }
+    }
+
+    fn submit(&self, source: String) -> Result<mpsc::Receiver<JobReply>, SubmitError> {
+        let (tx, rx) = mpsc::channel();
+        let mut state = lock_unpoisoned(&self.state);
+        if state.closed {
+            return Err(SubmitError::Closed);
+        }
+        if state.jobs.len() >= self.cap {
+            return Err(SubmitError::Full);
+        }
+        state.jobs.push_back(Job {
+            source,
+            enqueued: Instant::now(),
+            reply: tx,
+        });
+        self.depth_gauge.set(state.jobs.len() as i64);
+        self.ready.notify_one();
+        Ok(rx)
+    }
+
+    /// Blocks until a micro-batch is ready (or the queue is closed and
+    /// drained — then `None`). After the first job arrives the batcher
+    /// waits up to `batch_wait` for companions, cut short the moment
+    /// `batch_max` are queued; it then takes `min(depth, batch_max)`
+    /// jobs — the batch is sized by whatever the queue holds.
+    fn next_batch(&self, batch_max: usize, batch_wait: Duration) -> Option<Vec<Job>> {
+        let mut state = lock_unpoisoned(&self.state);
+        loop {
+            if !state.jobs.is_empty() {
+                break;
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .ready
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        let deadline = Instant::now() + batch_wait;
+        while state.jobs.len() < batch_max && !state.closed {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            state = self
+                .ready
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
+        let n = state.jobs.len().min(batch_max);
+        let batch: Vec<Job> = state.jobs.drain(..n).collect();
+        self.depth_gauge.set(state.jobs.len() as i64);
+        Some(batch)
+    }
+
+    /// Marks the queue closed and wakes the batcher; queued jobs still
+    /// drain (the batcher exits once the queue is empty).
+    fn close(&self) {
+        lock_unpoisoned(&self.state).closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// Everything a worker needs to answer requests, borrowed across the
+/// server's thread scope.
+struct ServerCtx {
+    models: ModelRegistry,
+    queue: AdmissionQueue,
+    stats: Stats,
+    started: Instant,
+    /// Inference fan-out inside one micro-batch.
+    infer_jobs: usize,
+}
+
+/// The batcher: drains the admission queue into `predict_batch` calls
+/// against the currently active model version. A panic inside inference
+/// answers every job in the batch with a coded internal error instead of
+/// killing the thread.
+fn run_batcher(ctx: &ServerCtx, cfg: &ServeConfig) {
+    while let Some(batch) = ctx.queue.next_batch(cfg.batch_max.max(1), cfg.batch_wait) {
+        let entry = ctx.models.active();
+        ctx.stats.batch_size.observe(batch.len() as u64);
+        let now = Instant::now();
+        for job in &batch {
+            let waited = now.saturating_duration_since(job.enqueued).as_micros() as u64;
+            ctx.stats.queue_wait.observe(waited);
+        }
+        let sources: Vec<&str> = batch.iter().map(|j| j.source.as_str()).collect();
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            entry.model.predict_batch(&sources, ctx.infer_jobs)
+        }));
+        match outcome {
+            Ok(results) => {
+                for (job, result) in batch.iter().zip(results) {
+                    entry.record(&result);
+                    let _ = job.reply.send(JobReply {
+                        result,
+                        model_version: entry.version,
+                    });
+                }
+            }
+            Err(_) => {
+                for job in &batch {
+                    let result = Err(PigeonError::internal(
+                        "prediction panicked; the server recovered",
+                    ));
+                    entry.record(&result);
+                    let _ = job.reply.send(JobReply {
+                        result,
+                        model_version: entry.version,
+                    });
+                }
+            }
+        }
     }
 }
 
@@ -291,11 +679,22 @@ fn install_shutdown_handler() {
 #[cfg(not(unix))]
 fn install_shutdown_handler() {}
 
+/// Whether the fault-injection endpoint (`POST /v1/_chaos/poison`) is
+/// armed. Off unless the process runs with `PIGEON_CHAOS=1`; the e2e
+/// poisoned-lock regression test uses it to panic a worker while it
+/// holds the latency reservoir.
+fn chaos_enabled() -> bool {
+    std::env::var("PIGEON_CHAOS").is_ok_and(|v| v == "1")
+}
+
 /// One parsed HTTP request.
 struct Request {
     method: String,
     path: String,
     body: String,
+    /// The client asked for (or its HTTP version implies) connection
+    /// close after this response.
+    wants_close: bool,
 }
 
 /// An HTTP error response: status, reason phrase, a stable
@@ -306,6 +705,8 @@ struct HttpError {
     reason: &'static str,
     code: &'static str,
     message: String,
+    /// Rendered as a `Retry-After: N` header (the 429 backpressure path).
+    retry_after: Option<u64>,
 }
 
 impl HttpError {
@@ -315,11 +716,34 @@ impl HttpError {
             reason,
             code,
             message,
+            retry_after: None,
         }
     }
 
     fn bad_request(message: String) -> Self {
         HttpError::new(400, "Bad Request", "bad-request", message)
+    }
+
+    /// The backpressure answer: queue full, come back shortly.
+    fn overloaded(cap: usize) -> Self {
+        let mut e = HttpError::new(
+            429,
+            "Too Many Requests",
+            "overloaded",
+            format!("admission queue full ({cap} jobs queued); retry shortly"),
+        );
+        e.retry_after = Some(1);
+        e
+    }
+
+    /// A handler panicked; `catch_unwind` turned it into this coded 500.
+    fn internal() -> Self {
+        HttpError::new(
+            500,
+            "Internal Server Error",
+            "internal",
+            "request handler panicked; the server recovered".to_owned(),
+        )
     }
 }
 
@@ -335,6 +759,8 @@ fn render_response(
     reason: &str,
     content_type: &str,
     deprecated: bool,
+    connection: &str,
+    retry_after: Option<u64>,
     body: &str,
 ) -> String {
     let deprecation = if deprecated {
@@ -342,9 +768,13 @@ fn render_response(
     } else {
         ""
     };
+    let retry = match retry_after {
+        Some(secs) => format!("Retry-After: {secs}\r\n"),
+        None => String::new(),
+    };
     format!(
         "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {}\r\n{deprecation}Connection: close\r\n\r\n{body}",
+         Content-Length: {}\r\n{deprecation}{retry}Connection: {connection}\r\n\r\n{body}",
         body.len()
     )
 }
@@ -363,40 +793,76 @@ fn with_api(value: serde_json::Value) -> serde_json::Value {
     }
 }
 
+/// The last-resort error body. Even when JSON rendering itself fails,
+/// the v1 contract holds: `"api"` stamp and a stable machine `code`.
+const INTERNAL_ERROR_BODY: &str =
+    "{\"api\":\"pigeon/1\",\"code\":\"internal\",\"error\":\"internal error\"}";
+
 fn error_body(code: &str, message: &str) -> String {
     serde_json::to_string(&with_api(serde_json::json!({
         "code": code,
         "error": message,
     })))
-    .unwrap_or_else(|_| "{\"error\":\"internal\"}".to_owned())
+    .unwrap_or_else(|_| INTERNAL_ERROR_BODY.to_owned())
 }
 
 /// Reads and parses one request off the socket, enforcing the body-size
-/// bound. Socket timeouts surface as 408, oversized bodies as 413.
-fn read_request(reader: &mut BufReader<&TcpStream>, max_body: usize) -> Result<Request, HttpError> {
+/// bound.
+///
+/// `Ok(None)` means the connection ended cleanly **between** requests —
+/// the peer closed it, or the read timeout passed with not a single
+/// byte of a new request read. The caller closes silently: writing a
+/// 408 into a connection the client has mentally parked (or already
+/// closed) would corrupt keep-alive framing. A timeout *after* the
+/// first byte is a real mid-request stall and surfaces as 408;
+/// oversized bodies as 413.
+fn read_request(
+    reader: &mut BufReader<&TcpStream>,
+    max_body: usize,
+) -> Result<Option<Request>, HttpError> {
     // Generous fixed bound on the header section; bodies get the
     // configurable limit.
     const MAX_HEADER_BYTES: usize = 16 * 1024;
+    let is_timeout = |e: &std::io::Error| {
+        matches!(
+            e.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        )
+    };
     let map_io = |e: std::io::Error| -> HttpError {
-        match e.kind() {
-            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => HttpError::new(
+        if is_timeout(&e) {
+            HttpError::new(
                 408,
                 "Request Timeout",
                 "timeout",
-                "connection read timed out".into(),
-            ),
-            _ => HttpError::new(400, "Bad Request", "io", format!("read failed: {e}")),
+                "connection read timed out mid-request".into(),
+            )
+        } else {
+            HttpError::new(400, "Bad Request", "io", format!("read failed: {e}"))
         }
     };
     let mut line = String::new();
-    reader.read_line(&mut line).map_err(map_io)?;
+    match reader.read_line(&mut line) {
+        // EOF before any byte of a new request: clean close.
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        // Idle keep-alive gap: the timeout fired with nothing read.
+        // (`read_line` appends whatever it read before failing, so an
+        // empty buffer really means zero bytes.)
+        Err(ref e) if is_timeout(e) && line.is_empty() => return Ok(None),
+        Err(e) => return Err(map_io(e)),
+    }
     let mut parts = line.split_whitespace();
     let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
         return Err(HttpError::bad_request("malformed request line".into()));
     };
     let (method, path) = (method.to_owned(), path.to_owned());
+    let http_10 = parts
+        .next()
+        .is_some_and(|v| v.eq_ignore_ascii_case("HTTP/1.0"));
 
     let mut content_length = 0usize;
+    let mut connection = String::new();
     let mut header_bytes = line.len();
     loop {
         let mut header = String::new();
@@ -420,6 +886,8 @@ fn read_request(reader: &mut BufReader<&TcpStream>, max_body: usize) -> Result<R
                     .trim()
                     .parse()
                     .map_err(|_| HttpError::bad_request("bad Content-Length".to_owned()))?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                connection = value.trim().to_ascii_lowercase();
             }
         }
     }
@@ -435,7 +903,21 @@ fn read_request(reader: &mut BufReader<&TcpStream>, max_body: usize) -> Result<R
     reader.read_exact(&mut body).map_err(map_io)?;
     let body = String::from_utf8(body)
         .map_err(|_| HttpError::bad_request("request body is not UTF-8".to_owned()))?;
-    Ok(Request { method, path, body })
+    // HTTP/1.1 defaults to keep-alive unless the client says `close`;
+    // HTTP/1.0 defaults to close unless it says `keep-alive`.
+    let wants_close = if connection.contains("close") {
+        true
+    } else if http_10 {
+        !connection.contains("keep-alive")
+    } else {
+        false
+    };
+    Ok(Some(Request {
+        method,
+        path,
+        body,
+        wants_close,
+    }))
 }
 
 fn predictions_to_json(predictions: &[Prediction]) -> serde_json::Value {
@@ -473,6 +955,7 @@ fn canonical_endpoint(path: &str) -> (&'static str, bool) {
         "/predict" => ("/v1/predict", true),
         "/v1/predict_batch" => ("/v1/predict_batch", false),
         "/predict_batch" => ("/v1/predict_batch", true),
+        "/v1/models" => ("/v1/models", false),
         "/v1/stats" => ("/v1/stats", false),
         "/stats" => ("/v1/stats", true),
         "/v1/health" => ("/v1/health", false),
@@ -484,13 +967,8 @@ fn canonical_endpoint(path: &str) -> (&'static str, bool) {
 }
 
 /// Routes one request (already canonicalised to its v1 endpoint).
-fn route(
-    model: &Pigeon,
-    stats: &Stats,
-    started: Instant,
-    endpoint: &'static str,
-    req: &Request,
-) -> Result<Payload, HttpError> {
+fn route(ctx: &ServerCtx, endpoint: &'static str, req: &Request) -> Result<Payload, HttpError> {
+    let stats = &ctx.stats;
     match (req.method.as_str(), endpoint) {
         ("POST", "/v1/predict") => {
             let t = Instant::now();
@@ -503,14 +981,34 @@ fn route(
                         "expected a JSON object with a string `source` field".to_owned(),
                     )
                 })?;
-            let predictions = model.predict(source).map_err(|e| {
+            // Inference runs on the batcher, not here: the job enters the
+            // admission queue (bounded — the 429 path is the backpressure
+            // contract) and this worker blocks until its micro-batch
+            // completes.
+            let reply = match ctx.queue.submit(source.to_owned()) {
+                Ok(rx) => rx.recv().map_err(|_| HttpError::internal())?,
+                Err(SubmitError::Full) => {
+                    stats.rejected.inc();
+                    return Err(HttpError::overloaded(ctx.queue.cap));
+                }
+                Err(SubmitError::Closed) => {
+                    return Err(HttpError::new(
+                        503,
+                        "Service Unavailable",
+                        "shutting-down",
+                        "server is shutting down".to_owned(),
+                    ));
+                }
+            };
+            let predictions = reply.result.map_err(|e| {
                 HttpError::new(422, "Unprocessable Entity", e.code(), e.to_string())
             })?;
             stats.predictions.add(predictions.len() as u64);
             stats.record_latency(t.elapsed());
-            Ok(Payload::Json(
-                serde_json::json!({ "predictions": predictions_to_json(&predictions) }),
-            ))
+            Ok(Payload::Json(serde_json::json!({
+                "model_version": reply.model_version,
+                "predictions": predictions_to_json(&predictions),
+            })))
         }
         ("POST", "/v1/predict_batch") => {
             let t = Instant::now();
@@ -523,6 +1021,10 @@ fn route(
                         "expected a JSON object with a `sources` array".to_owned(),
                     )
                 })?;
+            // A client-assembled batch is already a batch: it runs
+            // directly against the active model instead of being split
+            // through the admission queue.
+            let entry = ctx.models.active();
             let mut results = Vec::with_capacity(sources.len());
             for source in sources {
                 let Some(source) = source.as_str() else {
@@ -533,7 +1035,9 @@ fn route(
                 // Per-source failures are reported in place so one bad
                 // program does not void the rest of the batch; they carry
                 // the same stable `code` as top-level error bodies.
-                results.push(match model.predict(source) {
+                let result = entry.model.predict(source);
+                entry.record(&result);
+                results.push(match result {
                     Ok(predictions) => {
                         stats.predictions.add(predictions.len() as u64);
                         serde_json::json!({ "predictions": predictions_to_json(&predictions) })
@@ -545,13 +1049,58 @@ fn route(
                 });
             }
             stats.record_latency(t.elapsed());
-            Ok(Payload::Json(
-                serde_json::json!({ "results": serde_json::Value::Array(results) }),
-            ))
+            Ok(Payload::Json(serde_json::json!({
+                "model_version": entry.version,
+                "results": serde_json::Value::Array(results),
+            })))
         }
-        ("GET", "/v1/stats") => Ok(Payload::Json(stats.to_json(started.elapsed()))),
+        ("POST", "/v1/models") => {
+            // The body is a model JSON in the `pigeon train --out`
+            // format. Loading validates weight tables against the
+            // shipped vocabularies, so a truncated upload is a 422, not
+            // a swapped-in broken model.
+            let model = Pigeon::from_json(&req.body).map_err(|e| {
+                HttpError::new(422, "Unprocessable Entity", e.code(), e.to_string())
+            })?;
+            let entry = ctx.models.install(model, "api");
+            stats.model_swaps.inc();
+            Ok(Payload::Json(serde_json::json!({
+                "version": entry.version,
+                "language": entry.language,
+                "active": true,
+            })))
+        }
+        ("GET", "/v1/models") => {
+            let (active_version, versions) = ctx.models.snapshot();
+            let list: Vec<serde_json::Value> = versions
+                .iter()
+                .map(|m| {
+                    serde_json::json!({
+                        "version": m.version,
+                        "language": m.language,
+                        "origin": m.origin.as_str(),
+                        "active": m.version == active_version,
+                    })
+                })
+                .collect();
+            Ok(Payload::Json(serde_json::json!({
+                "active_version": active_version,
+                "models": serde_json::Value::Array(list),
+            })))
+        }
+        ("GET", "/v1/stats") => Ok(Payload::Json(
+            stats.to_json(ctx.started.elapsed(), &ctx.models),
+        )),
         ("GET", "/v1/health") => Ok(Payload::Json(serde_json::json!({ "status": "ok" }))),
         ("GET", "/v1/metrics") => Ok(Payload::Metrics(stats.render_metrics())),
+        ("POST", _) if req.path == "/v1/_chaos/poison" && chaos_enabled() => {
+            // Fault injection for the poisoned-lock regression test:
+            // panic while holding the latency reservoir. This request
+            // answers 500 (via catch_unwind); every later request must
+            // still succeed — that is the bug this guards against.
+            let _guard = lock_unpoisoned(&stats.latency_sample);
+            panic!("chaos: poisoning the latency reservoir");
+        }
         _ => Err(HttpError::new(
             404,
             "Not Found",
@@ -561,57 +1110,89 @@ fn route(
     }
 }
 
-fn handle_connection(
-    stream: TcpStream,
-    model: &Pigeon,
-    stats: &Stats,
-    started: Instant,
-    cfg: &ServeConfig,
-) {
+fn handle_connection(stream: TcpStream, ctx: &ServerCtx, cfg: &ServeConfig) {
     let _ = stream.set_read_timeout(Some(cfg.read_timeout));
-    stats.requests.inc();
+    ctx.stats.connections.inc();
     let mut reader = BufReader::new(&stream);
-    let (endpoint, deprecated, result) = match read_request(&mut reader, cfg.max_request_bytes) {
-        Ok(req) => {
-            let (endpoint, deprecated) = canonical_endpoint(&req.path);
-            (
-                endpoint,
-                deprecated,
-                route(model, stats, started, endpoint, &req),
-            )
+    let mut served = 0usize;
+    loop {
+        let (endpoint, deprecated, close_after, result) =
+            match read_request(&mut reader, cfg.max_request_bytes) {
+                // Clean end of a keep-alive conversation (peer closed, or
+                // the idle gap timed out with no new request started):
+                // close silently, no response on the wire.
+                Ok(None) => break,
+                Ok(Some(req)) => {
+                    ctx.stats.requests.inc();
+                    let (endpoint, deprecated) = canonical_endpoint(&req.path);
+                    let close = !cfg.keep_alive
+                        || req.wants_close
+                        || served + 1 >= cfg.max_conn_requests.max(1);
+                    // A panicking handler answers 500 and the worker (and
+                    // its connection) live on.
+                    let result =
+                        std::panic::catch_unwind(AssertUnwindSafe(|| route(ctx, endpoint, &req)))
+                            .unwrap_or_else(|_| Err(HttpError::internal()));
+                    (endpoint, deprecated, close, result)
+                }
+                // A malformed or mid-request-stalled read leaves the
+                // stream framing unknown: answer, then always close.
+                Err(e) => {
+                    ctx.stats.requests.inc();
+                    ("other", false, true, Err(e))
+                }
+            };
+        let connection = if close_after { "close" } else { "keep-alive" };
+        let response = match result {
+            Ok(Payload::Json(body)) => {
+                ctx.stats.record_http(endpoint, 200);
+                let body = serde_json::to_string(&with_api(body))
+                    .unwrap_or_else(|_| INTERNAL_ERROR_BODY.to_owned());
+                render_response(
+                    200,
+                    "OK",
+                    "application/json",
+                    deprecated,
+                    connection,
+                    None,
+                    &body,
+                )
+            }
+            Ok(Payload::Metrics(text)) => {
+                ctx.stats.record_http(endpoint, 200);
+                render_response(
+                    200,
+                    "OK",
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    deprecated,
+                    connection,
+                    None,
+                    &text,
+                )
+            }
+            Err(e) => {
+                ctx.stats.errors.inc();
+                ctx.stats.record_http(endpoint, e.status);
+                render_response(
+                    e.status,
+                    e.reason,
+                    "application/json",
+                    deprecated,
+                    connection,
+                    e.retry_after,
+                    &error_body(e.code, &e.message),
+                )
+            }
+        };
+        if (&stream).write_all(response.as_bytes()).is_err() {
+            break;
         }
-        Err(e) => ("other", false, Err(e)),
-    };
-    let response = match result {
-        Ok(Payload::Json(body)) => {
-            stats.record_http(endpoint, 200);
-            let body = serde_json::to_string(&with_api(body)).unwrap_or_else(|_| "{}".to_owned());
-            render_response(200, "OK", "application/json", deprecated, &body)
+        let _ = (&stream).flush();
+        served += 1;
+        if close_after {
+            break;
         }
-        Ok(Payload::Metrics(text)) => {
-            stats.record_http(endpoint, 200);
-            render_response(
-                200,
-                "OK",
-                "text/plain; version=0.0.4; charset=utf-8",
-                deprecated,
-                &text,
-            )
-        }
-        Err(e) => {
-            stats.errors.inc();
-            stats.record_http(endpoint, e.status);
-            render_response(
-                e.status,
-                e.reason,
-                "application/json",
-                deprecated,
-                &error_body(e.code, &e.message),
-            )
-        }
-    };
-    let _ = (&stream).write_all(response.as_bytes());
-    let _ = (&stream).flush();
+    }
 }
 
 /// Runs the server until SIGINT/SIGTERM or the idle timeout.
@@ -624,7 +1205,12 @@ fn handle_connection(
 ///
 /// Returns a message when the listen address cannot be bound.
 pub fn serve(model: Pigeon, cfg: &ServeConfig) -> Result<(), String> {
-    let workers = pigeon_eval::effective_jobs(cfg.workers);
+    let infer_jobs = pigeon_eval::effective_jobs(cfg.workers);
+    // Connection workers are I/O-bound (they park in read_line between
+    // keep-alive requests), so the pool gets a floor: with keep-alive, a
+    // single parked connection would otherwise pin the only worker on a
+    // 1-core host and starve new clients for a whole read timeout.
+    let workers = infer_jobs.max(4);
     let listener = TcpListener::bind((cfg.host.as_str(), cfg.port))
         .map_err(|e| format!("cannot bind {}:{}: {e}", cfg.host, cfg.port))?;
     let addr = listener
@@ -636,34 +1222,47 @@ pub fn serve(model: Pigeon, cfg: &ServeConfig) -> Result<(), String> {
     SHUTDOWN.store(false, Ordering::SeqCst);
     install_shutdown_handler();
 
-    let model = Arc::new(model);
-    let stats = Arc::new(Stats::new());
-    let started = Instant::now();
+    let stats = Stats::new();
+    let queue = AdmissionQueue::new(cfg.queue_cap, Arc::clone(&stats.queue_depth));
+    let ctx = ServerCtx {
+        models: ModelRegistry::new(model, "startup"),
+        queue,
+        stats,
+        started: Instant::now(),
+        infer_jobs,
+    };
     let (tx, rx) = mpsc::channel::<TcpStream>();
     let rx = Arc::new(Mutex::new(rx));
 
     println!(
-        "pigeon serve: {} model, listening on http://{addr} ({workers} worker{})",
-        model.language().name(),
+        "pigeon serve: {} model, listening on http://{addr} ({workers} worker{}, \
+         keep-alive {}, batch-max {}, queue-cap {})",
+        ctx.models.active().language,
         if workers == 1 { "" } else { "s" },
+        if cfg.keep_alive { "on" } else { "off" },
+        cfg.batch_max,
+        cfg.queue_cap,
     );
 
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let rx = Arc::clone(&rx);
-            let model = Arc::clone(&model);
-            let stats = Arc::clone(&stats);
-            let cfg = cfg.clone();
-            scope.spawn(move || loop {
-                // Holding the lock only for the recv keeps workers
-                // draining the queue independently.
-                let stream = rx.lock().expect("receiver lock").recv();
-                match stream {
-                    Ok(stream) => handle_connection(stream, &model, &stats, started, &cfg),
-                    Err(_) => break, // accept loop hung up: shutdown
-                }
-            });
-        }
+        let ctx = &ctx;
+        let batcher = scope.spawn(move || run_batcher(ctx, cfg));
+        let worker_handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                scope.spawn(move || loop {
+                    // Holding the lock only for the recv keeps workers
+                    // draining the queue independently; recovering from
+                    // poisoning keeps the pool alive even if a sibling
+                    // panicked while holding it.
+                    let stream = lock_unpoisoned(&rx).recv();
+                    match stream {
+                        Ok(stream) => handle_connection(stream, ctx, cfg),
+                        Err(_) => break, // accept loop hung up: shutdown
+                    }
+                })
+            })
+            .collect();
 
         let mut last_activity = Instant::now();
         loop {
@@ -694,17 +1293,25 @@ pub fn serve(model: Pigeon, cfg: &ServeConfig) -> Result<(), String> {
                 }
             }
         }
-        // Dropping the sender ends every worker's recv loop; the scope
-        // joins them before the final summary prints.
+        // Dropping the sender ends every connection worker's recv loop;
+        // join them first (their in-flight predicts still need the
+        // batcher), then close the queue so the batcher drains and
+        // exits. The scope would join everything anyway — the explicit
+        // order is what guarantees no request is dropped mid-shutdown.
         drop(tx);
+        for handle in worker_handles {
+            let _ = handle.join();
+        }
+        ctx.queue.close();
+        let _ = batcher.join();
     });
 
     println!(
         "pigeon serve: shut down after {} requests ({} errors, {} predictions) in {:.1}s",
-        stats.requests.get(),
-        stats.errors.get(),
-        stats.predictions.get(),
-        started.elapsed().as_secs_f64(),
+        ctx.stats.requests.get(),
+        ctx.stats.errors.get(),
+        ctx.stats.predictions.get(),
+        ctx.started.elapsed().as_secs_f64(),
     );
     Ok(())
 }
@@ -752,5 +1359,140 @@ mod tests {
     fn empty_reservoir_reports_zeros() {
         let r = Reservoir::default();
         assert_eq!(r.percentiles([0.50, 0.99]), [0, 0]);
+    }
+
+    /// Regression: a panic while holding the latency reservoir used to
+    /// poison the mutex, after which **every** request panicked in
+    /// `.expect("latency sample lock")` — one bad request became a
+    /// denial of service. Recording and reading stats must survive a
+    /// poisoned lock.
+    #[test]
+    fn stats_survive_a_poisoned_latency_reservoir() {
+        let stats = Stats::new();
+        // Poison the lock: a thread panics while holding the guard.
+        let result = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let _guard = stats.latency_sample.lock().unwrap();
+                    panic!("injected panic while holding the reservoir");
+                })
+                .join()
+        });
+        assert!(result.is_err(), "the injected panic must propagate");
+        assert!(
+            stats.latency_sample.lock().is_err(),
+            "the lock must actually be poisoned for this test to bite"
+        );
+        // Both access sites recover: recording…
+        stats.record_latency(Duration::from_micros(1500));
+        stats.record_latency(Duration::from_micros(2500));
+        // …and reading percentiles for /v1/stats.
+        let models = ModelRegistry::new_for_tests();
+        let json = stats.to_json(Duration::from_secs(1), &models);
+        let rendered = serde_json::to_string(&json).unwrap();
+        assert!(
+            rendered.contains("\"latency_micros_p50\":"),
+            "stats JSON still renders after poisoning: {rendered}"
+        );
+        assert_eq!(stats.latency.count(), 2);
+    }
+
+    /// Same recovery contract for the admission queue's mutex: a panic
+    /// inside a submit or drain must not wedge the batcher.
+    #[test]
+    fn admission_queue_survives_a_poisoned_state_lock() {
+        let queue = AdmissionQueue::new(4, Arc::new(Gauge::new()));
+        let result = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let _guard = queue.state.lock().unwrap();
+                    panic!("injected panic while holding the queue");
+                })
+                .join()
+        });
+        assert!(result.is_err());
+        let rx = queue.submit("function f(a) {}".to_owned());
+        assert!(rx.is_ok(), "submit must recover from the poisoned lock");
+        let batch = queue.next_batch(8, Duration::ZERO).expect("one batch");
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].source, "function f(a) {}");
+    }
+
+    #[test]
+    fn admission_queue_rejects_past_capacity_and_drains_in_order() {
+        let depth = Arc::new(Gauge::new());
+        let queue = AdmissionQueue::new(2, Arc::clone(&depth));
+        assert!(queue.submit("a".to_owned()).is_ok());
+        assert!(queue.submit("b".to_owned()).is_ok());
+        assert_eq!(depth.get(), 2);
+        match queue.submit("c".to_owned()) {
+            Err(SubmitError::Full) => {}
+            _ => panic!("third submit must hit the 429 path"),
+        }
+        let batch = queue.next_batch(8, Duration::ZERO).expect("batch");
+        assert_eq!(
+            batch.iter().map(|j| j.source.as_str()).collect::<Vec<_>>(),
+            ["a", "b"]
+        );
+        assert_eq!(depth.get(), 0);
+        queue.close();
+        assert!(queue.next_batch(8, Duration::ZERO).is_none());
+        match queue.submit("d".to_owned()) {
+            Err(SubmitError::Closed) => {}
+            _ => panic!("closed queue must refuse new work"),
+        }
+    }
+
+    #[test]
+    fn next_batch_caps_at_batch_max() {
+        let queue = AdmissionQueue::new(16, Arc::new(Gauge::new()));
+        for i in 0..5 {
+            queue.submit(format!("src{i}")).unwrap();
+        }
+        let batch = queue.next_batch(3, Duration::ZERO).expect("batch");
+        assert_eq!(batch.len(), 3);
+        let rest = queue.next_batch(3, Duration::ZERO).expect("batch");
+        assert_eq!(rest.len(), 2);
+    }
+
+    impl ModelRegistry {
+        /// A registry around a minimal trained model, for unit tests.
+        fn new_for_tests() -> ModelRegistry {
+            use crate::PigeonConfig;
+            use pigeon_corpus::Language;
+            let model = Pigeon::train_variable_namer(
+                Language::JavaScript,
+                &["function f(a) { return a; }"],
+                &PigeonConfig::default(),
+            )
+            .expect("trains");
+            ModelRegistry::new(model, "test")
+        }
+    }
+
+    #[test]
+    fn model_registry_swaps_atomically_and_keeps_old_versions() {
+        let registry = ModelRegistry::new_for_tests();
+        let v1 = registry.active();
+        assert_eq!(v1.version, 1);
+        assert_eq!(v1.origin, "test");
+        let second = Pigeon::train_variable_namer(
+            pigeon_corpus::Language::JavaScript,
+            &["function g(x) { send(x); }"],
+            &crate::PigeonConfig::default(),
+        )
+        .expect("trains");
+        let v2 = registry.install(second, "api");
+        assert_eq!(v2.version, 2);
+        assert_eq!(registry.active().version, 2);
+        // The old handle stays usable after the swap — this is what
+        // keeps in-flight batches alive through a hot swap.
+        assert!(v1.model.predict("function h(y) { return y; }").is_ok());
+        let (active, versions) = registry.snapshot();
+        assert_eq!(active, 2);
+        assert_eq!(
+            versions.iter().map(|m| m.version).collect::<Vec<_>>(),
+            [1, 2]
+        );
     }
 }
