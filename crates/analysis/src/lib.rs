@@ -44,7 +44,7 @@ pub mod wellformed;
 
 pub use dedup::{check_split, Sketch, UnitPrint, NEAR_DUP_THRESHOLD};
 pub use diag::{Diagnostic, DuplicationSummary, Report, Severity};
-pub use modellint::{lint_crf, lint_sgns};
+pub use modellint::{lint_artifact, lint_crf, lint_sgns};
 pub use scopes::{cross_check, resolve, Resolution, ResolvedGroup, ScopeTree};
 pub use wellformed::check_ast;
 

@@ -11,7 +11,7 @@
 //! order.
 
 use crate::diag::{Diagnostic, Severity};
-use pigeon_crf::CrfModel;
+use pigeon_crf::{artifact, CrfModel};
 use pigeon_word2vec::SgnsModel;
 
 /// Lints a trained CRF model against the vocabularies it is deployed
@@ -24,12 +24,12 @@ pub fn lint_crf(
 ) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
 
-    if let Err(message) = model.validate(num_features, num_labels) {
+    if let Err(issue) = model.validate(num_features, num_labels) {
         diags.push(Diagnostic::new(
-            "model-id-range",
+            issue.code,
             Severity::Error,
             unit,
-            message,
+            issue.message,
         ));
     }
 
@@ -186,6 +186,56 @@ pub fn lint_crf(
         }
     }
 
+    diags
+}
+
+/// Lints a compiled binary model artifact (`.pgnc`).
+///
+/// Container integrity — magic, version, section bounds, checksums,
+/// CSR structure, id ranges, weight finiteness, cap bounds — is
+/// enforced by the decoder itself; any violation surfaces here as one
+/// `artifact-format` error naming the problem. A file that decodes
+/// cleanly then gets the same health lints as a JSON model (dead
+/// tables, dead labels, candidate coverage) via [`lint_crf`], which
+/// reads the artifact-backed model through its frozen CSR arrays, plus
+/// an informational section-layout summary.
+pub fn lint_artifact(unit: &str, bytes: &[u8]) -> Vec<Diagnostic> {
+    let art = match artifact::read_artifact(bytes) {
+        Ok(art) => art,
+        Err(message) => {
+            return vec![Diagnostic::new(
+                "artifact-format",
+                Severity::Error,
+                unit,
+                message,
+            )];
+        }
+    };
+    let mut diags = Vec::new();
+    // The reader re-verifies checksums, so reaching this point means
+    // every section is intact; summarise the layout for the report.
+    if let Ok(reader) = artifact::Reader::parse(bytes) {
+        let sections = reader.sections();
+        let payload: u64 = sections.iter().map(|s| s.len).sum();
+        diags.push(Diagnostic::new(
+            "artifact-layout",
+            Severity::Info,
+            unit,
+            format!(
+                "{} quantization, {} sections, {payload} payload bytes in a \
+                 {}-byte file, all checksums verified",
+                art.quant.name(),
+                sections.len(),
+                bytes.len()
+            ),
+        ));
+    }
+    diags.extend(lint_crf(
+        unit,
+        &art.model,
+        art.features.len(),
+        art.labels.len(),
+    ));
     diags
 }
 

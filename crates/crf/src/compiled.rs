@@ -67,11 +67,11 @@ pub(crate) trait WeightStore {
 #[derive(Debug, Clone, Default)]
 pub(crate) struct PackedWeights {
     /// `offsets[p]..offsets[p + 1]` is path `p`'s slice of `keys`.
-    offsets: Vec<u32>,
+    pub(crate) offsets: Vec<u32>,
     /// Sorted within each path's slice.
-    keys: Vec<u64>,
+    pub(crate) keys: Vec<u64>,
     /// Parallel to `keys`.
-    weights: Vec<f32>,
+    pub(crate) weights: Vec<f32>,
 }
 
 impl PackedWeights {
@@ -104,13 +104,23 @@ impl PackedWeights {
             Err(_) => 0.0,
         }
     }
+
+    /// Visits every entry as `(path, key, weight)`, in packed (path,
+    /// key-sorted) order — the artifact codec and frozen-aware audit
+    /// accessors walk the CSR form through this.
+    pub(crate) fn iter_entries(&self) -> impl Iterator<Item = (u32, u64, f32)> + '_ {
+        (0..self.offsets.len().saturating_sub(1)).flat_map(move |p| {
+            let (s, e) = (self.offsets[p] as usize, self.offsets[p + 1] as usize);
+            (s..e).map(move |i| (p as u32, self.keys[i], self.weights[i]))
+        })
+    }
 }
 
 /// The frozen pair of weight tables predictions score against.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct FrozenWeights {
-    pair: PackedWeights,
-    unary: PackedWeights,
+    pub(crate) pair: PackedWeights,
+    pub(crate) unary: PackedWeights,
 }
 
 impl WeightStore for FrozenWeights {
@@ -198,11 +208,11 @@ impl WeightStore for (BucketWeights, BucketWeights) {
 #[derive(Debug, Clone, Default)]
 pub(crate) struct PackedCandidates {
     /// `offsets[p]..offsets[p + 1]` is path `p`'s slice of `entries`.
-    offsets: Vec<u32>,
+    pub(crate) offsets: Vec<u32>,
     /// `(other_label << 1 | side, start, len)`, sorted by key per path.
-    entries: Vec<(u64, u32, u32)>,
+    pub(crate) entries: Vec<(u64, u32, u32)>,
     /// Suggested labels, in stored (frequency-ranked) order.
-    labels: Vec<u32>,
+    pub(crate) labels: Vec<u32>,
 }
 
 /// The model's training-time candidate map: `(path, other_label, side)`
@@ -262,15 +272,15 @@ impl PackedCandidates {
 /// the global fallback candidates and the inference caps.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct EngineShared {
-    cands: PackedCandidates,
+    pub(crate) cands: PackedCandidates,
     /// `prior[l]` for every label slot the engine can ever score.
-    prior: Vec<f32>,
-    global_candidates: Vec<u32>,
-    max_candidates: usize,
-    max_passes: usize,
+    pub(crate) prior: Vec<f32>,
+    pub(crate) global_candidates: Vec<u32>,
+    pub(crate) max_candidates: usize,
+    pub(crate) max_passes: usize,
     /// Upper bound (exclusive) on label ids the candidate tables can
     /// produce; sizes the workspace dedup stamps.
-    num_label_slots: usize,
+    pub(crate) num_label_slots: usize,
 }
 
 /// A [`CrfModel`] frozen into the indexed form. Built once by
@@ -292,26 +302,46 @@ pub(crate) fn compile_shared(model: &CrfModel) -> EngineShared {
         .max()
         .unwrap_or(0);
     let cands = PackedCandidates::build(&model.candidates, num_paths);
+    shared_from_parts(
+        cands,
+        &model.label_counts,
+        model.global_candidates.clone(),
+        model.max_candidates,
+        model.max_passes,
+    )
+}
+
+/// Assembles an [`EngineShared`] from already-packed candidate tables —
+/// shared between [`compile_shared`] and the binary-artifact loader so
+/// both derive the prior and label-slot bound identically (the artifact
+/// round-trip tests assert byte-identical predictions across the two).
+pub(crate) fn shared_from_parts(
+    cands: PackedCandidates,
+    label_counts: &[u32],
+    global_candidates: Vec<u32>,
+    max_candidates: usize,
+    max_passes: usize,
+) -> EngineShared {
     // Label slots must cover every id inference can touch: the counted
     // labels, every suggestion and every global candidate (hand-built
     // models may exceed the count table).
-    let mut slots = model.label_counts.len();
-    for l in cands.labels.iter().chain(&model.global_candidates) {
+    let mut slots = label_counts.len();
+    for l in cands.labels.iter().chain(&global_candidates) {
         slots = slots.max(*l as usize + 1);
     }
     // The reference prior: out-of-range labels count as frequency zero.
     let prior = (0..slots)
         .map(|l| {
-            let c = model.label_counts.get(l).copied().unwrap_or(0);
+            let c = label_counts.get(l).copied().unwrap_or(0);
             1e-3 * (1.0 + f32::ln(1.0 + c as f32))
         })
         .collect();
     EngineShared {
         cands,
         prior,
-        global_candidates: model.global_candidates.clone(),
-        max_candidates: model.max_candidates,
-        max_passes: model.max_passes,
+        global_candidates,
+        max_candidates,
+        max_passes,
         num_label_slots: slots,
     }
 }

@@ -28,6 +28,7 @@
 //! assert_eq!(model.predict(&inst)[0], 2);
 //! ```
 
+pub mod artifact;
 mod beam;
 mod compiled;
 mod instance;
@@ -37,5 +38,5 @@ mod train;
 
 pub use compiled::{CompiledCrf, Workspace};
 pub use instance::{Instance, Node, PairFactor, UnaryFactor};
-pub use model::CrfModel;
+pub use model::{CrfModel, ModelIssue, MAX_CANDIDATES_BOUND, MAX_PASSES_BOUND};
 pub use train::{train, CrfConfig};

@@ -3,12 +3,51 @@
 use crate::compiled::CompiledCrf;
 use crate::instance::{Instance, NodeAdjacency};
 use std::collections::HashMap;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// One borrowed candidate-table entry:
 /// `((path, other_label, side), suggestions)` — see
 /// [`CrfModel::candidate_entries`].
 pub type CandidateEntryRef<'a> = ((u32, u32, u8), &'a [(u32, u32)]);
+
+/// Upper bound on `max_candidates` accepted from any serialised model
+/// (JSON or binary artifact). Trained models sit around a few dozen;
+/// anything near this bound is a corrupted or hostile file, and
+/// rejecting it at load time keeps a flipped length field from driving
+/// pathological candidate buffers downstream.
+pub const MAX_CANDIDATES_BOUND: usize = 1 << 20;
+
+/// Upper bound on `max_passes` accepted from any serialised model —
+/// same rationale as [`MAX_CANDIDATES_BOUND`], but for sweep count
+/// (CPU) rather than buffer size.
+pub const MAX_PASSES_BOUND: usize = 1 << 20;
+
+/// One failed [`CrfModel::validate`] check: a stable machine-readable
+/// code (reused verbatim as the `pigeon audit` diagnostic code) plus a
+/// human-readable message naming the first offending entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelIssue {
+    /// Stable code: `model-id-range`, `model-nonfinite-weight`,
+    /// `model-empty-candidates` or `model-caps`.
+    pub code: &'static str,
+    /// Human-readable description naming the first offender found.
+    pub message: String,
+}
+
+impl ModelIssue {
+    fn new(code: &'static str, message: impl Into<String>) -> Self {
+        ModelIssue {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ModelIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({})", self.message, self.code)
+    }
+}
 
 /// Feature weights and label statistics of a trained CRF.
 ///
@@ -43,13 +82,21 @@ pub struct CrfModel {
     /// cache is populated (the crate only mutates them during training
     /// and deserialisation, both of which build fresh models).
     pub(crate) compiled: OnceLock<CompiledCrf>,
+    /// A compiled engine loaded directly from a binary artifact (see
+    /// [`crate::artifact`]). When set, the hash-map tables above hold no
+    /// weights — the artifact ships only the CSR form — and every
+    /// prediction runs on this engine. `Arc` so clones share it: unlike
+    /// the lazily derived cache, it cannot be re-derived from the (empty)
+    /// tables.
+    pub(crate) frozen: Option<Arc<CompiledCrf>>,
 }
 
 impl Clone for CrfModel {
     fn clone(&self) -> Self {
         // The compiled cache is intentionally dropped: re-deriving it on
         // first use is cheap and can never go stale against the clone's
-        // own tables.
+        // own tables. The artifact-backed engine, by contrast, *is* the
+        // weight store, so clones share it.
         CrfModel {
             pair_weights: self.pair_weights.clone(),
             unary_weights: self.unary_weights.clone(),
@@ -59,62 +106,136 @@ impl Clone for CrfModel {
             max_candidates: self.max_candidates,
             max_passes: self.max_passes,
             compiled: OnceLock::new(),
+            frozen: self.frozen.clone(),
         }
     }
 }
 
 impl CrfModel {
-    /// The compiled engine for this model, built on first use.
+    /// The compiled engine for this model: the artifact-loaded engine
+    /// when this model came from a binary artifact, otherwise built on
+    /// first use from the hash-map tables.
     pub(crate) fn compiled(&self) -> &CompiledCrf {
+        if let Some(frozen) = &self.frozen {
+            return frozen;
+        }
         self.compiled.get_or_init(|| self.compile())
     }
-    /// Number of distinct pairwise features with non-zero weight.
-    pub fn num_pair_features(&self) -> usize {
-        self.pair_weights.len()
+
+    /// Whether this model was loaded from a compiled binary artifact and
+    /// therefore carries only the CSR engine, not the editable hash-map
+    /// tables (JSON re-serialisation is impossible for such a model).
+    pub fn is_artifact_backed(&self) -> bool {
+        self.frozen.is_some()
     }
 
-    /// Checks that every feature and label id stored in the model fits
-    /// the given vocabulary sizes, so inference on a deserialised model
-    /// can never index past the vocabularies it shipped with.
+    /// Number of distinct pairwise features with non-zero weight.
+    pub fn num_pair_features(&self) -> usize {
+        match &self.frozen {
+            Some(f) => f.weights.pair.keys.len(),
+            None => self.pair_weights.len(),
+        }
+    }
+
+    /// Checks that a deserialised model is safe to run inference on:
+    /// every feature and label id fits the given vocabulary sizes (so
+    /// `predict` can never index past the vocabularies the model shipped
+    /// with), every weight is finite (a single `inf` poisons every score
+    /// it touches), no candidate entry carries an empty suggestion list,
+    /// and the inference caps are sane.
     ///
     /// # Errors
     ///
-    /// Returns a message naming the first out-of-range id (or the
-    /// label-count/vocabulary size disagreement) found.
-    pub fn validate(&self, num_features: usize, num_labels: usize) -> Result<(), String> {
+    /// Returns the first [`ModelIssue`] found; its `code` names the
+    /// failure shape and its message the first offending entry.
+    pub fn validate(&self, num_features: usize, num_labels: usize) -> Result<(), ModelIssue> {
         let nf = num_features as u32;
         let nl = num_labels as u32;
         let feature = |what: &str, id: u32| {
-            (id < nf).then_some(()).ok_or(format!(
-                "{what} references feature id {id}, but the feature vocabulary \
-                 has {num_features} entries"
-            ))
+            (id < nf).then_some(()).ok_or_else(|| {
+                ModelIssue::new(
+                    "model-id-range",
+                    format!(
+                        "{what} references feature id {id}, but the feature vocabulary \
+                         has {num_features} entries"
+                    ),
+                )
+            })
         };
         let label = |what: &str, id: u32| {
-            (id < nl).then_some(()).ok_or(format!(
-                "{what} references label id {id}, but the label vocabulary \
-                 has {num_labels} entries"
-            ))
+            (id < nl).then_some(()).ok_or_else(|| {
+                ModelIssue::new(
+                    "model-id-range",
+                    format!(
+                        "{what} references label id {id}, but the label vocabulary \
+                         has {num_labels} entries"
+                    ),
+                )
+            })
+        };
+        let finite = |what: &str, key: String, w: f32| {
+            w.is_finite().then_some(()).ok_or_else(|| {
+                ModelIssue::new(
+                    "model-nonfinite-weight",
+                    format!("{what} {key} carries non-finite weight {w}"),
+                )
+            })
         };
         if self.label_counts.len() != num_labels {
-            return Err(format!(
-                "label-count table has {} entries, but the label vocabulary \
-                 has {num_labels}",
-                self.label_counts.len()
+            return Err(ModelIssue::new(
+                "model-id-range",
+                format!(
+                    "label-count table has {} entries, but the label vocabulary \
+                     has {num_labels}",
+                    self.label_counts.len()
+                ),
             ));
         }
-        for &(path, la, lb) in self.pair_weights.keys() {
+        if self.max_candidates > MAX_CANDIDATES_BOUND {
+            return Err(ModelIssue::new(
+                "model-caps",
+                format!(
+                    "max_candidates is {}, above the bound of {MAX_CANDIDATES_BOUND}",
+                    self.max_candidates
+                ),
+            ));
+        }
+        if self.max_passes > MAX_PASSES_BOUND {
+            return Err(ModelIssue::new(
+                "model-caps",
+                format!(
+                    "max_passes is {}, above the bound of {MAX_PASSES_BOUND}",
+                    self.max_passes
+                ),
+            ));
+        }
+        for (&(path, la, lb), &w) in &self.pair_weights {
             feature("pairwise weight", path)?;
             label("pairwise weight", la)?;
             label("pairwise weight", lb)?;
+            finite(
+                "pairwise weight",
+                format!("(path {path}, labels {la}/{lb})"),
+                w,
+            )?;
         }
-        for &(path, l) in self.unary_weights.keys() {
+        for (&(path, l), &w) in &self.unary_weights {
             feature("unary weight", path)?;
             label("unary weight", l)?;
+            finite("unary weight", format!("(path {path}, label {l})"), w)?;
         }
-        for (&(path, other, _), suggested) in &self.candidates {
+        for (&(path, other, side), suggested) in &self.candidates {
             feature("candidate table", path)?;
             label("candidate table", other)?;
+            if suggested.is_empty() {
+                return Err(ModelIssue::new(
+                    "model-empty-candidates",
+                    format!(
+                        "candidate entry (path {path}, label {other}, side {side}) \
+                         carries no suggestions"
+                    ),
+                ));
+            }
             for &(l, _) in suggested {
                 label("candidate suggestion", l)?;
             }
@@ -127,22 +248,44 @@ impl CrfModel {
 
     /// Number of distinct unary features with non-zero weight.
     pub fn num_unary_features(&self) -> usize {
-        self.unary_weights.len()
+        match &self.frozen {
+            Some(f) => f.weights.unary.keys.len(),
+            None => self.unary_weights.len(),
+        }
     }
 
     /// Read-only view of every pairwise weight as
-    /// `(path, label_a, label_b, weight)`, in arbitrary order. For audit
-    /// tooling; iteration never touches the compiled cache.
+    /// `(path, label_a, label_b, weight)` — hash-map order for trained
+    /// or JSON-loaded models, packed (sorted) order for artifact-backed
+    /// ones. For audit tooling; iteration never builds the compiled
+    /// cache.
     pub fn pair_weight_entries(&self) -> impl Iterator<Item = (u32, u32, u32, f32)> + '_ {
-        self.pair_weights
+        let from_map = self
+            .pair_weights
             .iter()
-            .map(|(&(p, a, b), &w)| (p, a, b, w))
+            .map(|(&(p, a, b), &w)| (p, a, b, w));
+        // Exactly one of the two sources is populated: artifact-backed
+        // models keep their hash maps empty.
+        let from_frozen = self
+            .frozen
+            .as_deref()
+            .into_iter()
+            .flat_map(|f| f.weights.pair.iter_entries())
+            .map(|(p, key, w)| (p, (key >> 32) as u32, key as u32, w));
+        from_map.chain(from_frozen)
     }
 
-    /// Read-only view of every unary weight as `(path, label, weight)`,
-    /// in arbitrary order.
+    /// Read-only view of every unary weight as `(path, label, weight)`;
+    /// same ordering contract as [`CrfModel::pair_weight_entries`].
     pub fn unary_weight_entries(&self) -> impl Iterator<Item = (u32, u32, f32)> + '_ {
-        self.unary_weights.iter().map(|(&(p, l), &w)| (p, l, w))
+        let from_map = self.unary_weights.iter().map(|(&(p, l), &w)| (p, l, w));
+        let from_frozen = self
+            .frozen
+            .as_deref()
+            .into_iter()
+            .flat_map(|f| f.weights.unary.iter_entries())
+            .map(|(p, key, w)| (p, key as u32, w));
+        from_map.chain(from_frozen)
     }
 
     /// The per-label training-frequency table (indexed by label id).

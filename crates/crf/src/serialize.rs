@@ -3,8 +3,9 @@
 //! Weights use tuple keys, which JSON objects cannot express directly, so
 //! serialization goes through a flat mirror struct of entry vectors.
 
-use crate::model::CrfModel;
+use crate::model::{CrfModel, MAX_CANDIDATES_BOUND, MAX_PASSES_BOUND};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// One serialised pairwise weight: `(path, label_a, label_b, weight)`.
 type PairEntry = (u32, u32, u32, f32);
@@ -72,6 +73,14 @@ impl CrfModel {
     /// Returns the underlying `serde_json` error (out-of-memory is the
     /// only realistic failure for this data shape).
     pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        if self.is_artifact_backed() {
+            // The binary artifact ships only the compiled CSR form; the
+            // editable entry tables JSON mirrors no longer exist.
+            return Err(serde::Error::custom(
+                "model was loaded from a compiled binary artifact and cannot be \
+                 re-serialised to JSON; keep the original JSON model file",
+            ));
+        }
         let mut pair_weights: Vec<PairEntry> = self
             .pair_weights
             .iter()
@@ -105,30 +114,59 @@ impl CrfModel {
     ///
     /// # Errors
     ///
-    /// Returns the `serde_json` error on malformed input.
+    /// Returns the `serde_json` error on malformed input, on a duplicate
+    /// weight or candidate key (silently keeping one of the weights
+    /// would corrupt predictions), and on inference caps beyond the
+    /// [`MAX_CANDIDATES_BOUND`]/[`MAX_PASSES_BOUND`] sanity bounds.
     pub fn from_json(json: &str) -> Result<CrfModel, serde_json::Error> {
         let file: ModelFile = serde_json::from_str(json)?;
+        if file.max_candidates > MAX_CANDIDATES_BOUND {
+            return Err(serde::Error::custom(format!(
+                "max_candidates is {}, above the bound of {MAX_CANDIDATES_BOUND}",
+                file.max_candidates
+            )));
+        }
+        if file.max_passes > MAX_PASSES_BOUND {
+            return Err(serde::Error::custom(format!(
+                "max_passes is {}, above the bound of {MAX_PASSES_BOUND}",
+                file.max_passes
+            )));
+        }
+        let mut pair_weights = HashMap::with_capacity(file.pair_weights.len());
+        for (p, a, b, w) in file.pair_weights {
+            if pair_weights.insert((p, a, b), w).is_some() {
+                return Err(serde::Error::custom(format!(
+                    "duplicate pairwise weight entry (path {p}, labels {a}/{b}): \
+                     keeping either weight would silently corrupt the model"
+                )));
+            }
+        }
+        let mut unary_weights = HashMap::with_capacity(file.unary_weights.len());
+        for (p, l, w) in file.unary_weights {
+            if unary_weights.insert((p, l), w).is_some() {
+                return Err(serde::Error::custom(format!(
+                    "duplicate unary weight entry (path {p}, label {l})"
+                )));
+            }
+        }
+        let mut candidates = HashMap::with_capacity(file.candidates.len());
+        for (p, l, s, v) in file.candidates {
+            if candidates.insert((p, l, s), v).is_some() {
+                return Err(serde::Error::custom(format!(
+                    "duplicate candidate entry (path {p}, label {l}, side {s})"
+                )));
+            }
+        }
         Ok(CrfModel {
-            pair_weights: file
-                .pair_weights
-                .into_iter()
-                .map(|(p, a, b, w)| ((p, a, b), w))
-                .collect(),
-            unary_weights: file
-                .unary_weights
-                .into_iter()
-                .map(|(p, l, w)| ((p, l), w))
-                .collect(),
+            pair_weights,
+            unary_weights,
             label_counts: file.label_counts,
-            candidates: file
-                .candidates
-                .into_iter()
-                .map(|(p, l, s, v)| ((p, l, s), v))
-                .collect(),
+            candidates,
             global_candidates: file.global_candidates,
             max_candidates: file.max_candidates,
             max_passes: file.max_passes,
             compiled: Default::default(),
+            frozen: None,
         })
     }
 }

@@ -508,11 +508,12 @@ impl Pigeon {
         }
         let model = CrfModel::from_json(str_field("model")?).map_err(|e| err(&e.to_string()))?;
         // A truncated or hand-edited file can carry weight-table ids
-        // beyond the vocabularies it ships; catch that here so `predict`
-        // never indexes out of bounds.
+        // beyond the vocabularies it ships, non-finite weights, or
+        // absurd inference caps; catch that here so `predict` never
+        // indexes out of bounds or scores against a poisoned table.
         model
             .validate(vocabs.features.len(), vocabs.labels.len())
-            .map_err(|m| err(&m))?;
+            .map_err(|issue| err(&issue.to_string()))?;
         let mut extraction = ExtractionConfig::with_limits(
             num_field("max_length")? as usize,
             num_field("max_width")? as usize,
@@ -536,6 +537,129 @@ impl Pigeon {
             vocabs,
             model,
         })
+    }
+
+    /// Serialises the trained predictor into the compiled binary
+    /// artifact format (see `pigeon_crf::artifact`): the CSR-packed
+    /// engine, vocabularies and configuration in one flat,
+    /// checksummed file that [`Pigeon::from_artifact`] loads with bulk
+    /// array reads instead of JSON parsing and recompilation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PigeonError`] with [`ErrorKind::ModelFormat`] when the
+    /// model carries non-finite weights, or a weight exceeds the `f16`
+    /// range under [`crf::artifact::Quant::F16`].
+    pub fn to_artifact(&self, quant: crf::artifact::Quant) -> Result<Vec<u8>, PigeonError> {
+        let _span = telemetry::span("compile_artifact");
+        let labels: Vec<String> = self.vocabs.labels.iter().map(|(_, s)| s.clone()).collect();
+        let features: Vec<String> = self
+            .vocabs
+            .features
+            .iter()
+            .map(|(_, s)| s.clone())
+            .collect();
+        let meta = crf::artifact::ArtifactMeta {
+            language: self.language.name().to_owned(),
+            target: match self.target {
+                ElementClass::Variable => "variables",
+                ElementClass::Method => "methods",
+                ElementClass::Other => "other",
+            }
+            .to_owned(),
+            abstraction: self.config.abstraction.name().to_owned(),
+            max_length: self.config.extraction.max_length as u32,
+            max_width: self.config.extraction.max_width as u32,
+            semi_paths: self.config.extraction.semi_paths,
+            top_k: self.config.top_k as u32,
+        };
+        crf::artifact::write_artifact(&meta, &labels, &features, &self.model, quant)
+            .map_err(|m| PigeonError::model_format(format!("compiled artifact: {m}")))
+    }
+
+    /// Restores a predictor from a compiled binary artifact written by
+    /// [`Pigeon::to_artifact`] (or `pigeon compile`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PigeonError`] with [`ErrorKind::ModelFormat`] on any
+    /// truncated, bit-flipped or otherwise invalid artifact — the
+    /// decoder checks checksums, section bounds, CSR structure, id
+    /// ranges and weight finiteness, and never panics on bad input.
+    pub fn from_artifact(bytes: &[u8]) -> Result<Pigeon, PigeonError> {
+        let _span = telemetry::span("load_artifact");
+        let err = |m: &str| PigeonError::model_format(format!("compiled artifact: {m}"));
+        let art = crf::artifact::read_artifact(bytes).map_err(|m| err(&m))?;
+        let language =
+            Language::from_name(&art.meta.language).ok_or_else(|| err("unknown language"))?;
+        let target = match art.meta.target.as_str() {
+            "variables" => ElementClass::Variable,
+            "methods" => ElementClass::Method,
+            "other" => ElementClass::Other,
+            other => return Err(err(&format!("unknown prediction target `{other}`"))),
+        };
+        let abstraction = Abstraction::from_name(&art.meta.abstraction)
+            .ok_or_else(|| err("unknown abstraction"))?;
+        if art.meta.max_length == 0 {
+            return Err(err("max_length must be at least 1"));
+        }
+        if art.meta.top_k == 0 {
+            return Err(err("top_k must be at least 1"));
+        }
+        let mut vocabs = Vocabs::new();
+        for (what, items, vocab) in [
+            ("label", &art.labels, &mut vocabs.labels),
+            ("feature", &art.features, &mut vocabs.features),
+        ] {
+            for item in items {
+                vocab.intern(item.clone());
+            }
+            // A repeated string would collapse two ids into one and
+            // silently shift every id after it.
+            if vocab.len() != items.len() {
+                return Err(err(&format!("duplicate entry in the {what} vocabulary")));
+            }
+        }
+        let mut extraction = ExtractionConfig::with_limits(
+            art.meta.max_length as usize,
+            art.meta.max_width as usize,
+        );
+        extraction.semi_paths = art.meta.semi_paths;
+        Ok(Pigeon {
+            language,
+            target,
+            config: PigeonConfig {
+                extraction,
+                abstraction,
+                top_k: art.meta.top_k as usize,
+                // Training-only knobs; an artifact-backed model is for
+                // prediction, so the defaults are fine.
+                ..PigeonConfig::default()
+            },
+            vocabs,
+            model: art.model,
+        })
+    }
+
+    /// Loads a serialised predictor from raw bytes, sniffing the format:
+    /// the compiled binary artifact when the magic matches, UTF-8 JSON
+    /// otherwise. This is what every model-accepting surface (CLI
+    /// `--model` flags, `POST /v1/models`) runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PigeonError`] with [`ErrorKind::ModelFormat`] on
+    /// malformed input in either format.
+    pub fn load(bytes: &[u8]) -> Result<Pigeon, PigeonError> {
+        if crf::artifact::is_artifact(bytes) {
+            return Pigeon::from_artifact(bytes);
+        }
+        let json = std::str::from_utf8(bytes).map_err(|_| {
+            PigeonError::model_format(
+                "model file: neither a compiled artifact (bad magic) nor UTF-8 JSON",
+            )
+        })?;
+        Pigeon::from_json(json)
     }
 
     /// Predicts names for every target element of `source`, in

@@ -6,15 +6,17 @@
 //! pigeon paths    --language js FILE              # print path-contexts
 //! pigeon generate --language js --files N DIR     # write a corpus
 //! pigeon train    --language js --out model.json FILE...
+//! pigeon compile  model.json model.pgnc           # compiled binary artifact
 //! pigeon predict  --model model.json FILE         # suggest names
 //! pigeon serve    --model model.json --port 7470  # HTTP prediction server
 //! pigeon experiment --language js [--files N]     # quick accuracy run
 //! pigeon audit    --language js PATH...           # static-analysis audit
 //! ```
 
-use pigeon::analysis::{audit_sources, lint_crf, AuditConfig, Severity, SourceUnit};
+use pigeon::analysis::{audit_sources, lint_artifact, lint_crf, AuditConfig, Severity, SourceUnit};
 use pigeon::core::{extract, parallel_map_indexed, Abstraction, ExtractionConfig};
 use pigeon::corpus::{generate, CorpusConfig, Language};
+use pigeon::crf::artifact::{is_artifact, Quant};
 use pigeon::eval::{run_name_experiment, NameExperiment};
 use pigeon::serve::{serve, ServeConfig};
 use pigeon::{Pigeon, PigeonConfig};
@@ -28,6 +30,7 @@ fn main() -> ExitCode {
         Some("paths") => cmd_paths(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
         Some("train") => cmd_train(&args[1..]),
+        Some("compile") => cmd_compile(&args[1..]),
         Some("predict") => cmd_predict(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("experiment") => cmd_experiment(&args[1..]),
@@ -68,16 +71,17 @@ USAGE:
                     [--max-length N] [--max-width N] [--jobs N]
                     [--keep-prob P] [--trace-out FILE] [--timings BOOL]
                     [--synthetic N | FILE...]
-  pigeon predict    --model MODEL.json [--trace-out FILE] [--timings BOOL]
-                    FILE
-  pigeon serve      --model MODEL.json [--host ADDR] [--port N] [--jobs N]
+  pigeon compile    [--quantize f32|f16|i8] MODEL.json OUT.pgnc
+  pigeon predict    --model MODEL[.json|.pgnc] [--trace-out FILE]
+                    [--timings BOOL] FILE
+  pigeon serve      --model MODEL[.json|.pgnc] [--host ADDR] [--port N] [--jobs N]
                     [--max-request-bytes N] [--read-timeout-ms N]
                     [--idle-timeout SECS] [--keep-alive BOOL]
                     [--max-conn-requests N] [--batch-max N]
                     [--batch-wait-ms N] [--queue-cap N]
   pigeon experiment --language LANG [--files N] [--task vars|methods]
                     [--jobs N] [--trace-out FILE] [--timings BOOL]
-  pigeon audit      [--language LANG PATH...] [--model MODEL.json]
+  pigeon audit      [--language LANG PATH...] [--model MODEL[.json|.pgnc]]
                     [--format text|json] [--deny info|warning|error]
                     [--jobs N] [--near-dups true|false]
 
@@ -97,6 +101,19 @@ DEFAULTS:
                 for any value.
   --keep-prob   1.0 (keep every path-context; lower values downsample
                 training contexts, §5.5 of the paper)
+
+COMPILE:
+  Freezes a JSON model into the compiled binary artifact (`.pgnc`):
+  magic + checksummed sections holding the CSR-packed inference tables,
+  loaded by `predict`/`serve`/`audit` with bulk array reads — no JSON
+  parsing, no recompilation — for near-instant replica cold start.
+  Every `--model` flag accepts either format (sniffed by magic), and
+  `POST /v1/models` hot-swaps artifact bytes directly.
+  --quantize    f32 (default, byte-exact weights), f16 (half the
+                weight bytes), i8 (quarter, one scale per path).
+                Quantized models are decision-identical to the f32
+                reference in all released tests; verify any model with
+                `pigeon audit --model OUT.pgnc`.
 
 AUDIT:
   Static analysis over sources and trained models. PATHs are source
@@ -123,7 +140,8 @@ OBSERVABILITY:
 SERVE (v1 API; every JSON response carries \"api\": \"pigeon/1\"):
   POST /v1/predict       {\"source\": \"<program>\"}        → predictions
   POST /v1/predict_batch {\"sources\": [\"<program>\", …]}  → per-source results
-  POST /v1/models        <model JSON> — load + hot-swap the active model
+  POST /v1/models        <model JSON or .pgnc artifact bytes> — load +
+                         hot-swap the active model (format sniffed)
   GET  /v1/models        list loaded model versions
   GET  /v1/stats         request/latency/throughput counters, per-model
                          version slices (JSON)
@@ -269,6 +287,16 @@ impl Observability {
 
 fn read_file(path: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn read_bytes(path: &str) -> Result<Vec<u8>, String> {
+    std::fs::read(path).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Loads a model from disk in either format: compiled `.pgnc` artifact
+/// (sniffed by magic) or JSON.
+fn load_model(path: &str) -> Result<Pigeon, String> {
+    Pigeon::load(&read_bytes(path)?).map_err(|e| format!("{path}: {e}"))
 }
 
 fn cmd_paths(args: &[String]) -> Result<(), String> {
@@ -447,6 +475,31 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_compile(args: &[String]) -> Result<(), String> {
+    let (flags, positional) = parse_flags(args)?;
+    check_flags("compile", &flags, &["quantize"])?;
+    let [input, output] = positional.as_slice() else {
+        return Err("expected exactly MODEL.json OUT.pgnc".into());
+    };
+    let quant = match flag(&flags, "quantize") {
+        None => Quant::F32,
+        Some(name) => {
+            Quant::from_name(name).ok_or_else(|| format!("unknown quantization `{name}`"))?
+        }
+    };
+    // Load through the sniffing path so recompiling an artifact (e.g.
+    // to change quantization) works just like compiling JSON.
+    let model = load_model(input)?;
+    let bytes = model.to_artifact(quant).map_err(|e| e.to_string())?;
+    std::fs::write(output, &bytes).map_err(|e| format!("{output}: {e}"))?;
+    println!(
+        "compiled {input} → {output} ({} bytes, {} quantization)",
+        bytes.len(),
+        quant.name()
+    );
+    Ok(())
+}
+
 fn cmd_predict(args: &[String]) -> Result<(), String> {
     let (flags, positional) = parse_flags(args)?;
     check_flags("predict", &flags, &["model", "trace-out", "timings"])?;
@@ -455,7 +508,7 @@ fn cmd_predict(args: &[String]) -> Result<(), String> {
         return Err("expected exactly one FILE".into());
     };
     let observability = Observability::from_flags(&flags)?;
-    let model = Pigeon::from_json(&read_file(model_path)?).map_err(|e| e.to_string())?;
+    let model = load_model(model_path)?;
     let source = read_file(file)?;
     let predictions = model.predict(&source).map_err(|e| e.to_string())?;
     observability.finish()?;
@@ -507,7 +560,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         ));
     }
     let model_path = flag(&flags, "model").ok_or("--model is required")?;
-    let model = Pigeon::from_json(&read_file(model_path)?).map_err(|e| e.to_string())?;
+    let model = load_model(model_path)?;
     let defaults = ServeConfig::default();
     let port = parse_usize(&flags, "port", defaults.port as usize)?;
     let port =
@@ -645,25 +698,37 @@ fn cmd_audit(args: &[String]) -> Result<ExitCode, String> {
     }
     if let Some(path) = model_path {
         report.units_audited += 1;
-        match Pigeon::from_json(&read_file(path)?) {
-            Err(e) => report.diagnostics.push(pigeon::analysis::Diagnostic::new(
-                "model-load",
-                Severity::Error,
-                path,
-                e.to_string(),
-            )),
-            Ok(model) => {
-                let language = model.language();
-                report.diagnostics.extend(
-                    lint_crf(
-                        path,
-                        model.crf_model(),
-                        model.vocabs().features.len(),
-                        model.vocabs().labels.len(),
-                    )
-                    .into_iter()
-                    .map(|d| d.with_language(language)),
-                );
+        let bytes = read_bytes(path)?;
+        if is_artifact(&bytes) {
+            // Compiled artifact: the decoder enforces container
+            // integrity (magic, checksums, section bounds, id ranges);
+            // lint_artifact surfaces violations as diagnostics and
+            // runs the usual model-health lints on a clean decode.
+            report.diagnostics.extend(lint_artifact(path, &bytes));
+        } else {
+            match String::from_utf8(bytes)
+                .map_err(|e| e.to_string())
+                .and_then(|json| Pigeon::from_json(&json).map_err(|e| e.to_string()))
+            {
+                Err(e) => report.diagnostics.push(pigeon::analysis::Diagnostic::new(
+                    "model-load",
+                    Severity::Error,
+                    path,
+                    e,
+                )),
+                Ok(model) => {
+                    let language = model.language();
+                    report.diagnostics.extend(
+                        lint_crf(
+                            path,
+                            model.crf_model(),
+                            model.vocabs().features.len(),
+                            model.vocabs().labels.len(),
+                        )
+                        .into_iter()
+                        .map(|d| d.with_language(language)),
+                    );
+                }
             }
         }
     }

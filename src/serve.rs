@@ -22,7 +22,8 @@
 //!    `429` with `Retry-After` and the stable code `overloaded` instead
 //!    of accepting unbounded work.
 //! 3. **Versioned model registry with atomic hot swap.** The model given
-//!    at startup is version 1; `POST /v1/models` loads a new model JSON
+//!    at startup is version 1; `POST /v1/models` loads a new model —
+//!    JSON or a compiled `.pgnc` artifact, sniffed by magic —
 //!    into an `Arc` and swaps it in atomically — in-flight batches keep
 //!    their own handle to the old version, so a swap never fails a
 //!    request. `GET /v1/models` lists every version; `/v1/stats` carries
@@ -43,9 +44,13 @@
 //!   responds `{"model_version": N, "results": [<per-source predict
 //!   response>, …]}` in request order (per-source failures inline as
 //!   `{"error", "code"}`).
-//! * `POST /v1/models` — body is a model JSON (the `pigeon train --out`
-//!   format); loads it, makes it the active version, responds
-//!   `{"version": N, "language", "active": true}`.
+//! * `POST /v1/models` — body is either a model JSON (the `pigeon
+//!   train --out` format) or the raw bytes of a compiled `.pgnc`
+//!   artifact (`pigeon compile`); the format is sniffed by magic.
+//!   Loads it, makes it the active version, responds `{"version": N,
+//!   "language", "format": "json"|"artifact", "active": true}`. A body
+//!   that fails to load as either answers `400` with the stable code of
+//!   the load error (`model-format`, `parse`, …).
 //! * `GET /v1/models` — every loaded version with its origin and
 //!   active flag.
 //! * `GET /v1/stats` — request/error/prediction counters, latency,
@@ -691,7 +696,10 @@ fn chaos_enabled() -> bool {
 struct Request {
     method: String,
     path: String,
-    body: String,
+    /// Raw body bytes. Endpoints that expect JSON validate UTF-8
+    /// themselves (via [`parse_json_body`]); `POST /v1/models` accepts
+    /// binary artifact bytes as-is.
+    body: Vec<u8>,
     /// The client asked for (or its HTTP version implies) connection
     /// close after this response.
     wants_close: bool,
@@ -901,8 +909,6 @@ fn read_request(
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body).map_err(map_io)?;
-    let body = String::from_utf8(body)
-        .map_err(|_| HttpError::bad_request("request body is not UTF-8".to_owned()))?;
     // HTTP/1.1 defaults to keep-alive unless the client says `close`;
     // HTTP/1.0 defaults to close unless it says `keep-alive`.
     let wants_close = if connection.contains("close") {
@@ -940,8 +946,10 @@ fn predictions_to_json(predictions: &[Prediction]) -> serde_json::Value {
     )
 }
 
-fn parse_json_body(body: &str) -> Result<serde_json::Value, HttpError> {
-    serde_json::from_str(body)
+fn parse_json_body(body: &[u8]) -> Result<serde_json::Value, HttpError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| HttpError::bad_request("request body is not UTF-8".to_owned()))?;
+    serde_json::from_str(text)
         .map_err(|e| HttpError::bad_request(format!("request is not valid JSON: {e}")))
 }
 
@@ -1055,18 +1063,27 @@ fn route(ctx: &ServerCtx, endpoint: &'static str, req: &Request) -> Result<Paylo
             })))
         }
         ("POST", "/v1/models") => {
-            // The body is a model JSON in the `pigeon train --out`
-            // format. Loading validates weight tables against the
-            // shipped vocabularies, so a truncated upload is a 422, not
-            // a swapped-in broken model.
-            let model = Pigeon::from_json(&req.body).map_err(|e| {
-                HttpError::new(422, "Unprocessable Entity", e.code(), e.to_string())
-            })?;
+            // The body is either a model JSON in the `pigeon train
+            // --out` format or the raw bytes of a compiled `.pgnc`
+            // artifact; `Pigeon::load` sniffs the magic. Loading
+            // validates weight tables (and, for artifacts, every
+            // section checksum and bound) against the shipped
+            // vocabularies, so a truncated or corrupted upload is a
+            // 400 with the load error's stable code, not a swapped-in
+            // broken model.
+            let format = if crate::crf::artifact::is_artifact(&req.body) {
+                "artifact"
+            } else {
+                "json"
+            };
+            let model = Pigeon::load(&req.body)
+                .map_err(|e| HttpError::new(400, "Bad Request", e.code(), e.to_string()))?;
             let entry = ctx.models.install(model, "api");
             stats.model_swaps.inc();
             Ok(Payload::Json(serde_json::json!({
                 "version": entry.version,
                 "language": entry.language,
+                "format": format,
                 "active": true,
             })))
         }

@@ -22,6 +22,7 @@ fn help_lists_every_command() {
         "paths",
         "generate",
         "train",
+        "compile",
         "predict",
         "experiment",
         "serve",
@@ -140,6 +141,166 @@ fn generate_train_predict_round_trip() {
     // Three parameters predicted, each with candidates.
     assert_eq!(text.lines().count(), 3, "unexpected output:\n{text}");
     assert!(text.contains("top:"));
+}
+
+/// `pigeon compile` freezes a JSON model into the binary artifact;
+/// `predict` and `audit` consume it interchangeably with the JSON, and
+/// quantized variants keep the same decisions.
+#[test]
+fn compile_predict_audit_round_trip() {
+    let dir = tmp_dir("compile");
+    let model = dir.join("model.json");
+    let artifact = dir.join("model.pgnc");
+    let query = dir.join("query.js");
+
+    let out = pigeon()
+        .args(["train", "--language", "js", "--synthetic", "120", "--out"])
+        .arg(&model)
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = pigeon()
+        .args(["compile"])
+        .arg(&model)
+        .arg(&artifact)
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("f32 quantization"), "{text}");
+    let bytes = std::fs::read(&artifact).expect("artifact written");
+    assert_eq!(&bytes[..4], b"PGNC");
+
+    // Predictions through the artifact match the JSON model exactly.
+    std::fs::write(
+        &query,
+        "function f(a, b, c) { b.open('GET', a, false); b.send(c); }",
+    )
+    .unwrap();
+    let predict = |model_path: &std::path::Path| {
+        let out = pigeon()
+            .args(["predict", "--model"])
+            .arg(model_path)
+            .arg(&query)
+            .output()
+            .expect("runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let from_json = predict(&model);
+    assert_eq!(from_json, predict(&artifact));
+
+    // The decision column: one predicted name per element. Quantization
+    // may swap near-tied candidates deep in the top-k list, but the
+    // chosen name must never move.
+    let decisions = |stdout: &str| -> Vec<String> {
+        stdout
+            .lines()
+            .map(|l| {
+                l.split('→')
+                    .nth(1)
+                    .expect("prediction line")
+                    .split('(')
+                    .next()
+                    .expect("name column")
+                    .trim()
+                    .to_owned()
+            })
+            .collect()
+    };
+
+    // Quantized artifacts keep the decisions; recompiling an artifact
+    // (format sniffed on input) is byte-identical.
+    for quant in ["f16", "i8"] {
+        let quantized = dir.join(format!("model-{quant}.pgnc"));
+        let out = pigeon()
+            .args(["compile", "--quantize", quant])
+            .arg(&model)
+            .arg(&quantized)
+            .output()
+            .expect("runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert_eq!(
+            decisions(&from_json),
+            decisions(&predict(&quantized)),
+            "{quant} changed decisions"
+        );
+
+        let recompiled = dir.join(format!("model-{quant}-2.pgnc"));
+        let out = pigeon()
+            .args(["compile", "--quantize", quant])
+            .arg(&quantized)
+            .arg(&recompiled)
+            .output()
+            .expect("runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert_eq!(
+            std::fs::read(&quantized).unwrap(),
+            std::fs::read(&recompiled).unwrap(),
+            "{quant} recompile diverged"
+        );
+    }
+
+    // `audit --model` understands the binary format.
+    let out = pigeon()
+        .args(["audit", "--model"])
+        .arg(&artifact)
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("artifact-layout"), "{text}");
+    assert!(text.contains("checksums verified"), "{text}");
+
+    // A corrupted artifact audits to a hard error, exit code 2.
+    let mut tampered = bytes.clone();
+    let mid = tampered.len() / 2;
+    tampered[mid] ^= 0x10;
+    let bad = dir.join("tampered.pgnc");
+    std::fs::write(&bad, &tampered).unwrap();
+    let out = pigeon()
+        .args(["audit", "--model"])
+        .arg(&bad)
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("artifact-format"), "{text}");
+
+    // Unknown quantization names are rejected up front.
+    let out = pigeon()
+        .args(["compile", "--quantize", "f8"])
+        .arg(&model)
+        .arg(&artifact)
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown quantization"));
 }
 
 #[test]

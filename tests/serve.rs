@@ -121,6 +121,31 @@ fn post(addr: &str, path: &str, body: &str) -> (u16, String) {
     )
 }
 
+/// Like [`post`], but with a binary request body (artifact uploads).
+fn post_bytes(addr: &str, path: &str, body: &[u8]) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connects");
+    let head = format!(
+        "POST {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("writes head");
+    stream.write_all(body).expect("writes body");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("reads");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("numeric status");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
 fn get(addr: &str, path: &str) -> (u16, String) {
     http(
         addr,
@@ -851,10 +876,10 @@ fn serve_hot_swaps_models_without_dropping_requests() {
     let (_, metrics) = get(&addr, "/v1/metrics");
     assert_eq!(metric_u64(&metrics, "pigeon_model_swaps_total"), 1);
 
-    // A garbage model body is refused with a coded 422 — and does NOT
+    // A garbage model body is refused with a coded 400 — and does NOT
     // replace the active model.
     let (status, body) = post(&addr, "/v1/models", "{not a model");
-    assert_eq!(status, 422, "{body}");
+    assert_eq!(status, 400, "{body}");
     assert!(body.contains("\"code\":"), "{body}");
     let (_, body) = get(&addr, "/v1/models");
     assert!(body.contains("\"active_version\":2"), "{body}");
@@ -897,6 +922,83 @@ fn serve_recovers_from_a_poisoning_panic() {
     let (mut child, addr, _stdout) = spawn_server(&model, &["--idle-timeout", "60"]);
     let (status, _) = post(&addr, "/v1/_chaos/poison", "{}");
     assert_eq!(status, 404);
+    child.kill().expect("kills");
+    let _ = child.wait();
+}
+
+/// `POST /v1/models` accepts the compiled binary artifact byte-for-byte
+/// (content-sniffed by magic), swaps it in as a new active version, and
+/// answers 400 with a stable code — keeping the old model — for
+/// corrupted artifacts and for JSON models that smuggle non-finite
+/// weights through `1e999`.
+#[test]
+fn serve_hot_swaps_a_binary_artifact_and_rejects_poisoned_uploads() {
+    let dir = tmp_dir("artifact-swap");
+    let model = train_model(&dir);
+    let artifact_path = dir.join("model.pgnc");
+    let out = pigeon()
+        .args(["compile", "--quantize", "i8"])
+        .arg(&model)
+        .arg(&artifact_path)
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let artifact = std::fs::read(&artifact_path).expect("reads artifact");
+    assert_eq!(&artifact[..4], b"PGNC");
+
+    let (mut child, addr, _stdout) = spawn_server(
+        &model,
+        &["--idle-timeout", "60", "--max-request-bytes", "33554432"],
+    );
+    let (status, body) = post(&addr, "/v1/predict", QUERY);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"model_version\":1"), "{body}");
+
+    // Binary hot swap: raw artifact bytes straight onto the wire.
+    let (status, body) = post_bytes(&addr, "/v1/models", &artifact);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"version\":2"), "{body}");
+    assert!(body.contains("\"format\":\"artifact\""), "{body}");
+    assert!(body.contains("\"active\":true"), "{body}");
+    let (status, body) = post(&addr, "/v1/predict", QUERY);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"model_version\":2"), "{body}");
+
+    // A bit-flipped artifact is a coded 400, not a panic and not a swap.
+    let mut tampered = artifact.clone();
+    let mid = tampered.len() / 2;
+    tampered[mid] ^= 0x01;
+    let (status, body) = post_bytes(&addr, "/v1/models", &tampered);
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("\"code\":\"model-format\""), "{body}");
+
+    // A truncated artifact likewise.
+    let (status, body) = post_bytes(&addr, "/v1/models", &artifact[..64]);
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("\"code\":\"model-format\""), "{body}");
+
+    // A JSON model whose weight table hides an infinity behind `1e999`
+    // parses fine but must fail validation with the same stable code.
+    let poisoned = r#"{"language":"js","target":"variables","abstraction":"full",
+        "max_length":7,"max_width":3,"semi_paths":true,"top_k":5,
+        "labels":["a","b"],"features":["f0"],
+        "model":"{\"pair_weights\":[[0,0,1,1e999]],\"unary_weights\":[],\"label_counts\":[1,1],\"candidates\":[],\"global_candidates\":[0],\"max_candidates\":4,\"max_passes\":4}"}"#;
+    let (status, body) = post(&addr, "/v1/models", poisoned);
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("\"code\":\"model-format\""), "{body}");
+    assert!(body.contains("model-nonfinite-weight"), "{body}");
+
+    // None of the rejected uploads displaced the artifact model.
+    let (_, body) = get(&addr, "/v1/models");
+    assert!(body.contains("\"active_version\":2"), "{body}");
+    let (status, body) = post(&addr, "/v1/predict", QUERY);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"model_version\":2"), "{body}");
+
     child.kill().expect("kills");
     let _ = child.wait();
 }
