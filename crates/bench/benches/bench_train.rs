@@ -1,0 +1,185 @@
+//! Training-path performance: full CRF training at two corpus sizes,
+//! the shard-merge path (`pigeon merge` over partial statistics files),
+//! checkpoint resume, and incremental updates vs full retraining.
+//!
+//! Writes `BENCH_TRAIN.json` at the repo root (override the path with
+//! `PIGEON_BENCH_OUT`) with median/p95 per path, host metadata, and the
+//! dimensionless ratios the CI perf gate tracks (`perf_gate` compares
+//! ratios, which cancel host speed, at ±15%; absolute medians only
+//! under `PIGEON_BENCH_STRICT=1`).
+
+use pigeon::corpus::{generate, CorpusConfig, Language};
+use pigeon::crf::checkpoint::{decode_checkpoint, encode_checkpoint};
+use pigeon::crf::TrainControl;
+use pigeon::eval::ElementClass;
+use pigeon::{Pigeon, PigeonConfig, TrainRun};
+use pigeon_bench::{bench_files, Section};
+use std::time::Instant;
+
+/// Times `f` over `iterations` runs and returns `(median, p95)` in
+/// microseconds.
+fn measure<T>(iterations: usize, mut f: impl FnMut() -> T) -> (f64, f64) {
+    let mut micros: Vec<f64> = (0..iterations)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            t.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    micros.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let p95 = micros[((micros.len() - 1) * 95) / 100];
+    (micros[micros.len() / 2], p95)
+}
+
+fn sources_of(corpus: &pigeon::corpus::Corpus) -> Vec<&str> {
+    corpus.docs.iter().map(|d| d.source.as_str()).collect()
+}
+
+const SMALL_ITERS: usize = 11;
+const MEDIUM_ITERS: usize = 5;
+const SHARDS: usize = 4;
+
+fn main() {
+    let small_files = bench_files(40);
+    let medium_files = small_files * 3;
+    let section = Section::begin("Training paths: full, shard-merge, resume, incremental");
+    let config = PigeonConfig::default();
+
+    let small = generate(
+        Language::JavaScript,
+        &CorpusConfig::default().with_files(small_files),
+    );
+    let small_refs = sources_of(&small);
+    let medium = generate(
+        Language::JavaScript,
+        &CorpusConfig::default().with_files(medium_files),
+    );
+    let medium_refs = sources_of(&medium);
+
+    let train = |refs: &[&str]| {
+        Pigeon::train_variable_namer(Language::JavaScript, refs, &config).expect("trains")
+    };
+
+    let (small_median, small_p95) = measure(SMALL_ITERS, || train(&small_refs));
+    let (medium_median, medium_p95) = measure(MEDIUM_ITERS, || train(&medium_refs));
+
+    // Shard-merge path: partials are produced once (that cost is the
+    // workers' extraction, measured by crf_train_*); the merge path is
+    // decode + replay + statistics sum + the finishing SGD run.
+    let parts: Vec<Vec<u8>> = (0..SHARDS)
+        .map(|i| {
+            Pigeon::build_training_partial(
+                Language::JavaScript,
+                ElementClass::Variable,
+                &small_refs,
+                i,
+                SHARDS,
+                &config,
+            )
+            .expect("builds partial")
+        })
+        .collect();
+    let (merge_median, merge_p95) = measure(SMALL_ITERS, || {
+        Pigeon::from_partials(&parts).expect("merges")
+    });
+
+    // Resume path: snapshot at the halfway epoch once, then measure
+    // checkpoint decode + the remaining epochs.
+    let halfway = config.crf.epochs / 2;
+    let mut snapshot: Option<Vec<u8>> = None;
+    let mut on_checkpoint = |state: &pigeon::crf::TrainState| {
+        snapshot = Some(encode_checkpoint(state));
+    };
+    let run = Pigeon::train_namer_resumable(
+        Language::JavaScript,
+        ElementClass::Variable,
+        &small_refs,
+        &config,
+        TrainControl {
+            checkpoint_every: halfway,
+            on_checkpoint: Some(&mut on_checkpoint),
+            ..TrainControl::default()
+        },
+    )
+    .expect("trains");
+    assert!(matches!(run, TrainRun::Completed(_)));
+    let snapshot = snapshot.expect("halfway checkpoint fired");
+    let (resume_median, resume_p95) = measure(SMALL_ITERS, || {
+        let state = decode_checkpoint(&snapshot).expect("decodes");
+        let resumed = Pigeon::train_namer_resumable(
+            Language::JavaScript,
+            ElementClass::Variable,
+            &small_refs,
+            &config,
+            TrainControl {
+                resume: Some(state),
+                ..TrainControl::default()
+            },
+        )
+        .expect("resumes");
+        assert!(matches!(resumed, TrainRun::Completed(_)));
+    });
+
+    // Incremental update vs full retrain over the same final corpus.
+    let base = train(&small_refs);
+    let extra = generate(
+        Language::JavaScript,
+        &CorpusConfig::default()
+            .with_files(small_files / 4)
+            .with_seed(0x1CA0),
+    );
+    let extra_refs = sources_of(&extra);
+    let mut combined = small_refs.clone();
+    combined.extend(&extra_refs);
+    let (update_median, update_p95) =
+        measure(SMALL_ITERS, || base.update(&extra_refs).expect("updates"));
+    let (retrain_median, retrain_p95) = measure(SMALL_ITERS, || train(&combined));
+
+    let rows = [
+        ("crf_train_small", small_median, small_p95),
+        ("crf_train_medium", medium_median, medium_p95),
+        ("shard_merge", merge_median, merge_p95),
+        ("resume", resume_median, resume_p95),
+        ("incremental_update", update_median, update_p95),
+        ("full_retrain", retrain_median, retrain_p95),
+    ];
+    println!("{:<20} {:>14} {:>14}", "Path", "Median (µs)", "p95 (µs)");
+    for (name, median, p95) in &rows {
+        println!("{name:<20} {median:>14.1} {p95:>14.1}");
+    }
+    let merge_ratio = merge_median / small_median;
+    let resume_ratio = resume_median / small_median;
+    let incremental_speedup = retrain_median / update_median;
+    println!(
+        "\nshard_merge/train {merge_ratio:.2}  resume/train {resume_ratio:.2}  \
+         incremental speedup {incremental_speedup:.2}×"
+    );
+
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|(name, median, p95)| {
+            format!("    \"{name}\": {{\"median_micros\": {median:.1}, \"p95_micros\": {p95:.1}}}")
+        })
+        .collect();
+    let report = format!(
+        "{{\n  \"bench\": \"train\",\n  \"corpus_files\": {{\"small\": {small_files}, \
+         \"medium\": {medium_files}, \"incremental_added\": {}}},\n  \
+         \"iterations\": {{\"small\": {SMALL_ITERS}, \"medium\": {MEDIUM_ITERS}}},\n  \
+         \"shards\": {SHARDS},\n  \"host\": {{\"os\": \"{}\", \"arch\": \"{}\", \"cores\": {}}},\n  \
+         \"paths\": {{\n{}\n  }},\n  \"ratios\": {{\n    \
+         \"shard_merge_vs_train_small\": {merge_ratio:.3},\n    \
+         \"resume_vs_train_small\": {resume_ratio:.3},\n    \
+         \"incremental_speedup_vs_full\": {incremental_speedup:.3}\n  }}\n}}\n",
+        extra_refs.len(),
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+        std::thread::available_parallelism().map_or(0, usize::from),
+        entries.join(",\n")
+    );
+    let out = std::env::var("PIGEON_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_TRAIN.json").to_owned()
+    });
+    std::fs::write(&out, report).expect("writes snapshot");
+    println!("\nwrote {out}");
+    section.end();
+}

@@ -69,5 +69,5 @@ pub use fingerprint::{fnv64, normalized_fingerprint, Fnv64};
 pub use nwise::{triple_contexts, NWiseContext};
 pub use parallel::{effective_jobs, parallel_map_indexed};
 pub use path::{AstPath, Direction};
-pub use sampling::downsample;
+pub use sampling::{derive_seed, downsample, DOWNSAMPLE_SEED};
 pub use vocab::{Interner, PathId, PathVocab};

@@ -8,6 +8,20 @@
 
 use rand::Rng;
 
+/// Base seed for per-document downsampling streams (see [`derive_seed`]).
+pub const DOWNSAMPLE_SEED: u64 = 0x9160_704E;
+
+/// Derives an independent per-item seed from a base seed and an item
+/// index (SplitMix64-style finalizer). Sharded workers use this to
+/// reproduce the exact per-document RNG stream a single-process run
+/// would use, regardless of which worker handles which document.
+pub fn derive_seed(base: u64, index: u64) -> u64 {
+    let mut z = base ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Keeps each element of `items` independently with probability
 /// `keep_prob`, preserving relative order of survivors.
 ///

@@ -104,6 +104,59 @@ pub const SEC_CAND_LABELS: u32 = 16;
 /// Inference caps: `u64 max_candidates` + `u64 max_passes`.
 pub const SEC_CAPS: u32 = 17;
 
+// Checkpoint sections (containers of kind [`KIND_CHECKPOINT`]; see
+// `crate::checkpoint`).
+/// Checkpoint scalar state: fingerprint, epoch, position, RNG state.
+pub const SEC_CK_META: u32 = 40;
+/// Shuffle order for the checkpointed epoch (`u32` per instance).
+pub const SEC_CK_ORDER: u32 = 41;
+/// Live pairwise weights: `u32 path` + `u64 key` + `u32 f32-bits` each.
+pub const SEC_CK_PAIR: u32 = 42;
+/// Live unary weights, same layout as [`SEC_CK_PAIR`].
+pub const SEC_CK_UNARY: u32 = 43;
+/// Epoch-average pair sums: `u32 path,a,b,pad` + `u64 f64-bits` each.
+pub const SEC_CK_PAIR_SUM: u32 = 44;
+/// Epoch-average unary sums: `u32 path,label` + `u64 f64-bits` each.
+pub const SEC_CK_UNARY_SUM: u32 = 45;
+
+// Partial-statistics sections (containers of kind [`KIND_PARTIAL`];
+// see `pigeon_eval::partial`).
+/// Shard metadata: extraction config fingerprint + shard coordinates.
+pub const SEC_PT_META: u32 = 60;
+/// Per-document records: local vocabularies, instance, statistics.
+pub const SEC_PT_DOCS: u32 = 61;
+
+// Container kinds, recorded at header bytes 24..28 (formerly reserved,
+// so every pre-kind artifact reads as a model).
+/// A compiled model artifact ([`read_artifact`]).
+pub const KIND_MODEL: u32 = 0;
+/// A partial training-statistics file (`pigeon train --emit-partial`).
+pub const KIND_PARTIAL: u32 = 1;
+/// An SGD checkpoint (`pigeon train --checkpoint-dir`).
+pub const KIND_CHECKPOINT: u32 = 2;
+
+/// Human-readable name of a container kind, for diagnostics.
+pub fn kind_name(kind: u32) -> &'static str {
+    match kind {
+        KIND_MODEL => "model",
+        KIND_PARTIAL => "partial",
+        KIND_CHECKPOINT => "checkpoint",
+        _ => "unknown",
+    }
+}
+
+/// The container kind of `bytes`, if it carries the artifact magic and
+/// a full header — the sniff `pigeon audit` dispatches on. Content
+/// validation still goes through [`Reader::parse`].
+pub fn container_kind(bytes: &[u8]) -> Option<u32> {
+    if !is_artifact(bytes) || bytes.len() < HEADER_LEN {
+        return None;
+    }
+    Some(u32::from_le_bytes([
+        bytes[24], bytes[25], bytes[26], bytes[27],
+    ]))
+}
+
 /// Human-readable name of a section id, for diagnostics.
 pub fn section_name(id: u32) -> &'static str {
     match id {
@@ -124,6 +177,14 @@ pub fn section_name(id: u32) -> &'static str {
         SEC_CAND_ENTRIES => "cand-entries",
         SEC_CAND_LABELS => "cand-labels",
         SEC_CAPS => "caps",
+        SEC_CK_META => "ck-meta",
+        SEC_CK_ORDER => "ck-order",
+        SEC_CK_PAIR => "ck-pair",
+        SEC_CK_UNARY => "ck-unary",
+        SEC_CK_PAIR_SUM => "ck-pair-sum",
+        SEC_CK_UNARY_SUM => "ck-unary-sum",
+        SEC_PT_META => "pt-meta",
+        SEC_PT_DOCS => "pt-docs",
         _ => "unknown",
     }
 }
@@ -427,8 +488,15 @@ impl Writer {
     }
 
     /// Serialises header + table + 8-byte-aligned payloads and fills in
-    /// every checksum.
+    /// every checksum. The container kind is [`KIND_MODEL`].
     pub fn finish(self, quant: Quant) -> Vec<u8> {
+        self.finish_kind(quant, KIND_MODEL)
+    }
+
+    /// [`Self::finish`] with an explicit container kind (header bytes
+    /// 24..28) — partials and checkpoints share the container but must
+    /// never be mistaken for models.
+    pub fn finish_kind(self, quant: Quant, kind: u32) -> Vec<u8> {
         let table_end = HEADER_LEN + self.sections.len() * TABLE_ENTRY_LEN;
         // Lay out payloads first: offset of each, 8-byte aligned.
         let mut offsets = Vec::with_capacity(self.sections.len());
@@ -443,7 +511,9 @@ impl Writer {
         out[4..8].copy_from_slice(&VERSION.to_le_bytes());
         out[8..12].copy_from_slice(&quant.tag().to_le_bytes());
         out[12..16].copy_from_slice(&(self.sections.len() as u32).to_le_bytes());
-        // out[16..24] = file checksum, patched last; out[24..32] reserved.
+        // out[16..24] = file checksum, patched last.
+        out[24..28].copy_from_slice(&kind.to_le_bytes());
+        // out[28..32] reserved.
         for (i, (id, payload)) in self.sections.iter().enumerate() {
             let entry = HEADER_LEN + i * TABLE_ENTRY_LEN;
             out[entry..entry + 4].copy_from_slice(&id.to_le_bytes());
@@ -478,6 +548,7 @@ pub struct SectionInfo {
 pub struct Reader<'a> {
     data: &'a [u8],
     quant: Quant,
+    kind: u32,
     sections: Vec<(u32, usize, usize)>,
 }
 
@@ -566,6 +637,7 @@ impl<'a> Reader<'a> {
         Ok(Reader {
             data,
             quant,
+            kind: u32::from_le_bytes([data[24], data[25], data[26], data[27]]),
             sections,
         })
     }
@@ -573,6 +645,11 @@ impl<'a> Reader<'a> {
     /// The header's quantization mode.
     pub fn quant(&self) -> Quant {
         self.quant
+    }
+
+    /// The header's container kind (`KIND_*`).
+    pub fn kind(&self) -> u32 {
+        self.kind
     }
 
     /// Section table, in file order.
@@ -888,6 +965,13 @@ pub fn write_artifact(
 /// (fuzzed in `tests/artifact.rs`).
 pub fn read_artifact(bytes: &[u8]) -> Result<ModelArtifact, String> {
     let r = Reader::parse(bytes)?;
+    if r.kind() != KIND_MODEL {
+        return Err(format!(
+            "container holds a {} (kind {}), not a compiled model",
+            kind_name(r.kind()),
+            r.kind()
+        ));
+    }
 
     let meta_bytes = r.section(SEC_META)?;
     let (meta_strings, meta_rest) = decode_strings(meta_bytes, "meta")?;

@@ -30,6 +30,7 @@
 
 pub mod artifact;
 mod beam;
+pub mod checkpoint;
 mod compiled;
 mod instance;
 mod model;
@@ -39,4 +40,7 @@ mod train;
 pub use compiled::{CompiledCrf, Workspace};
 pub use instance::{Instance, Node, PairFactor, UnaryFactor};
 pub use model::{CrfModel, ModelIssue, MAX_CANDIDATES_BOUND, MAX_PASSES_BOUND};
-pub use train::{train, CrfConfig};
+pub use train::{
+    train, train_from_statistics, train_incremental, train_resumable, CrfConfig, RawStatistics,
+    TrainControl, TrainOutcome, TrainState,
+};

@@ -16,6 +16,24 @@
 //! the pre-compilation implementation (pinned in `tests/golden_train.rs`)
 //! — because updates stay sequential in the same shuffled order and the
 //! statistics merge is a sum of per-chunk integer counts.
+//!
+//! Three scale-out entry points build on the same loop:
+//!
+//! - [`RawStatistics`] is the pre-truncation count state. Shard workers
+//!   collect it per document, [`RawStatistics::absorb`] merges partials
+//!   by integer addition, and [`train_from_statistics`] finishes training
+//!   from the merged counts — byte-identical to a single-process
+//!   [`train`] because candidate truncation and global-candidate
+//!   derivation only ever run on the fully merged counts.
+//! - [`train_resumable`] threads a [`TrainControl`] through the SGD loop:
+//!   periodic [`TrainState`] snapshots (weights, averaging sums, shuffle
+//!   order, exact RNG state), a polled interrupt that yields a mid-epoch
+//!   snapshot, and resume from a snapshot that replays the remaining
+//!   updates exactly — the resumed model is byte-identical to an
+//!   uninterrupted run.
+//! - [`train_incremental`] folds new documents' statistics into an
+//!   existing model's count state and warm-starts SGD from its weights,
+//!   skipping re-extraction of the original corpus.
 
 use crate::compiled::{compile_shared, infer, pair_key, BucketWeights, Workspace};
 use crate::instance::Instance;
@@ -28,7 +46,7 @@ use rand::SeedableRng;
 use std::collections::HashMap;
 
 /// Training hyper-parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CrfConfig {
     /// Number of passes over the training set.
     pub epochs: usize,
@@ -69,99 +87,469 @@ impl Default for CrfConfig {
     }
 }
 
+/// Pre-truncation training statistics: label counts over unknown nodes
+/// and the `(path, other_label, side)` → gold-label co-occurrence
+/// counts. Unlike the truncated tables stored on [`CrfModel`], this is
+/// closed under merging — summing two `RawStatistics` gives exactly the
+/// statistics of the concatenated corpora, which is what makes sharded
+/// training byte-identical to a single pass.
+#[derive(Debug, Clone, Default)]
+pub struct RawStatistics {
+    /// Unknown-node occurrences per label id.
+    pub counts: Vec<u32>,
+    /// `(path, other_label, side)` → gold label → co-occurrence count.
+    pub suggestions: HashMap<(u32, u32, u8), HashMap<u32, u32>>,
+}
+
+impl RawStatistics {
+    /// Empty statistics over `num_labels` labels.
+    pub fn new(num_labels: u32) -> Self {
+        RawStatistics {
+            counts: vec![0; num_labels as usize],
+            suggestions: HashMap::new(),
+        }
+    }
+
+    /// Collects statistics over `instances` in one serial pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any instance references a label `>= num_labels` or a
+    /// node index out of range (instances built through
+    /// [`Instance::add_pair`] cannot trigger the latter).
+    pub fn collect(instances: &[Instance], num_labels: u32) -> Self {
+        let mut stats = RawStatistics::new(num_labels);
+        for inst in instances {
+            for node in &inst.nodes {
+                if !node.known {
+                    stats.counts[node.label as usize] += 1;
+                }
+            }
+            for pf in &inst.pairwise {
+                let (la, lb) = (inst.nodes[pf.a].label, inst.nodes[pf.b].label);
+                if !inst.nodes[pf.a].known {
+                    *stats
+                        .suggestions
+                        .entry((pf.path, lb, 0))
+                        .or_default()
+                        .entry(la)
+                        .or_insert(0) += 1;
+                }
+                if !inst.nodes[pf.b].known {
+                    *stats
+                        .suggestions
+                        .entry((pf.path, la, 1))
+                        .or_default()
+                        .entry(lb)
+                        .or_insert(0) += 1;
+                }
+            }
+        }
+        stats
+    }
+
+    /// Adds `other` into `self` (commutative integer addition).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sides disagree on the number of labels.
+    pub fn absorb(&mut self, other: &RawStatistics) {
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "statistics label spaces differ"
+        );
+        for (total, part) in self.counts.iter_mut().zip(&other.counts) {
+            *total += part;
+        }
+        for (key, by_label) in &other.suggestions {
+            let slot = self.suggestions.entry(*key).or_default();
+            for (&label, &n) in by_label {
+                *slot.entry(label).or_insert(0) += n;
+            }
+        }
+    }
+}
+
+/// A snapshot of the SGD loop sufficient to resume it exactly: epoch
+/// index, position within the (saved) shuffle order, raw RNG state,
+/// current weights, and the epoch-average accumulators. Produced by
+/// [`train_resumable`] via [`TrainControl`]; serialised by
+/// [`crate::checkpoint`].
+#[derive(Debug, Clone)]
+pub struct TrainState {
+    /// Epoch the loop is in (0-based; `pos` instances already done).
+    pub(crate) epoch: usize,
+    /// Next position in `order` to process.
+    pub(crate) pos: usize,
+    /// Whether `order` is the live shuffle for `epoch` (mid-epoch
+    /// snapshot) or stale (epoch-boundary snapshot; resume reshuffles).
+    pub(crate) shuffled: bool,
+    /// Instance visit order for the current epoch.
+    pub(crate) order: Vec<u32>,
+    /// Raw xoshiro256++ state of the shuffle RNG.
+    pub(crate) rng: [u64; 4],
+    /// Live pairwise weights as `(path, packed_label_pair, weight)`,
+    /// sorted by `(path, key)`.
+    pub(crate) pair: Vec<(u32, u64, f32)>,
+    /// Live unary weights as `(path, label, weight)`, sorted.
+    pub(crate) unary: Vec<(u32, u64, f32)>,
+    /// Epoch-average accumulator for pairwise weights, sorted by key.
+    pub(crate) pair_sum: Vec<(u32, u32, u32, f64)>,
+    /// Epoch-average accumulator for unary weights, sorted by key.
+    pub(crate) unary_sum: Vec<(u32, u32, f64)>,
+    /// Corpus/config fingerprint; resume refuses a mismatch.
+    pub(crate) fingerprint: TrainFingerprint,
+}
+
+impl TrainState {
+    /// Epoch the snapshot was taken in (0-based).
+    pub fn epoch(&self) -> usize {
+        self.epoch
+    }
+
+    /// Instances of the current epoch already processed.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Total epochs the run was configured for.
+    pub fn total_epochs(&self) -> usize {
+        self.fingerprint.epochs as usize
+    }
+}
+
+/// The training inputs a checkpoint is only valid for. Everything that
+/// shapes the update trajectory is included; `jobs` is not (the model is
+/// invariant to it).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct TrainFingerprint {
+    pub(crate) num_instances: u64,
+    pub(crate) num_labels: u32,
+    pub(crate) epochs: u64,
+    pub(crate) learning_rate: f32,
+    pub(crate) max_passes: u64,
+    pub(crate) max_candidates: u64,
+    pub(crate) global_candidates: u64,
+    pub(crate) suggestions_per_key: u64,
+    pub(crate) use_unary: bool,
+    pub(crate) seed: u64,
+}
+
+impl TrainFingerprint {
+    fn new(num_instances: usize, num_labels: u32, cfg: &CrfConfig) -> Self {
+        TrainFingerprint {
+            num_instances: num_instances as u64,
+            num_labels,
+            epochs: cfg.epochs as u64,
+            learning_rate: cfg.learning_rate,
+            max_passes: cfg.max_passes as u64,
+            max_candidates: cfg.max_candidates as u64,
+            global_candidates: cfg.global_candidates as u64,
+            suggestions_per_key: cfg.suggestions_per_key as u64,
+            use_unary: cfg.use_unary,
+            seed: cfg.seed,
+        }
+    }
+}
+
+/// Hooks into the SGD loop: resume from a snapshot, snapshot every N
+/// epochs, and a polled interrupt (checked once per instance) that stops
+/// the loop with a mid-epoch snapshot instead of discarding work.
+#[derive(Default)]
+pub struct TrainControl<'a> {
+    /// Continue from this snapshot instead of starting fresh.
+    pub resume: Option<TrainState>,
+    /// Snapshot every N completed epochs (`0` = never). The final epoch
+    /// is not snapshotted — the model itself is the result.
+    pub checkpoint_every: usize,
+    /// Called with each periodic snapshot (the caller persists it).
+    pub on_checkpoint: Option<&'a mut dyn FnMut(&TrainState)>,
+    /// Polled before each instance; returning `true` stops the loop with
+    /// [`TrainOutcome::Interrupted`].
+    pub interrupt: Option<&'a dyn Fn() -> bool>,
+}
+
+/// Result of a resumable run: the finished model, or the snapshot at the
+/// point the interrupt fired.
+#[derive(Debug)]
+pub enum TrainOutcome {
+    /// Training ran to completion.
+    Completed(Box<CrfModel>),
+    /// The interrupt fired; resume later from this snapshot.
+    Interrupted(Box<TrainState>),
+}
+
 /// Trains a CRF on `instances`, whose labels range over `0..num_labels`.
 ///
 /// # Panics
 ///
 /// Panics if any instance references a label `>= num_labels`.
 pub fn train(instances: &[Instance], num_labels: u32, cfg: &CrfConfig) -> CrfModel {
+    match train_resumable(instances, num_labels, cfg, TrainControl::default()) {
+        Ok(TrainOutcome::Completed(model)) => *model,
+        Ok(TrainOutcome::Interrupted(_)) => unreachable!("no interrupt installed"),
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`train`] with checkpoint/resume/interrupt hooks. With a default
+/// [`TrainControl`] this is exactly [`train`]; with `resume` it replays
+/// the remaining updates so the final model is byte-identical to an
+/// uninterrupted run.
+///
+/// # Errors
+///
+/// Label out of range, or a resume snapshot whose fingerprint does not
+/// match `(instances, num_labels, cfg)`.
+pub fn train_resumable(
+    instances: &[Instance],
+    num_labels: u32,
+    cfg: &CrfConfig,
+    control: TrainControl<'_>,
+) -> Result<TrainOutcome, String> {
     let _span = telemetry::span("crf_train");
-    // Only the unary ablation needs its own copy (with unary factors
-    // stripped); the common path borrows the caller's instances.
     let stripped: Vec<Instance>;
     let instances: &[Instance] = if cfg.use_unary {
         instances
     } else {
-        stripped = instances
-            .iter()
-            .map(|i| Instance {
-                nodes: i.nodes.clone(),
-                pairwise: i.pairwise.clone(),
-                unary: Vec::new(),
-            })
-            .collect();
+        stripped = strip_unary(instances);
         &stripped
     };
+    validate_labels(instances, num_labels)?;
 
     let mut model = CrfModel {
         max_candidates: cfg.max_candidates,
         max_passes: cfg.max_passes,
         ..CrfModel::default()
     };
-    build_statistics(&mut model, instances, num_labels, cfg);
+    let stats = gather_statistics(instances, num_labels, cfg);
+    finish_statistics(&mut model, stats, cfg);
+    sgd(model, instances, num_labels, cfg, control)
+}
 
-    // Freeze the training-invariant engine state (candidate index,
-    // prior, caps); weights live in mutable indexed buckets.
+/// Finishes training from pre-merged statistics (the `pigeon merge`
+/// path): derives the truncated candidate tables from `stats` exactly as
+/// a single-process pass would, then runs the standard SGD loop.
+///
+/// # Errors
+///
+/// Label out of range, or `stats` covering a different label space.
+pub fn train_from_statistics(
+    instances: &[Instance],
+    num_labels: u32,
+    cfg: &CrfConfig,
+    stats: RawStatistics,
+) -> Result<CrfModel, String> {
+    let _span = telemetry::span("crf_train");
+    let stripped: Vec<Instance>;
+    let instances: &[Instance] = if cfg.use_unary {
+        instances
+    } else {
+        stripped = strip_unary(instances);
+        &stripped
+    };
+    validate_labels(instances, num_labels)?;
+    if stats.counts.len() != num_labels as usize {
+        return Err(format!(
+            "statistics cover {} labels but the corpus has {num_labels}",
+            stats.counts.len()
+        ));
+    }
+
+    let mut model = CrfModel {
+        max_candidates: cfg.max_candidates,
+        max_passes: cfg.max_passes,
+        ..CrfModel::default()
+    };
+    finish_statistics(&mut model, stats, cfg);
+    match sgd(model, instances, num_labels, cfg, TrainControl::default())? {
+        TrainOutcome::Completed(model) => Ok(*model),
+        TrainOutcome::Interrupted(_) => unreachable!("no interrupt installed"),
+    }
+}
+
+/// Folds `new_stats` (statistics over `new_instances` only) into
+/// `base`'s count state, warm-starts weights from `base`, and runs SGD
+/// over the new instances only. An approximation of full retraining —
+/// the old corpus's updates are frozen into the warm start and its
+/// candidate lists were already truncated — but it never re-reads the
+/// original corpus.
+///
+/// # Errors
+///
+/// Artifact-backed base models (their count tables are frozen), label
+/// out of range, or mismatched statistics.
+pub fn train_incremental(
+    new_instances: &[Instance],
+    num_labels: u32,
+    cfg: &CrfConfig,
+    base: &CrfModel,
+    new_stats: &RawStatistics,
+) -> Result<CrfModel, String> {
+    let _span = telemetry::span("crf_train_incremental");
+    if base.is_artifact_backed() {
+        return Err("incremental update needs a JSON-loaded model; \
+                    compiled artifacts freeze the count tables"
+            .to_owned());
+    }
+    let stripped: Vec<Instance>;
+    let new_instances: &[Instance] = if cfg.use_unary {
+        new_instances
+    } else {
+        stripped = strip_unary(new_instances);
+        &stripped
+    };
+    validate_labels(new_instances, num_labels)?;
+    if new_stats.counts.len() != num_labels as usize {
+        return Err(format!(
+            "statistics cover {} labels but the corpus has {num_labels}",
+            new_stats.counts.len()
+        ));
+    }
+    if base.label_counts.len() > num_labels as usize {
+        return Err(format!(
+            "base model has {} labels but the updated vocabulary has {num_labels}",
+            base.label_counts.len()
+        ));
+    }
+
+    // Fold the new counts into the base model's (truncated) tables. The
+    // base's candidate lists already lost their tail, so this is an
+    // approximation; the surviving counts still rank candidates well.
+    let mut stats = RawStatistics::new(num_labels);
+    stats.counts[..base.label_counts.len()].copy_from_slice(&base.label_counts);
+    for (key, suggested) in base.candidate_entries() {
+        let slot = stats.suggestions.entry(key).or_default();
+        for &(label, count) in suggested {
+            *slot.entry(label).or_insert(0) += count;
+        }
+    }
+    stats.absorb(new_stats);
+
+    let mut model = CrfModel {
+        max_candidates: cfg.max_candidates,
+        max_passes: cfg.max_passes,
+        ..CrfModel::default()
+    };
+    finish_statistics(&mut model, stats, cfg);
+
+    // Warm-start the buckets from the base weights; SGD then only sees
+    // the new instances. Epoch averaging keeps the warm start (it is
+    // part of every epoch's snapshot).
     let shared = compile_shared(&model);
     let mut weights = (BucketWeights::new(0), BucketWeights::new(0));
+    for (&(path, a, b), &w) in &base.pair_weights {
+        weights.0.add(path, pair_key(a, b), w);
+    }
+    for (&(path, label), &w) in &base.unary_weights {
+        weights.1.add(path, u64::from(label), w);
+    }
     let mut ws = Workspace::new();
-
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
-    let mut order: Vec<usize> = (0..instances.len()).collect();
-
-    // Averaged weights: accumulate w after every epoch.
+    let mut order: Vec<usize> = (0..new_instances.len()).collect();
     let mut pair_sum: HashMap<(u32, u32, u32), f64> = HashMap::new();
     let mut unary_sum: HashMap<(u32, u32), f64> = HashMap::new();
-
     for _epoch in 0..cfg.epochs {
         let _epoch_span = telemetry::span("crf_epoch");
         let mut epoch_updates = 0u64;
         order.shuffle(&mut rng);
         for &idx in &order {
-            let inst = &instances[idx];
-            let gold: Vec<u32> = inst.nodes.iter().map(|n| n.label).collect();
-            let predicted = infer(&shared, &weights, inst, true, &mut ws);
-            if predicted == gold {
-                continue;
-            }
-            epoch_updates += 1;
-            // Subgradient step: +lr toward gold features, -lr away from
-            // the violator, only where they disagree.
-            for pf in &inst.pairwise {
-                let g = (gold[pf.a], gold[pf.b]);
-                let p = (predicted[pf.a], predicted[pf.b]);
-                if g != p {
-                    weights
-                        .0
-                        .add(pf.path, pair_key(g.0, g.1), cfg.learning_rate);
-                    weights
-                        .0
-                        .add(pf.path, pair_key(p.0, p.1), -cfg.learning_rate);
-                }
-            }
-            for uf in &inst.unary {
-                let g = gold[uf.node];
-                let p = predicted[uf.node];
-                if g != p {
-                    weights.1.add(uf.path, u64::from(g), cfg.learning_rate);
-                    weights.1.add(uf.path, u64::from(p), -cfg.learning_rate);
-                }
-            }
+            epoch_updates += sgd_step(&shared, &mut weights, &new_instances[idx], cfg, &mut ws);
         }
-        weights.0.for_each(|path, key, w| {
-            let k = (path, (key >> 32) as u32, key as u32);
-            *pair_sum.entry(k).or_insert(0.0) += f64::from(w);
-        });
-        weights.1.for_each(|path, key, w| {
-            *unary_sum.entry((path, key as u32)).or_insert(0.0) += f64::from(w);
-        });
-        // The per-epoch objective proxy: how many instances still violate
-        // the margin (drove a subgradient update) this epoch.
+        accumulate_sums(&weights, &mut pair_sum, &mut unary_sum);
         telemetry::count("pigeon_crf_updates_total", epoch_updates);
     }
+    finalize_weights(&mut model, pair_sum, unary_sum, cfg.epochs);
+    Ok(model)
+}
 
-    // Replace final weights by the epoch average.
-    let denom = cfg.epochs.max(1) as f64;
+fn strip_unary(instances: &[Instance]) -> Vec<Instance> {
+    instances
+        .iter()
+        .map(|i| Instance {
+            nodes: i.nodes.clone(),
+            pairwise: i.pairwise.clone(),
+            unary: Vec::new(),
+        })
+        .collect()
+}
+
+fn validate_labels(instances: &[Instance], num_labels: u32) -> Result<(), String> {
+    // Validate serially so the error (message and which label triggers
+    // it) is deterministic regardless of `jobs`.
+    for inst in instances {
+        for node in &inst.nodes {
+            if node.label >= num_labels {
+                return Err(format!("label {} out of range {num_labels}", node.label));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// One loss-augmented inference + subgradient step; returns 1 if the
+/// instance violated the margin (drove an update).
+fn sgd_step(
+    shared: &crate::compiled::EngineShared,
+    weights: &mut (BucketWeights, BucketWeights),
+    inst: &Instance,
+    cfg: &CrfConfig,
+    ws: &mut Workspace,
+) -> u64 {
+    let gold: Vec<u32> = inst.nodes.iter().map(|n| n.label).collect();
+    let predicted = infer(shared, weights, inst, true, ws);
+    if predicted == gold {
+        return 0;
+    }
+    // Subgradient step: +lr toward gold features, -lr away from the
+    // violator, only where they disagree.
+    for pf in &inst.pairwise {
+        let g = (gold[pf.a], gold[pf.b]);
+        let p = (predicted[pf.a], predicted[pf.b]);
+        if g != p {
+            weights
+                .0
+                .add(pf.path, pair_key(g.0, g.1), cfg.learning_rate);
+            weights
+                .0
+                .add(pf.path, pair_key(p.0, p.1), -cfg.learning_rate);
+        }
+    }
+    for uf in &inst.unary {
+        let g = gold[uf.node];
+        let p = predicted[uf.node];
+        if g != p {
+            weights.1.add(uf.path, u64::from(g), cfg.learning_rate);
+            weights.1.add(uf.path, u64::from(p), -cfg.learning_rate);
+        }
+    }
+    1
+}
+
+/// Accumulates the live weights into the epoch-average sums.
+fn accumulate_sums(
+    weights: &(BucketWeights, BucketWeights),
+    pair_sum: &mut HashMap<(u32, u32, u32), f64>,
+    unary_sum: &mut HashMap<(u32, u32), f64>,
+) {
+    weights.0.for_each(|path, key, w| {
+        let k = (path, (key >> 32) as u32, key as u32);
+        *pair_sum.entry(k).or_insert(0.0) += f64::from(w);
+    });
+    weights.1.for_each(|path, key, w| {
+        *unary_sum.entry((path, key as u32)).or_insert(0.0) += f64::from(w);
+    });
+}
+
+/// Replaces the model weights by the epoch average, dropping zeros.
+fn finalize_weights(
+    model: &mut CrfModel,
+    pair_sum: HashMap<(u32, u32, u32), f64>,
+    unary_sum: HashMap<(u32, u32), f64>,
+    epochs: usize,
+) {
+    let denom = epochs.max(1) as f64;
     model.pair_weights = pair_sum
         .into_iter()
         .map(|(k, w)| (k, (w / denom) as f32))
@@ -172,104 +560,213 @@ pub fn train(instances: &[Instance], num_labels: u32, cfg: &CrfConfig) -> CrfMod
         .map(|(k, w)| (k, (w / denom) as f32))
         .filter(|&(_, w)| w != 0.0)
         .collect();
-    model
 }
 
-/// Per-chunk statistics: label counts over unknown nodes and the
-/// `(path, other_label, side)` → gold-label co-occurrence counts.
-type ChunkStats = (Vec<u32>, HashMap<(u32, u32, u8), HashMap<u32, u32>>);
-
-fn chunk_statistics(chunk: &[Instance], num_labels: u32) -> ChunkStats {
-    let mut counts = vec![0u32; num_labels as usize];
-    let mut suggestions: HashMap<(u32, u32, u8), HashMap<u32, u32>> = HashMap::new();
-    for inst in chunk {
-        for node in &inst.nodes {
-            if !node.known {
-                counts[node.label as usize] += 1;
-            }
-        }
-        for pf in &inst.pairwise {
-            let (la, lb) = (inst.nodes[pf.a].label, inst.nodes[pf.b].label);
-            if !inst.nodes[pf.a].known {
-                *suggestions
-                    .entry((pf.path, lb, 0))
-                    .or_default()
-                    .entry(la)
-                    .or_insert(0) += 1;
-            }
-            if !inst.nodes[pf.b].known {
-                *suggestions
-                    .entry((pf.path, la, 1))
-                    .or_default()
-                    .entry(lb)
-                    .or_insert(0) += 1;
-            }
-        }
+/// Snapshots the loop. Weight entries come out of `for_each` already
+/// sorted; the sum accumulators are sorted here so the snapshot (and its
+/// serialised form) is byte-stable.
+#[allow(clippy::too_many_arguments)]
+fn capture_state(
+    epoch: usize,
+    pos: usize,
+    shuffled: bool,
+    order: &[usize],
+    rng: &SmallRng,
+    weights: &(BucketWeights, BucketWeights),
+    pair_sum: &HashMap<(u32, u32, u32), f64>,
+    unary_sum: &HashMap<(u32, u32), f64>,
+    fingerprint: &TrainFingerprint,
+) -> TrainState {
+    let mut pair = Vec::new();
+    weights.0.for_each(|path, key, w| pair.push((path, key, w)));
+    let mut unary = Vec::new();
+    weights
+        .1
+        .for_each(|path, key, w| unary.push((path, key, w)));
+    let mut ps: Vec<(u32, u32, u32, f64)> = pair_sum
+        .iter()
+        .map(|(&(p, a, b), &w)| (p, a, b, w))
+        .collect();
+    ps.sort_unstable_by_key(|&(p, a, b, _)| (p, a, b));
+    let mut us: Vec<(u32, u32, f64)> = unary_sum.iter().map(|(&(p, l), &w)| (p, l, w)).collect();
+    us.sort_unstable_by_key(|&(p, l, _)| (p, l));
+    TrainState {
+        epoch,
+        pos,
+        shuffled,
+        order: order.iter().map(|&i| i as u32).collect(),
+        rng: rng.state(),
+        pair,
+        unary,
+        pair_sum: ps,
+        unary_sum: us,
+        fingerprint: fingerprint.clone(),
     }
-    (counts, suggestions)
 }
 
-/// First pass over the data: label counts, global candidates, and the
-/// per-feature candidate suggestion index. Fans out over contiguous
-/// chunks and merges in chunk order; because every merge is integer
-/// addition, the result is identical to a serial pass for any `jobs`.
-fn build_statistics(
-    model: &mut CrfModel,
+/// The sequential subgradient loop, resumable. Without hooks the control
+/// flow (RNG draws, visit order, update sequence) is identical to the
+/// original in-line loop, so [`train`] stays byte-for-byte reproducible.
+fn sgd(
+    mut model: CrfModel,
     instances: &[Instance],
     num_labels: u32,
     cfg: &CrfConfig,
-) {
-    let _span = telemetry::span("crf_statistics");
-    // Validate serially first so the panic (message and which label
-    // triggers it) is deterministic regardless of `jobs`.
-    for inst in instances {
-        for node in &inst.nodes {
-            assert!(
-                node.label < num_labels,
-                "label {} out of range {num_labels}",
-                node.label
-            );
+    mut control: TrainControl<'_>,
+) -> Result<TrainOutcome, String> {
+    let fingerprint = TrainFingerprint::new(instances.len(), num_labels, cfg);
+
+    // Freeze the training-invariant engine state (candidate index,
+    // prior, caps); weights live in mutable indexed buckets.
+    let shared = compile_shared(&model);
+    let mut ws = Workspace::new();
+
+    let mut weights = (BucketWeights::new(0), BucketWeights::new(0));
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut order: Vec<usize> = (0..instances.len()).collect();
+    // Averaged weights: accumulate w after every epoch.
+    let mut pair_sum: HashMap<(u32, u32, u32), f64> = HashMap::new();
+    let mut unary_sum: HashMap<(u32, u32), f64> = HashMap::new();
+
+    let mut start_epoch = 0usize;
+    let mut start_pos = 0usize;
+    let mut resume_shuffled = false;
+    if let Some(state) = control.resume.take() {
+        if state.fingerprint != fingerprint {
+            return Err("checkpoint does not match this corpus/config \
+                        (different instances, labels, or hyper-parameters)"
+                .to_owned());
+        }
+        if state.order.len() != instances.len()
+            || state.pos > instances.len()
+            || state.epoch > cfg.epochs
+        {
+            return Err("checkpoint state is inconsistent with the corpus size".to_owned());
+        }
+        for (path, key, w) in &state.pair {
+            weights.0.add(*path, *key, *w);
+        }
+        for (path, key, w) in &state.unary {
+            weights.1.add(*path, *key, *w);
+        }
+        pair_sum = state
+            .pair_sum
+            .iter()
+            .map(|&(p, a, b, w)| ((p, a, b), w))
+            .collect();
+        unary_sum = state
+            .unary_sum
+            .iter()
+            .map(|&(p, l, w)| ((p, l), w))
+            .collect();
+        rng = SmallRng::from_state(state.rng);
+        order = state.order.iter().map(|&i| i as usize).collect();
+        start_epoch = state.epoch;
+        start_pos = state.pos;
+        resume_shuffled = state.shuffled;
+        telemetry::count("pigeon_crf_resumes_total", 1);
+    }
+
+    for epoch in start_epoch..cfg.epochs {
+        let _epoch_span = telemetry::span("crf_epoch");
+        let mut epoch_updates = 0u64;
+        let pos0 = if epoch == start_epoch && resume_shuffled {
+            // `order` is the snapshot's live shuffle; pick up mid-epoch.
+            start_pos
+        } else {
+            order.shuffle(&mut rng);
+            0
+        };
+        for i in pos0..order.len() {
+            if let Some(stop) = control.interrupt {
+                if stop() {
+                    telemetry::count("pigeon_crf_updates_total", epoch_updates);
+                    let state = capture_state(
+                        epoch,
+                        i,
+                        true,
+                        &order,
+                        &rng,
+                        &weights,
+                        &pair_sum,
+                        &unary_sum,
+                        &fingerprint,
+                    );
+                    return Ok(TrainOutcome::Interrupted(Box::new(state)));
+                }
+            }
+            epoch_updates += sgd_step(&shared, &mut weights, &instances[order[i]], cfg, &mut ws);
+        }
+        accumulate_sums(&weights, &mut pair_sum, &mut unary_sum);
+        // The per-epoch objective proxy: how many instances still violate
+        // the margin (drove a subgradient update) this epoch.
+        telemetry::count("pigeon_crf_updates_total", epoch_updates);
+        if control.checkpoint_every > 0
+            && (epoch + 1) % control.checkpoint_every == 0
+            && epoch + 1 < cfg.epochs
+        {
+            if let Some(sink) = control.on_checkpoint.as_deref_mut() {
+                let state = capture_state(
+                    epoch + 1,
+                    0,
+                    false,
+                    &order,
+                    &rng,
+                    &weights,
+                    &pair_sum,
+                    &unary_sum,
+                    &fingerprint,
+                );
+                sink(&state);
+            }
         }
     }
 
-    // Shard count is FIXED (not derived from `jobs`): telemetry recorded
-    // per shard must be byte-identical for any `--jobs`, and the merge
-    // below is commutative integer addition, so the statistics themselves
-    // are unaffected by how many workers process the shards.
-    const STAT_SHARDS: usize = 16;
-    let (mut counts, mut suggestions) = if instances.is_empty() {
-        chunk_statistics(instances, num_labels)
-    } else {
-        let shards = STAT_SHARDS.min(instances.len());
-        let chunk_size = instances.len().div_ceil(shards);
-        let chunks: Vec<&[Instance]> = instances.chunks(chunk_size).collect();
-        let mut partials = parallel_map_indexed(&chunks, cfg.jobs, |_, chunk| {
-            chunk_statistics(chunk, num_labels)
-        })
-        .into_iter();
-        let (mut counts, mut suggestions) = partials.next().expect("at least one chunk");
-        for (c, s) in partials {
-            for (total, part) in counts.iter_mut().zip(&c) {
-                *total += part;
-            }
-            for (key, by_label) in s {
-                let slot = suggestions.entry(key).or_default();
-                for (label, n) in by_label {
-                    *slot.entry(label).or_insert(0) += n;
-                }
-            }
-        }
-        (counts, suggestions)
-    };
+    finalize_weights(&mut model, pair_sum, unary_sum, cfg.epochs);
+    Ok(TrainOutcome::Completed(Box::new(model)))
+}
 
-    let mut by_freq: Vec<u32> = (0..num_labels).collect();
+/// Sharded statistics gathering; the merge is commutative integer
+/// addition, so the result is identical to a serial pass for any `jobs`.
+fn gather_statistics(instances: &[Instance], num_labels: u32, cfg: &CrfConfig) -> RawStatistics {
+    let _span = telemetry::span("crf_statistics");
+    // Shard count is FIXED (not derived from `jobs`): telemetry recorded
+    // per shard must be byte-identical for any `--jobs`.
+    const STAT_SHARDS: usize = 16;
+    if instances.is_empty() {
+        return RawStatistics::collect(instances, num_labels);
+    }
+    let shards = STAT_SHARDS.min(instances.len());
+    let chunk_size = instances.len().div_ceil(shards);
+    let chunks: Vec<&[Instance]> = instances.chunks(chunk_size).collect();
+    let mut partials = parallel_map_indexed(&chunks, cfg.jobs, |_, chunk| {
+        RawStatistics::collect(chunk, num_labels)
+    })
+    .into_iter();
+    let mut stats = partials.next().expect("at least one chunk");
+    for part in partials {
+        stats.absorb(&part);
+    }
+    stats
+}
+
+/// Derives the truncated model tables (global candidates, label counts,
+/// per-key suggestion lists) from fully merged statistics. Truncation
+/// happens only here — after any shard merge — which is what keeps
+/// sharded training byte-identical to a single pass.
+fn finish_statistics(model: &mut CrfModel, stats: RawStatistics, cfg: &CrfConfig) {
+    let RawStatistics {
+        counts,
+        suggestions,
+    } = stats;
+    let mut by_freq: Vec<u32> = (0..counts.len() as u32).collect();
     by_freq.sort_by_key(|&l| std::cmp::Reverse(counts[l as usize]));
     by_freq.truncate(cfg.global_candidates);
     model.global_candidates = by_freq;
-    model.label_counts = std::mem::take(&mut counts);
+    model.label_counts = counts;
 
     model.candidates = suggestions
-        .drain()
+        .into_iter()
         .map(|(key, by_label)| {
             let mut v: Vec<(u32, u32)> = by_label.into_iter().collect();
             v.sort_by_key(|&(l, c)| (std::cmp::Reverse(c), l));
@@ -410,5 +907,174 @@ mod tests {
     fn out_of_range_label_panics() {
         let inst = Instance::new(vec![Node::unknown(9)]);
         let _ = train(&[inst], 3, &CrfConfig::default());
+    }
+
+    #[test]
+    fn statistics_merge_matches_single_pass() {
+        let world = toy_world(200, 15, 5, 11);
+        let whole = RawStatistics::collect(&world, 8);
+        // Per-instance collection then absorb, in order.
+        let mut merged = RawStatistics::new(8);
+        for inst in &world {
+            merged.absorb(&RawStatistics::collect(std::slice::from_ref(inst), 8));
+        }
+        assert_eq!(whole.counts, merged.counts);
+        assert_eq!(whole.suggestions, merged.suggestions);
+    }
+
+    #[test]
+    fn train_from_statistics_matches_train() {
+        let world = toy_world(150, 12, 4, 21);
+        let cfg = CrfConfig::default();
+        let direct = train(&world, 7, &cfg);
+        let via_stats =
+            train_from_statistics(&world, 7, &cfg, RawStatistics::collect(&world, 7)).unwrap();
+        assert_eq!(direct.to_json().unwrap(), via_stats.to_json().unwrap());
+    }
+
+    #[test]
+    fn interrupt_then_resume_reproduces_the_model() {
+        let world = toy_world(120, 10, 4, 31);
+        let cfg = CrfConfig::default();
+        let baseline = train(&world, 7, &cfg).to_json().unwrap();
+
+        // Interrupt mid-epoch (after 250 polled instances — inside epoch
+        // 3 of 8 × 120), then resume to completion.
+        let calls = std::cell::Cell::new(0usize);
+        let stop = move || {
+            calls.set(calls.get() + 1);
+            calls.get() > 250
+        };
+        let outcome = train_resumable(
+            &world,
+            7,
+            &cfg,
+            TrainControl {
+                interrupt: Some(&stop),
+                ..TrainControl::default()
+            },
+        )
+        .unwrap();
+        let state = match outcome {
+            TrainOutcome::Interrupted(state) => state,
+            TrainOutcome::Completed(_) => panic!("interrupt never fired"),
+        };
+        assert!(state.epoch() > 0 && state.pos() > 0, "not mid-epoch");
+
+        let resumed = match train_resumable(
+            &world,
+            7,
+            &cfg,
+            TrainControl {
+                resume: Some(*state),
+                ..TrainControl::default()
+            },
+        )
+        .unwrap()
+        {
+            TrainOutcome::Completed(model) => *model,
+            TrainOutcome::Interrupted(_) => panic!("no interrupt installed"),
+        };
+        assert_eq!(baseline, resumed.to_json().unwrap());
+    }
+
+    #[test]
+    fn epoch_checkpoints_resume_to_the_same_model() {
+        let world = toy_world(100, 10, 4, 41);
+        let cfg = CrfConfig::default();
+        let baseline = train(&world, 7, &cfg).to_json().unwrap();
+
+        let mut snapshots: Vec<TrainState> = Vec::new();
+        let mut sink = |s: &TrainState| snapshots.push(s.clone());
+        let _ = train_resumable(
+            &world,
+            7,
+            &cfg,
+            TrainControl {
+                checkpoint_every: 3,
+                on_checkpoint: Some(&mut sink),
+                ..TrainControl::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(snapshots.len(), 2, "epochs 3 and 6 of 8");
+        for snap in snapshots {
+            let resumed = match train_resumable(
+                &world,
+                7,
+                &cfg,
+                TrainControl {
+                    resume: Some(snap),
+                    ..TrainControl::default()
+                },
+            )
+            .unwrap()
+            {
+                TrainOutcome::Completed(model) => *model,
+                TrainOutcome::Interrupted(_) => panic!("no interrupt installed"),
+            };
+            assert_eq!(baseline, resumed.to_json().unwrap());
+        }
+    }
+
+    #[test]
+    fn resume_rejects_a_mismatched_fingerprint() {
+        let world = toy_world(60, 10, 4, 51);
+        let cfg = CrfConfig::default();
+        let stop = || true;
+        let state = match train_resumable(
+            &world,
+            7,
+            &cfg,
+            TrainControl {
+                interrupt: Some(&stop),
+                ..TrainControl::default()
+            },
+        )
+        .unwrap()
+        {
+            TrainOutcome::Interrupted(state) => state,
+            TrainOutcome::Completed(_) => panic!("interrupt never fired"),
+        };
+        let other = CrfConfig {
+            seed: 1,
+            ..CrfConfig::default()
+        };
+        let err = train_resumable(
+            &world,
+            7,
+            &other,
+            TrainControl {
+                resume: Some(*state),
+                ..TrainControl::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.contains("checkpoint"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn incremental_update_absorbs_new_documents() {
+        // Train on half the world, then fold in the other half; the
+        // updated model should predict the toy mapping about as well as
+        // a full retrain.
+        let world = toy_world(400, 20, 5, 61);
+        let (old, new) = world.split_at(200);
+        let cfg = CrfConfig::default();
+        let base = train(old, 8, &cfg);
+        let updated =
+            train_incremental(new, 8, &cfg, &base, &RawStatistics::collect(new, 8)).unwrap();
+        let test_set = toy_world(100, 20, 5, 62);
+        let acc = |m: &CrfModel| {
+            test_set
+                .iter()
+                .filter(|i| m.predict(i)[0] == i.nodes[0].label)
+                .count()
+        };
+        assert!(
+            acc(&updated) >= 95,
+            "incremental update learned only {}/100",
+            acc(&updated)
+        );
     }
 }

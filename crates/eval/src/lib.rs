@@ -30,6 +30,7 @@ mod elements;
 mod features;
 mod graph;
 mod metrics;
+pub mod partial;
 mod split;
 mod sweeps;
 mod tasks;
@@ -46,6 +47,10 @@ pub use graph::{
     build_type_graph, build_type_graph_lookup, DocGraph, Vocabs,
 };
 pub use metrics::{exact_match, normalize_name, subtoken_prf, subtokens, Scoreboard};
+pub use partial::{
+    decode_partial, encode_partial, is_partial, merge_partials, shard_range, verify_doc_stats,
+    DocPartial, MergedTraining, PartialMeta, TrainPartial,
+};
 // The worker pool lives in `pigeon-core` (so `pigeon-crf` can share it);
 // re-exported here because every experiment driver fans out over it.
 pub use pigeon_core::{effective_jobs, parallel_map_indexed};

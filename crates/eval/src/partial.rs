@@ -1,0 +1,831 @@
+//! Partial training-statistics files (`.pgnc`, container kind
+//! `partial`) and their deterministic merge — the scale-out half of
+//! `pigeon train --shard i/n` / `pigeon merge`.
+//!
+//! A shard worker extracts its 1/n slice of the corpus and stores, per
+//! document: the document's **local vocabularies** (label and feature
+//! strings in first-intern order), its CRF instance in doc-local ids,
+//! and its [`RawStatistics`] in the doc-local label space. Merging
+//! replays each document's vocabulary in global document order, which
+//! reproduces the single-process interner state exactly: in training
+//! mode the graph builder's intern sequence depends only on the
+//! document itself, so a document's first-touch list interned in order
+//! yields the same global ids the single pass would have assigned.
+//! Instances and statistics are then remapped and integer-summed, and
+//! candidate truncation happens only after the full merge — making
+//! `pigeon merge` byte-identical to single-process `pigeon train` for
+//! any shard count.
+//!
+//! The file reuses the `.pgnc` container of [`pigeon_crf::artifact`]
+//! (magic, versioned checksummed section table, kind tag
+//! [`artifact::KIND_PARTIAL`]); decoding trusts nothing and never
+//! panics on truncated or bit-flipped input.
+
+use pigeon_crf::artifact::{
+    self, decode_strings, decode_u32s, decode_u64s, encode_strings, encode_u32s, encode_u64s,
+    kind_name, Quant, Reader, Writer, KIND_PARTIAL, SEC_PT_DOCS, SEC_PT_META,
+};
+use pigeon_crf::{CrfConfig, Instance, Node, PairFactor, RawStatistics, UnaryFactor};
+use pigeon_telemetry as telemetry;
+use std::collections::HashMap;
+use std::time::Instant;
+
+use crate::graph::Vocabs;
+
+/// The extraction + training configuration a partial was built under,
+/// plus its shard coordinates. Merging refuses partials whose
+/// configuration knobs differ — mixed-config statistics would be
+/// silently wrong.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialMeta {
+    /// Language name (`Language::name`).
+    pub language: String,
+    /// Prediction target (`"variables"` / `"methods"` / `"other"`).
+    pub target: String,
+    /// Path abstraction name (`Abstraction::name`).
+    pub abstraction: String,
+    /// Extraction limit: maximum path length.
+    pub max_length: u32,
+    /// Extraction limit: maximum path width.
+    pub max_width: u32,
+    /// Whether semi-paths were extracted.
+    pub semi_paths: bool,
+    /// Candidates per prediction (carried into the merged model file).
+    pub top_k: u32,
+    /// Path-context keep probability (per-document derived seeds make
+    /// this reproducible across any sharding).
+    pub keep_prob: f64,
+    /// CRF hyper-parameters. `jobs` is ignored (and stored as zero):
+    /// the model is invariant to it.
+    pub crf: CrfConfig,
+    /// This shard's index, `0..shard_count`.
+    pub shard_index: u32,
+    /// Total number of shards in the run.
+    pub shard_count: u32,
+    /// Total documents across all shards.
+    pub total_docs: u32,
+}
+
+/// One document's contribution to training: its local vocabularies (in
+/// first-intern order — the replay key), its instance in doc-local
+/// ids, and its statistics in the doc-local label space. The
+/// statistics are redundant with the instance (merge could recompute
+/// them) but storing them lets `pigeon audit` cross-check a partial's
+/// count maps and lets merge sum integers instead of re-walking
+/// factors.
+#[derive(Debug, Clone)]
+pub struct DocPartial {
+    /// Position of this document in the full corpus.
+    pub global_index: u32,
+    /// Doc-local label vocabulary, first-intern order.
+    pub labels: Vec<String>,
+    /// Doc-local feature vocabulary, first-intern order.
+    pub features: Vec<String>,
+    /// The document's CRF instance, ids into the local vocabularies.
+    pub instance: Instance,
+    /// `RawStatistics` of `[instance]` over the local label space.
+    pub stats: RawStatistics,
+}
+
+/// A decoded partial file: shard metadata plus its documents.
+#[derive(Debug, Clone)]
+pub struct TrainPartial {
+    /// Configuration fingerprint and shard coordinates.
+    pub meta: PartialMeta,
+    /// This shard's documents, in global-index order.
+    pub docs: Vec<DocPartial>,
+}
+
+/// The output of [`merge_partials`]: the reassembled single-process
+/// training inputs.
+#[derive(Debug)]
+pub struct MergedTraining {
+    /// The shared configuration (shard coordinates are shard 0's).
+    pub meta: PartialMeta,
+    /// Global vocabularies, identical to a single-process build.
+    pub vocabs: Vocabs,
+    /// All instances in global ids, corpus order.
+    pub instances: Vec<Instance>,
+    /// Summed statistics over the global label space.
+    pub stats: RawStatistics,
+}
+
+/// Registers the shard-merge metric family on the current telemetry
+/// sink, so rendered families are stable whether or not a merge ran.
+pub fn register_metrics() {
+    telemetry::describe(
+        "pigeon_shard_merge_micros",
+        "Time to merge partial statistics files into training inputs, microseconds",
+    );
+    telemetry::histogram("pigeon_shard_merge_micros", &[], telemetry::PHASE_BOUNDS);
+}
+
+/// The deterministic contiguous 1/`count` slice of `total` documents
+/// assigned to shard `index` — the same `div_ceil` chunking the CRF
+/// statistics pass uses, so shard boundaries never depend on worker
+/// scheduling.
+///
+/// # Panics
+///
+/// Panics when `count` is zero or `index >= count`.
+pub fn shard_range(total: usize, index: usize, count: usize) -> std::ops::Range<usize> {
+    assert!(count > 0, "shard count must be at least 1");
+    assert!(index < count, "shard index {index} out of range {count}");
+    let chunk = total.div_ceil(count).max(1);
+    let start = (index * chunk).min(total);
+    let end = (start + chunk).min(total);
+    start..end
+}
+
+/// `true` when `bytes` is a `.pgnc` container of partial kind (the
+/// dispatch sniff; full validation is [`decode_partial`]).
+pub fn is_partial(bytes: &[u8]) -> bool {
+    artifact::container_kind(bytes) == Some(KIND_PARTIAL)
+}
+
+/// Number of `u64` numeric fields trailing the meta string table.
+const META_NUMS: usize = 16;
+
+/// Serialises a partial. Byte-stable: documents are written in order
+/// and suggestion maps in sorted key order.
+pub fn encode_partial(partial: &TrainPartial) -> Vec<u8> {
+    let m = &partial.meta;
+    let mut meta = encode_strings([
+        m.language.as_str(),
+        m.target.as_str(),
+        m.abstraction.as_str(),
+    ]);
+    meta.extend_from_slice(&encode_u64s(&[
+        u64::from(m.max_length),
+        u64::from(m.max_width),
+        u64::from(m.semi_paths),
+        u64::from(m.top_k),
+        m.keep_prob.to_bits(),
+        m.crf.epochs as u64,
+        u64::from(m.crf.learning_rate.to_bits()),
+        m.crf.max_passes as u64,
+        m.crf.max_candidates as u64,
+        m.crf.global_candidates as u64,
+        m.crf.suggestions_per_key as u64,
+        u64::from(m.crf.use_unary),
+        m.crf.seed,
+        u64::from(m.shard_index),
+        u64::from(m.shard_count),
+        u64::from(m.total_docs),
+    ]));
+
+    let mut docs = encode_u32s(&[partial.docs.len() as u32]);
+    for doc in &partial.docs {
+        docs.extend_from_slice(&doc.global_index.to_le_bytes());
+        docs.extend_from_slice(&encode_strings(doc.labels.iter().map(String::as_str)));
+        docs.extend_from_slice(&encode_strings(doc.features.iter().map(String::as_str)));
+        let inst = &doc.instance;
+        docs.extend_from_slice(&(inst.nodes.len() as u32).to_le_bytes());
+        for node in &inst.nodes {
+            docs.extend_from_slice(&node.label.to_le_bytes());
+            docs.extend_from_slice(&u32::from(node.known).to_le_bytes());
+        }
+        docs.extend_from_slice(&(inst.pairwise.len() as u32).to_le_bytes());
+        for pf in &inst.pairwise {
+            docs.extend_from_slice(&(pf.a as u32).to_le_bytes());
+            docs.extend_from_slice(&(pf.b as u32).to_le_bytes());
+            docs.extend_from_slice(&pf.path.to_le_bytes());
+        }
+        docs.extend_from_slice(&(inst.unary.len() as u32).to_le_bytes());
+        for uf in &inst.unary {
+            docs.extend_from_slice(&(uf.node as u32).to_le_bytes());
+            docs.extend_from_slice(&uf.path.to_le_bytes());
+        }
+        docs.extend_from_slice(&(doc.stats.counts.len() as u32).to_le_bytes());
+        docs.extend_from_slice(&encode_u32s(&doc.stats.counts));
+        let mut suggestions: Vec<(u32, u32, u8, u32, u32)> = doc
+            .stats
+            .suggestions
+            .iter()
+            .flat_map(|(&(path, other, side), by_label)| {
+                by_label
+                    .iter()
+                    .map(move |(&label, &count)| (path, other, side, label, count))
+            })
+            .collect();
+        suggestions.sort_unstable();
+        docs.extend_from_slice(&(suggestions.len() as u32).to_le_bytes());
+        for (path, other, side, label, count) in suggestions {
+            docs.extend_from_slice(&encode_u32s(&[path, other, u32::from(side), label, count]));
+        }
+    }
+
+    let mut w = Writer::new();
+    w.section(SEC_PT_META, meta);
+    w.section(SEC_PT_DOCS, docs);
+    w.finish_kind(Quant::F32, KIND_PARTIAL)
+}
+
+/// A bounds-checked little-endian cursor over the docs section.
+struct Cursor<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], String> {
+        if self.rest.len() < n {
+            return Err(format!("pt-docs is truncated reading {what}"));
+        }
+        let (head, tail) = self.rest.split_at(n);
+        self.rest = tail;
+        Ok(head)
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, String> {
+        let c = self.take(4, what)?;
+        Ok(u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+    }
+
+    /// A `u32` count bounded so a corrupted value cannot drive a
+    /// pathological allocation: each counted record consumes at least
+    /// `min_record` bytes of the remainder.
+    fn count(&mut self, min_record: usize, what: &str) -> Result<usize, String> {
+        let n = self.u32(what)? as usize;
+        if n > self.rest.len() / min_record.max(1) {
+            return Err(format!(
+                "pt-docs claims {n} {what}, more than the file holds"
+            ));
+        }
+        Ok(n)
+    }
+
+    fn strings(&mut self, what: &str) -> Result<Vec<String>, String> {
+        let (strings, rest) = decode_strings(self.rest, what)?;
+        self.rest = rest;
+        Ok(strings)
+    }
+}
+
+/// Decodes and fully validates a partial file.
+///
+/// # Errors
+///
+/// A message naming the first problem found — container level
+/// (magic/version/bounds/checksums), wrong kind, malformed section, or
+/// inconsistent content (ids out of range, duplicate vocabulary
+/// entries, self-loop factors). Never panics on arbitrary input.
+pub fn decode_partial(bytes: &[u8]) -> Result<TrainPartial, String> {
+    let r = Reader::parse(bytes)?;
+    if r.kind() != KIND_PARTIAL {
+        return Err(format!(
+            "container holds a {} (kind {}), not a partial statistics file",
+            kind_name(r.kind()),
+            r.kind()
+        ));
+    }
+
+    let (meta_strings, meta_rest) = decode_strings(r.section(SEC_PT_META)?, "pt-meta")?;
+    let [language, target, abstraction]: [String; 3] = meta_strings
+        .try_into()
+        .map_err(|_| "pt-meta must hold exactly 3 strings".to_string())?;
+    let nums = decode_u64s(meta_rest, "pt-meta")?;
+    let nums: [u64; META_NUMS] = nums
+        .try_into()
+        .map_err(|_| format!("pt-meta must hold exactly {META_NUMS} numeric fields"))?;
+    let [max_length, max_width, semi_paths, top_k, keep_prob_bits, epochs, lr_bits, max_passes, max_candidates, global_candidates, suggestions_per_key, use_unary, seed, shard_index, shard_count, total_docs] =
+        nums;
+    let as_u32 = |v: u64, what: &str| {
+        u32::try_from(v).map_err(|_| format!("pt-meta {what} {v} overflows u32"))
+    };
+    for (flag, what) in [(semi_paths, "semi_paths"), (use_unary, "use_unary")] {
+        if flag > 1 {
+            return Err(format!("pt-meta {what} flag is {flag}, expected 0 or 1"));
+        }
+    }
+    let keep_prob = f64::from_bits(keep_prob_bits);
+    if !(keep_prob > 0.0 && keep_prob <= 1.0) {
+        return Err(format!("pt-meta keep_prob {keep_prob} outside (0, 1]"));
+    }
+    let learning_rate = f32::from_bits(
+        u32::try_from(lr_bits).map_err(|_| "pt-meta learning rate overflows f32".to_owned())?,
+    );
+    if !learning_rate.is_finite() {
+        return Err("pt-meta learning rate is not finite".into());
+    }
+    let shard_index = as_u32(shard_index, "shard_index")?;
+    let shard_count = as_u32(shard_count, "shard_count")?;
+    let total_docs = as_u32(total_docs, "total_docs")?;
+    if shard_count == 0 || shard_index >= shard_count {
+        return Err(format!(
+            "pt-meta shard index {shard_index} out of range {shard_count}"
+        ));
+    }
+    let meta = PartialMeta {
+        language,
+        target,
+        abstraction,
+        max_length: as_u32(max_length, "max_length")?,
+        max_width: as_u32(max_width, "max_width")?,
+        semi_paths: semi_paths == 1,
+        top_k: as_u32(top_k, "top_k")?,
+        keep_prob,
+        crf: CrfConfig {
+            epochs: epochs as usize,
+            learning_rate,
+            max_passes: max_passes as usize,
+            max_candidates: max_candidates as usize,
+            global_candidates: global_candidates as usize,
+            suggestions_per_key: suggestions_per_key as usize,
+            use_unary: use_unary == 1,
+            seed,
+            jobs: 0,
+        },
+        shard_index,
+        shard_count,
+        total_docs,
+    };
+
+    let mut cur = Cursor {
+        rest: r.section(SEC_PT_DOCS)?,
+    };
+    let n_docs = cur.count(4, "documents")?;
+    let mut docs = Vec::with_capacity(n_docs);
+    for _ in 0..n_docs {
+        let global_index = cur.u32("global index")?;
+        if global_index >= total_docs {
+            return Err(format!(
+                "pt-docs document index {global_index} out of range {total_docs}"
+            ));
+        }
+        let labels = cur.strings("pt-docs labels")?;
+        let features = cur.strings("pt-docs features")?;
+        for (what, table) in [("label", &labels), ("feature", &features)] {
+            let mut seen = std::collections::HashSet::new();
+            if !table.iter().all(|s| seen.insert(s.as_str())) {
+                return Err(format!(
+                    "pt-docs document {global_index} has a duplicate {what} entry"
+                ));
+            }
+        }
+        let n_labels = labels.len() as u32;
+        let n_features = features.len() as u32;
+
+        let n_nodes = cur.count(8, "nodes")?;
+        let mut nodes = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            let label = cur.u32("node label")?;
+            let known = cur.u32("node flag")?;
+            if label >= n_labels {
+                return Err(format!(
+                    "pt-docs node label {label} out of range {n_labels}"
+                ));
+            }
+            if known > 1 {
+                return Err(format!("pt-docs node flag is {known}, expected 0 or 1"));
+            }
+            nodes.push(Node {
+                label,
+                known: known == 1,
+            });
+        }
+        let n_pairs = cur.count(12, "pair factors")?;
+        let mut pairwise = Vec::with_capacity(n_pairs);
+        for _ in 0..n_pairs {
+            let a = cur.u32("pair endpoint")? as usize;
+            let b = cur.u32("pair endpoint")? as usize;
+            let path = cur.u32("pair path")?;
+            if a >= n_nodes || b >= n_nodes || a == b || path >= n_features {
+                return Err(format!(
+                    "pt-docs pair factor ({a}, {b}, path {path}) is out of range"
+                ));
+            }
+            pairwise.push(PairFactor { a, b, path });
+        }
+        let n_unary = cur.count(8, "unary factors")?;
+        let mut unary = Vec::with_capacity(n_unary);
+        for _ in 0..n_unary {
+            let node = cur.u32("unary node")? as usize;
+            let path = cur.u32("unary path")?;
+            if node >= n_nodes || path >= n_features {
+                return Err(format!(
+                    "pt-docs unary factor (node {node}, path {path}) is out of range"
+                ));
+            }
+            unary.push(UnaryFactor { node, path });
+        }
+
+        let n_counts = cur.count(4, "label counts")?;
+        if n_counts as u32 != n_labels {
+            return Err(format!(
+                "pt-docs document {global_index} has {n_counts} counts for {n_labels} labels"
+            ));
+        }
+        let counts = decode_u32s(cur.take(n_counts * 4, "label counts")?, "pt-docs counts")?;
+        let n_sugg = cur.count(20, "suggestions")?;
+        let mut suggestions: HashMap<(u32, u32, u8), HashMap<u32, u32>> = HashMap::new();
+        let mut prev: Option<(u32, u32, u8, u32)> = None;
+        for _ in 0..n_sugg {
+            let path = cur.u32("suggestion path")?;
+            let other = cur.u32("suggestion other-label")?;
+            let side = cur.u32("suggestion side")?;
+            let label = cur.u32("suggestion label")?;
+            let count = cur.u32("suggestion count")?;
+            if path >= n_features || other >= n_labels || label >= n_labels || side > 1 {
+                return Err(format!(
+                    "pt-docs suggestion (path {path}, other {other}, side {side}, \
+                     label {label}) is out of range"
+                ));
+            }
+            let side = side as u8;
+            if let Some(p) = prev {
+                if p >= (path, other, side, label) {
+                    return Err("pt-docs suggestions are not strictly sorted".into());
+                }
+            }
+            prev = Some((path, other, side, label));
+            suggestions
+                .entry((path, other, side))
+                .or_default()
+                .insert(label, count);
+        }
+
+        docs.push(DocPartial {
+            global_index,
+            labels,
+            features,
+            instance: Instance {
+                nodes,
+                pairwise,
+                unary,
+            },
+            stats: RawStatistics {
+                counts,
+                suggestions,
+            },
+        });
+    }
+    if !cur.rest.is_empty() {
+        return Err("pt-docs has trailing bytes".into());
+    }
+    Ok(TrainPartial { meta, docs })
+}
+
+/// Cross-checks a document's stored statistics against its instance —
+/// the count-map sanity lint `pigeon audit` runs on partials.
+///
+/// # Errors
+///
+/// A message naming the first mismatch.
+pub fn verify_doc_stats(doc: &DocPartial) -> Result<(), String> {
+    let expected =
+        RawStatistics::collect(std::slice::from_ref(&doc.instance), doc.labels.len() as u32);
+    if expected.counts != doc.stats.counts {
+        return Err(format!(
+            "document {}: stored label counts do not match its instance",
+            doc.global_index
+        ));
+    }
+    if expected.suggestions != doc.stats.suggestions {
+        return Err(format!(
+            "document {}: stored suggestion counts do not match its instance",
+            doc.global_index
+        ));
+    }
+    Ok(())
+}
+
+/// The configuration knobs [`merge_partials`] requires to agree, with
+/// accessors for error messages.
+fn config_knobs(m: &PartialMeta) -> [(&'static str, String); 13] {
+    [
+        ("language", m.language.clone()),
+        ("target", m.target.clone()),
+        ("abstraction", m.abstraction.clone()),
+        ("max_length", m.max_length.to_string()),
+        ("max_width", m.max_width.to_string()),
+        ("semi_paths", m.semi_paths.to_string()),
+        ("keep_prob", format!("{}", m.keep_prob)),
+        ("crf.epochs", m.crf.epochs.to_string()),
+        ("crf.learning_rate", format!("{}", m.crf.learning_rate)),
+        ("crf.max_passes", m.crf.max_passes.to_string()),
+        ("crf.max_candidates", m.crf.max_candidates.to_string()),
+        ("crf.use_unary", m.crf.use_unary.to_string()),
+        ("crf.seed", format!("{:#x}", m.crf.seed)),
+    ]
+}
+
+/// Merges decoded partials back into single-process training inputs:
+/// validates configuration equality and shard coverage, replays each
+/// document's local vocabulary in global order, remaps instances, and
+/// integer-sums the statistics.
+///
+/// # Errors
+///
+/// Partials built under different configurations (the message names
+/// the differing knob), an incomplete or overlapping shard set, or
+/// document indices that do not cover `0..total_docs` exactly once.
+pub fn merge_partials(partials: &[TrainPartial]) -> Result<MergedTraining, String> {
+    let start = Instant::now();
+    register_metrics();
+    let _span = telemetry::span("shard_merge");
+    let first = partials
+        .first()
+        .ok_or_else(|| "no partials to merge".to_owned())?;
+
+    // Every configuration knob must agree; name the first that differs.
+    let reference = config_knobs(&first.meta);
+    for p in &partials[1..] {
+        for ((knob, a), (_, b)) in reference.iter().zip(config_knobs(&p.meta)) {
+            if *a != b {
+                return Err(format!(
+                    "partials disagree on {knob}: shard {} has {a}, shard {} has {b}",
+                    first.meta.shard_index, p.meta.shard_index
+                ));
+            }
+        }
+        // Remaining CRF knobs shape the merged model too.
+        if p.meta.crf.global_candidates != first.meta.crf.global_candidates {
+            return Err(format!(
+                "partials disagree on crf.global_candidates: shard {} has {}, shard {} has {}",
+                first.meta.shard_index,
+                first.meta.crf.global_candidates,
+                p.meta.shard_index,
+                p.meta.crf.global_candidates
+            ));
+        }
+        if p.meta.crf.suggestions_per_key != first.meta.crf.suggestions_per_key {
+            return Err(format!(
+                "partials disagree on crf.suggestions_per_key: shard {} has {}, shard {} has {}",
+                first.meta.shard_index,
+                first.meta.crf.suggestions_per_key,
+                p.meta.shard_index,
+                p.meta.crf.suggestions_per_key
+            ));
+        }
+        if p.meta.top_k != first.meta.top_k {
+            return Err(format!(
+                "partials disagree on top_k: shard {} has {}, shard {} has {}",
+                first.meta.shard_index, first.meta.top_k, p.meta.shard_index, p.meta.top_k
+            ));
+        }
+        if p.meta.shard_count != first.meta.shard_count {
+            return Err(format!(
+                "partials disagree on shard count: {} vs {}",
+                first.meta.shard_count, p.meta.shard_count
+            ));
+        }
+        if p.meta.total_docs != first.meta.total_docs {
+            return Err(format!(
+                "partials disagree on total document count: {} vs {}",
+                first.meta.total_docs, p.meta.total_docs
+            ));
+        }
+    }
+
+    // Shard coverage: exactly the set {0, …, shard_count-1}.
+    let shard_count = first.meta.shard_count as usize;
+    let mut seen_shards = vec![false; shard_count];
+    for p in partials {
+        let i = p.meta.shard_index as usize;
+        if std::mem::replace(&mut seen_shards[i], true) {
+            return Err(format!("shard {i} appears twice in the merge set"));
+        }
+    }
+    if let Some(missing) = seen_shards.iter().position(|&s| !s) {
+        return Err(format!(
+            "shard {missing} of {shard_count} is missing from the merge set"
+        ));
+    }
+
+    // Document coverage: exactly 0..total_docs, each once.
+    let total = first.meta.total_docs as usize;
+    let mut by_index: Vec<Option<&DocPartial>> = vec![None; total];
+    for p in partials {
+        for doc in &p.docs {
+            let slot = &mut by_index[doc.global_index as usize];
+            if slot.is_some() {
+                return Err(format!(
+                    "document {} appears in more than one partial",
+                    doc.global_index
+                ));
+            }
+            *slot = Some(doc);
+        }
+    }
+    if let Some(missing) = by_index.iter().position(Option::is_none) {
+        return Err(format!(
+            "document {missing} of {total} is missing from the merge set"
+        ));
+    }
+
+    // Replay: interning each document's first-touch vocabulary in
+    // global order reproduces the single-process interner state.
+    let mut vocabs = Vocabs::new();
+    let mut instances = Vec::with_capacity(total);
+    let mut counts: Vec<u32> = Vec::new();
+    let mut suggestions: HashMap<(u32, u32, u8), HashMap<u32, u32>> = HashMap::new();
+    for doc in by_index.into_iter().map(|d| d.expect("coverage checked")) {
+        let label_map: Vec<u32> = doc
+            .labels
+            .iter()
+            .map(|s| vocabs.labels.intern(s.clone()))
+            .collect();
+        let feature_map: Vec<u32> = doc
+            .features
+            .iter()
+            .map(|s| vocabs.features.intern(s.clone()))
+            .collect();
+        instances.push(Instance {
+            nodes: doc
+                .instance
+                .nodes
+                .iter()
+                .map(|n| Node {
+                    label: label_map[n.label as usize],
+                    known: n.known,
+                })
+                .collect(),
+            pairwise: doc
+                .instance
+                .pairwise
+                .iter()
+                .map(|pf| PairFactor {
+                    a: pf.a,
+                    b: pf.b,
+                    path: feature_map[pf.path as usize],
+                })
+                .collect(),
+            unary: doc
+                .instance
+                .unary
+                .iter()
+                .map(|uf| UnaryFactor {
+                    node: uf.node,
+                    path: feature_map[uf.path as usize],
+                })
+                .collect(),
+        });
+        if counts.len() < vocabs.labels.len() {
+            counts.resize(vocabs.labels.len(), 0);
+        }
+        for (local, &c) in doc.stats.counts.iter().enumerate() {
+            counts[label_map[local] as usize] += c;
+        }
+        for (&(path, other, side), by_label) in &doc.stats.suggestions {
+            let key = (feature_map[path as usize], label_map[other as usize], side);
+            let slot = suggestions.entry(key).or_default();
+            for (&label, &c) in by_label {
+                *slot.entry(label_map[label as usize]).or_insert(0) += c;
+            }
+        }
+    }
+    counts.resize(vocabs.labels.len(), 0);
+
+    telemetry::observe(
+        "pigeon_shard_merge_micros",
+        &[],
+        start.elapsed().as_micros() as u64,
+    );
+    Ok(MergedTraining {
+        meta: first.meta.clone(),
+        vocabs,
+        instances,
+        stats: RawStatistics {
+            counts,
+            suggestions,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_meta() -> PartialMeta {
+        PartialMeta {
+            language: "JavaScript".into(),
+            target: "variables".into(),
+            abstraction: "full".into(),
+            max_length: 4,
+            max_width: 3,
+            semi_paths: false,
+            top_k: 8,
+            keep_prob: 1.0,
+            crf: CrfConfig {
+                jobs: 0,
+                ..CrfConfig::default()
+            },
+            shard_index: 0,
+            shard_count: 1,
+            total_docs: 2,
+        }
+    }
+
+    fn sample_doc(global_index: u32) -> DocPartial {
+        let mut instance = Instance::new(vec![Node::unknown(0), Node::known(1)]);
+        instance.add_pair(0, 1, 0);
+        instance.add_unary(0, 1);
+        let stats = RawStatistics::collect(std::slice::from_ref(&instance), 2);
+        DocPartial {
+            global_index,
+            labels: vec![format!("var{global_index}"), "known".into()],
+            features: vec!["p0".into(), "p1".into()],
+            instance,
+            stats,
+        }
+    }
+
+    #[test]
+    fn round_trip_is_exact_and_byte_stable() {
+        let partial = TrainPartial {
+            meta: sample_meta(),
+            docs: vec![sample_doc(0), sample_doc(1)],
+        };
+        let bytes = encode_partial(&partial);
+        assert!(is_partial(&bytes));
+        let back = decode_partial(&bytes).unwrap();
+        assert_eq!(back.meta, partial.meta);
+        assert_eq!(back.docs.len(), 2);
+        assert_eq!(back.docs[0].labels, partial.docs[0].labels);
+        assert_eq!(encode_partial(&back), bytes);
+        for doc in &back.docs {
+            verify_doc_stats(doc).unwrap();
+        }
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_configs_naming_the_knob() {
+        let a = TrainPartial {
+            meta: PartialMeta {
+                shard_count: 2,
+                ..sample_meta()
+            },
+            docs: vec![sample_doc(0)],
+        };
+        let b = TrainPartial {
+            meta: PartialMeta {
+                shard_index: 1,
+                shard_count: 2,
+                max_length: 7,
+                ..sample_meta()
+            },
+            docs: vec![sample_doc(1)],
+        };
+        let err = merge_partials(&[a, b]).unwrap_err();
+        assert!(
+            err.contains("max_length"),
+            "error must name the knob: {err}"
+        );
+        assert!(err.contains('4') && err.contains('7'), "values: {err}");
+    }
+
+    #[test]
+    fn merge_rejects_missing_and_duplicate_shards() {
+        let shard = |index: u32| TrainPartial {
+            meta: PartialMeta {
+                shard_index: index,
+                shard_count: 2,
+                ..sample_meta()
+            },
+            docs: vec![sample_doc(index)],
+        };
+        let err = merge_partials(&[shard(0)]).unwrap_err();
+        assert!(err.contains("missing"), "{err}");
+        let err = merge_partials(&[shard(0), shard(0)]).unwrap_err();
+        assert!(err.contains("twice"), "{err}");
+    }
+
+    #[test]
+    fn merge_rejects_document_gaps() {
+        let partial = TrainPartial {
+            meta: sample_meta(),
+            docs: vec![sample_doc(0), sample_doc(0)],
+        };
+        let err = merge_partials(&[partial]).unwrap_err();
+        assert!(err.contains("more than one"), "{err}");
+    }
+
+    #[test]
+    fn corruption_is_a_coded_error_never_a_panic() {
+        let bytes = encode_partial(&TrainPartial {
+            meta: sample_meta(),
+            docs: vec![sample_doc(0), sample_doc(1)],
+        });
+        for len in [0, 3, 16, 31, 32, 63, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_partial(&bytes[..len]).is_err(), "len {len}");
+        }
+        for i in (0..bytes.len()).step_by(5) {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x20;
+            assert!(decode_partial(&bad).is_err(), "flip at {i}");
+        }
+    }
+
+    #[test]
+    fn shard_range_partitions_exactly() {
+        for total in [0usize, 1, 5, 16, 17, 100] {
+            for count in [1usize, 2, 4, 7] {
+                let mut covered = Vec::new();
+                for i in 0..count {
+                    covered.extend(shard_range(total, i, count));
+                }
+                assert_eq!(covered, (0..total).collect::<Vec<_>>());
+            }
+        }
+    }
+}

@@ -9,6 +9,19 @@ pub struct SmallRng {
     s: [u64; 4],
 }
 
+impl SmallRng {
+    /// The raw xoshiro256++ state, for exact save/restore (checkpoints).
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a previously captured [`Self::state`].
+    /// The restored generator continues the exact same stream.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        SmallRng { s }
+    }
+}
+
 impl RngCore for SmallRng {
     fn next_u64(&mut self) -> u64 {
         let result = self.s[0]

@@ -58,12 +58,13 @@ pub use pigeon_word2vec as word2vec;
 
 pub mod serve;
 
-use pigeon_core::{downsample, Abstraction, ExtractionConfig};
+use pigeon_core::{derive_seed, downsample, Abstraction, ExtractionConfig, DOWNSAMPLE_SEED};
 use pigeon_corpus::Language;
-use pigeon_crf::{CrfConfig, CrfModel};
+use pigeon_crf::{CrfConfig, CrfModel, RawStatistics, TrainControl, TrainOutcome, TrainState};
+use pigeon_eval::partial::{DocPartial, PartialMeta, TrainPartial};
 use pigeon_eval::{
     build_name_graph, build_name_graph_lookup, extract_edge_features, parallel_map_indexed,
-    ElementClass, Representation, Vocabs,
+    shard_range, ElementClass, Representation, Vocabs,
 };
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -371,35 +372,7 @@ impl Pigeon {
         config: &PigeonConfig,
     ) -> Result<Pigeon, PigeonError> {
         let _span = telemetry::span("train");
-        let rep = Representation::AstPaths(config.abstraction);
-        // Parse + extract fan out over the worker pool; everything that
-        // interns into the shared vocabularies (downsampling included,
-        // because it consumes the sampling rng) runs afterwards in
-        // source order, so the model is identical for any `jobs`.
-        let extracted = {
-            let _phase = telemetry::span("parse_extract");
-            parallel_map_indexed(sources, config.jobs, |_, source| {
-                language.parse(source).map(|ast| {
-                    let features = extract_edge_features(language, &ast, rep, &config.extraction);
-                    (ast, features)
-                })
-            })
-        };
-        if let Some((i, Err(e))) = extracted.iter().enumerate().find(|(_, r)| r.is_err()) {
-            return Err(PigeonError::parse(format!("training source {i}: {e}")));
-        }
-        let mut vocabs = Vocabs::new();
-        let mut rng = SmallRng::seed_from_u64(0x9160_704E);
-        let mut instances = Vec::with_capacity(sources.len());
-        {
-            let _phase = telemetry::span("graph_build");
-            for result in extracted {
-                let (ast, features) = result.expect("errors returned above");
-                let features = downsample(features, config.keep_prob, &mut rng);
-                let graph = build_name_graph(language, &ast, target, &features, &mut vocabs, true);
-                instances.push(graph.instance);
-            }
-        }
+        let (vocabs, instances) = build_training_inputs(language, target, sources, 0, config)?;
         // The CRF's statistics pass shares the same worker budget; its
         // sequential-update training is byte-identical for any value.
         let crf_cfg = CrfConfig {
@@ -411,6 +384,237 @@ impl Pigeon {
             language,
             target,
             config: config.clone(),
+            vocabs,
+            model,
+        })
+    }
+
+    /// Trains a name predictor with checkpoint/resume control — the
+    /// engine behind `pigeon train --checkpoint-every/--resume`. The
+    /// corpus pipeline is identical to [`Pigeon::train_variable_namer`];
+    /// only the SGD loop is driven through `control`, so a run that is
+    /// never interrupted produces the byte-identical model.
+    ///
+    /// # Errors
+    ///
+    /// Parse failures ([`ErrorKind::Parse`]), or a resume snapshot whose
+    /// fingerprint does not match this corpus and configuration
+    /// ([`ErrorKind::Config`]).
+    pub fn train_namer_resumable(
+        language: Language,
+        target: ElementClass,
+        sources: &[&str],
+        config: &PigeonConfig,
+        control: TrainControl<'_>,
+    ) -> Result<TrainRun, PigeonError> {
+        let _span = telemetry::span("train");
+        register_training_metrics();
+        let (vocabs, instances) = build_training_inputs(language, target, sources, 0, config)?;
+        let crf_cfg = CrfConfig {
+            jobs: config.jobs,
+            ..config.crf
+        };
+        let outcome =
+            pigeon_crf::train_resumable(&instances, vocabs.labels.len() as u32, &crf_cfg, control)
+                .map_err(PigeonError::config)?;
+        Ok(match outcome {
+            TrainOutcome::Completed(model) => TrainRun::Completed(Box::new(Pigeon {
+                language,
+                target,
+                config: config.clone(),
+                vocabs,
+                model: *model,
+            })),
+            TrainOutcome::Interrupted(state) => TrainRun::Interrupted(state),
+        })
+    }
+
+    /// Runs extraction and statistics collection over one deterministic
+    /// 1/`shard_count` slice of `sources` (the **full** corpus list;
+    /// slicing is internal so every shard agrees on global document
+    /// indices), returning a partial statistics file — a `.pgnc`
+    /// container of kind `partial` for `pigeon merge`.
+    ///
+    /// # Errors
+    ///
+    /// A shard index out of range ([`ErrorKind::Config`]) or a source in
+    /// the shard that fails to parse ([`ErrorKind::Parse`]).
+    pub fn build_training_partial(
+        language: Language,
+        target: ElementClass,
+        sources: &[&str],
+        shard_index: usize,
+        shard_count: usize,
+        config: &PigeonConfig,
+    ) -> Result<Vec<u8>, PigeonError> {
+        let _span = telemetry::span("train_shard");
+        if shard_count == 0 || shard_index >= shard_count {
+            return Err(PigeonError::config(format!(
+                "shard index {shard_index} out of range {shard_count}"
+            )));
+        }
+        let range = shard_range(sources.len(), shard_index, shard_count);
+        let slice = &sources[range.clone()];
+        let mut docs = Vec::with_capacity(slice.len());
+        for (offset, built) in build_doc_partials(language, target, slice, range.start, config)?
+            .into_iter()
+            .enumerate()
+        {
+            let (labels, features, instance) = built;
+            let stats =
+                RawStatistics::collect(std::slice::from_ref(&instance), labels.len() as u32);
+            docs.push(DocPartial {
+                global_index: (range.start + offset) as u32,
+                labels,
+                features,
+                instance,
+                stats,
+            });
+        }
+        let meta = PartialMeta {
+            language: language.name().to_owned(),
+            target: target_name(target).to_owned(),
+            abstraction: config.abstraction.name().to_owned(),
+            max_length: config.extraction.max_length as u32,
+            max_width: config.extraction.max_width as u32,
+            semi_paths: config.extraction.semi_paths,
+            top_k: config.top_k as u32,
+            keep_prob: config.keep_prob,
+            crf: CrfConfig {
+                jobs: 0,
+                ..config.crf
+            },
+            shard_index: shard_index as u32,
+            shard_count: shard_count as u32,
+            total_docs: sources.len() as u32,
+        };
+        Ok(pigeon_eval::partial::encode_partial(&TrainPartial {
+            meta,
+            docs,
+        }))
+    }
+
+    /// Merges partial statistics files written by
+    /// [`Pigeon::build_training_partial`] and finishes training — the
+    /// engine behind `pigeon merge`. The result is byte-identical to
+    /// single-process training on the full corpus, for any shard count.
+    ///
+    /// # Errors
+    ///
+    /// Malformed partials ([`ErrorKind::ModelFormat`]), partials built
+    /// under different configurations or with missing/duplicate shards
+    /// ([`ErrorKind::Config`] — the message names the differing knob).
+    pub fn from_partials(parts: &[Vec<u8>]) -> Result<Pigeon, PigeonError> {
+        let _span = telemetry::span("merge_train");
+        register_training_metrics();
+        let decoded: Vec<TrainPartial> = parts
+            .iter()
+            .enumerate()
+            .map(|(i, bytes)| {
+                pigeon_eval::partial::decode_partial(bytes)
+                    .map_err(|e| PigeonError::model_format(format!("partial {i}: {e}")))
+            })
+            .collect::<Result<_, _>>()?;
+        let merged = pigeon_eval::partial::merge_partials(&decoded).map_err(PigeonError::config)?;
+        let meta = &merged.meta;
+        let err = |m: String| PigeonError::model_format(m);
+        let language = Language::from_name(&meta.language)
+            .ok_or_else(|| err(format!("partial: unknown language `{}`", meta.language)))?;
+        let target = target_from_name(&meta.target)
+            .ok_or_else(|| err(format!("partial: unknown target `{}`", meta.target)))?;
+        let abstraction = Abstraction::from_name(&meta.abstraction).ok_or_else(|| {
+            err(format!(
+                "partial: unknown abstraction `{}`",
+                meta.abstraction
+            ))
+        })?;
+        let mut extraction =
+            ExtractionConfig::with_limits(meta.max_length as usize, meta.max_width as usize);
+        extraction.semi_paths = meta.semi_paths;
+        let crf_cfg = CrfConfig {
+            jobs: 1,
+            ..meta.crf
+        };
+        let config = PigeonConfig {
+            extraction,
+            abstraction,
+            crf: crf_cfg,
+            top_k: meta.top_k as usize,
+            keep_prob: meta.keep_prob,
+            jobs: 1,
+        };
+        let model = pigeon_crf::train_from_statistics(
+            &merged.instances,
+            merged.vocabs.labels.len() as u32,
+            &crf_cfg,
+            merged.stats,
+        )
+        .map_err(PigeonError::internal)?;
+        Ok(Pigeon {
+            language,
+            target,
+            config,
+            vocabs: merged.vocabs,
+            model,
+        })
+    }
+
+    /// Folds new documents into this trained predictor **without
+    /// re-extracting the original corpus** — the engine behind
+    /// `pigeon train --update MODEL --add DIR`. The update is
+    /// approximate by design: the base model's (already truncated)
+    /// count tables seed the statistics, new documents' counts are
+    /// absorbed, and the SGD loop warm-starts from the base weights over
+    /// the new instances only.
+    ///
+    /// # Errors
+    ///
+    /// Artifact-backed predictors ([`ErrorKind::Config`] — compiled
+    /// models freeze their weight tables; update the JSON model and
+    /// recompile) or a new source that fails to parse
+    /// ([`ErrorKind::Parse`]).
+    pub fn update(&self, new_sources: &[&str]) -> Result<Pigeon, PigeonError> {
+        let _span = telemetry::span("train_update");
+        let mut vocabs = self.vocabs.clone();
+        let base_labels = vocabs.labels.len();
+        let mut instances = Vec::with_capacity(new_sources.len());
+        let extracted =
+            build_doc_partials(self.language, self.target, new_sources, 0, &self.config)?;
+        {
+            let _phase = telemetry::span("graph_build");
+            for (labels, features, instance) in extracted {
+                // Re-intern the doc-local ids into the (growing) base
+                // vocabularies — the same replay the shard merge runs.
+                let label_map: Vec<u32> = labels
+                    .into_iter()
+                    .map(|s| vocabs.labels.intern(s))
+                    .collect();
+                let feature_map: Vec<u32> = features
+                    .into_iter()
+                    .map(|s| vocabs.features.intern(s))
+                    .collect();
+                instances.push(remap_instance(&instance, &label_map, &feature_map));
+            }
+        }
+        let num_labels = vocabs.labels.len() as u32;
+        let new_stats = RawStatistics::collect(&instances, num_labels);
+        let crf_cfg = CrfConfig {
+            jobs: self.config.jobs,
+            ..self.config.crf
+        };
+        let model = pigeon_crf::train_incremental(
+            &instances,
+            num_labels,
+            &crf_cfg,
+            &self.model,
+            &new_stats,
+        )
+        .map_err(PigeonError::config)?;
+        debug_assert!(base_labels <= vocabs.labels.len());
+        Ok(Pigeon {
+            language: self.language,
+            target: self.target,
+            config: self.config.clone(),
             vocabs,
             model,
         })
@@ -715,5 +919,186 @@ impl Pigeon {
         jobs: usize,
     ) -> Vec<Result<Vec<Prediction>, PigeonError>> {
         parallel_map_indexed(sources, jobs, |_, source| self.predict(source.as_ref()))
+    }
+}
+
+/// The outcome of a checkpointed training run
+/// ([`Pigeon::train_namer_resumable`]): either a finished predictor or
+/// the SGD state to persist (`pigeon_crf::checkpoint::encode_checkpoint`)
+/// and resume from later.
+#[derive(Debug)]
+pub enum TrainRun {
+    /// Training ran to completion.
+    Completed(Box<Pigeon>),
+    /// The interrupt hook fired; resume by passing this state back
+    /// through [`TrainControl::resume`].
+    Interrupted(Box<TrainState>),
+}
+
+/// Registers every training-path metric family (checkpoint save/load
+/// latency and totals, shard-merge latency, resume counts) on the
+/// current telemetry sink. Training entry points call this themselves;
+/// the serving layer also calls it at startup so the `/v1/metrics`
+/// family set is byte-stable whether or not a training phase ran in
+/// this process.
+pub fn register_training_metrics() {
+    pigeon_crf::checkpoint::register_metrics();
+    pigeon_eval::partial::register_metrics();
+    telemetry::describe(
+        "pigeon_crf_resumes_total",
+        "Training runs resumed from a checkpoint",
+    );
+    telemetry::counter("pigeon_crf_resumes_total");
+}
+
+/// The stable prediction-target string carried by model files and
+/// partials.
+fn target_name(target: ElementClass) -> &'static str {
+    match target {
+        ElementClass::Variable => "variables",
+        ElementClass::Method => "methods",
+        ElementClass::Other => "other",
+    }
+}
+
+/// Inverse of [`target_name`].
+fn target_from_name(name: &str) -> Option<ElementClass> {
+    match name {
+        "variables" => Some(ElementClass::Variable),
+        "methods" => Some(ElementClass::Method),
+        "other" => Some(ElementClass::Other),
+        _ => None,
+    }
+}
+
+/// The full single-process corpus pipeline: parallel parse + extract,
+/// then source-order downsample + graph build into shared vocabularies.
+/// Document `i` downsamples with a seed derived from its **global**
+/// index `index_base + i`, so any contiguous slice of the corpus
+/// samples exactly as the full run does — the property shard workers
+/// rely on.
+fn build_training_inputs(
+    language: Language,
+    target: ElementClass,
+    sources: &[&str],
+    index_base: usize,
+    config: &PigeonConfig,
+) -> Result<(Vocabs, Vec<pigeon_crf::Instance>), PigeonError> {
+    let extracted = parse_and_extract(language, sources, index_base, config)?;
+    let mut vocabs = Vocabs::new();
+    let mut instances = Vec::with_capacity(sources.len());
+    {
+        let _phase = telemetry::span("graph_build");
+        for (i, (ast, features)) in extracted.into_iter().enumerate() {
+            let mut rng =
+                SmallRng::seed_from_u64(derive_seed(DOWNSAMPLE_SEED, (index_base + i) as u64));
+            let features = downsample(features, config.keep_prob, &mut rng);
+            let graph = build_name_graph(language, &ast, target, &features, &mut vocabs, true);
+            instances.push(graph.instance);
+        }
+    }
+    Ok((vocabs, instances))
+}
+
+/// Parse + extract fan out over the worker pool; everything that
+/// interns into vocabularies (downsampling included, because it
+/// consumes the sampling rng) runs afterwards in source order, so the
+/// result is identical for any `jobs`. Error messages carry the global
+/// document index.
+fn parse_and_extract(
+    language: Language,
+    sources: &[&str],
+    index_base: usize,
+    config: &PigeonConfig,
+) -> Result<Vec<(ast::Ast, Vec<pigeon_eval::EdgeFeature>)>, PigeonError> {
+    let rep = Representation::AstPaths(config.abstraction);
+    let extracted = {
+        let _phase = telemetry::span("parse_extract");
+        parallel_map_indexed(sources, config.jobs, |_, source| {
+            language.parse(source).map(|ast| {
+                let features = extract_edge_features(language, &ast, rep, &config.extraction);
+                (ast, features)
+            })
+        })
+    };
+    if let Some((i, Err(e))) = extracted.iter().enumerate().find(|(_, r)| r.is_err()) {
+        return Err(PigeonError::parse(format!(
+            "training source {}: {e}",
+            index_base + i
+        )));
+    }
+    Ok(extracted
+        .into_iter()
+        .map(|r| r.expect("errors returned above"))
+        .collect())
+}
+
+/// Runs the per-document half of the pipeline with **doc-local**
+/// vocabularies: each document is parsed, extracted, downsampled with
+/// its global-index-derived seed, and graph-built into a fresh
+/// [`Vocabs`]. Returns `(labels, features, instance)` per document —
+/// local vocabulary strings in first-intern order plus the instance in
+/// doc-local ids. In training mode the graph builder's intern sequence
+/// depends only on the document, so replaying these local tables in
+/// global document order reproduces the shared vocabularies exactly.
+#[allow(clippy::type_complexity)]
+fn build_doc_partials(
+    language: Language,
+    target: ElementClass,
+    sources: &[&str],
+    index_base: usize,
+    config: &PigeonConfig,
+) -> Result<Vec<(Vec<String>, Vec<String>, pigeon_crf::Instance)>, PigeonError> {
+    let extracted = parse_and_extract(language, sources, index_base, config)?;
+    let _phase = telemetry::span("graph_build");
+    Ok(extracted
+        .into_iter()
+        .enumerate()
+        .map(|(i, (ast, features))| {
+            let mut rng =
+                SmallRng::seed_from_u64(derive_seed(DOWNSAMPLE_SEED, (index_base + i) as u64));
+            let features = downsample(features, config.keep_prob, &mut rng);
+            let mut vocabs = Vocabs::new();
+            let graph = build_name_graph(language, &ast, target, &features, &mut vocabs, true);
+            let labels: Vec<String> = vocabs.labels.iter().map(|(_, s)| s.clone()).collect();
+            let feats: Vec<String> = vocabs.features.iter().map(|(_, s)| s.clone()).collect();
+            (labels, feats, graph.instance)
+        })
+        .collect())
+}
+
+/// Maps an instance's doc-local label/feature ids through intern maps
+/// into a shared id space.
+fn remap_instance(
+    instance: &pigeon_crf::Instance,
+    label_map: &[u32],
+    feature_map: &[u32],
+) -> pigeon_crf::Instance {
+    pigeon_crf::Instance {
+        nodes: instance
+            .nodes
+            .iter()
+            .map(|n| pigeon_crf::Node {
+                label: label_map[n.label as usize],
+                known: n.known,
+            })
+            .collect(),
+        pairwise: instance
+            .pairwise
+            .iter()
+            .map(|pf| pigeon_crf::PairFactor {
+                a: pf.a,
+                b: pf.b,
+                path: feature_map[pf.path as usize],
+            })
+            .collect(),
+        unary: instance
+            .unary
+            .iter()
+            .map(|uf| pigeon_crf::UnaryFactor {
+                node: uf.node,
+                path: feature_map[uf.path as usize],
+            })
+            .collect(),
     }
 }

@@ -16,12 +16,16 @@
 use pigeon::analysis::{audit_sources, lint_artifact, lint_crf, AuditConfig, Severity, SourceUnit};
 use pigeon::core::{extract, parallel_map_indexed, Abstraction, ExtractionConfig};
 use pigeon::corpus::{generate, CorpusConfig, Language};
-use pigeon::crf::artifact::{is_artifact, Quant};
-use pigeon::eval::{run_name_experiment, NameExperiment};
+use pigeon::crf::artifact::{container_kind, is_artifact, Quant, KIND_CHECKPOINT, KIND_PARTIAL};
+use pigeon::crf::checkpoint::{decode_checkpoint, encode_checkpoint};
+use pigeon::crf::TrainControl;
+use pigeon::eval::partial::{decode_partial, verify_doc_stats};
+use pigeon::eval::{run_name_experiment, ElementClass, NameExperiment};
 use pigeon::serve::{serve, ServeConfig};
-use pigeon::{Pigeon, PigeonConfig};
+use pigeon::{Pigeon, PigeonConfig, TrainRun};
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 fn main() -> ExitCode {
@@ -30,6 +34,7 @@ fn main() -> ExitCode {
         Some("paths") => cmd_paths(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
         Some("train") => cmd_train(&args[1..]),
+        Some("merge") => cmd_merge(&args[1..]),
         Some("compile") => cmd_compile(&args[1..]),
         Some("predict") => cmd_predict(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
@@ -70,7 +75,12 @@ USAGE:
   pigeon train      --language LANG --out MODEL.json [--task vars|methods]
                     [--max-length N] [--max-width N] [--jobs N]
                     [--keep-prob P] [--trace-out FILE] [--timings BOOL]
+                    [--shard I/N --emit-partial OUT.part]
+                    [--checkpoint-every N --checkpoint-dir D] [--resume D]
+                    [--update MODEL --add DIR]
                     [--synthetic N | FILE...]
+  pigeon merge      --out MODEL[.json|.pgnc] [--quantize f32|f16|i8]
+                    PART.part...
   pigeon compile    [--quantize f32|f16|i8] MODEL.json OUT.pgnc
   pigeon predict    --model MODEL[.json|.pgnc] [--trace-out FILE]
                     [--timings BOOL] FILE
@@ -102,6 +112,26 @@ DEFAULTS:
   --keep-prob   1.0 (keep every path-context; lower values downsample
                 training contexts, §5.5 of the paper)
 
+DISTRIBUTED & INCREMENTAL TRAINING:
+  --shard I/N       run extraction + statistics over the I-th of N
+                    deterministic corpus slices only (0-based), writing
+                    a partial statistics file with --emit-partial; give
+                    every worker the SAME corpus (same FILEs or the same
+                    --synthetic N). `pigeon merge` combines the partials
+                    and finishes training, byte-identical to one
+                    single-process `pigeon train` for any shard count.
+  --checkpoint-every N  snapshot SGD state to --checkpoint-dir every N
+                    epochs; Ctrl-C also writes a final checkpoint before
+                    exiting. Resume with --resume DIR against the same
+                    corpus and flags: the final model is identical to an
+                    uninterrupted run.
+  --update MODEL --add DIR  fold the new documents in DIR into an
+                    existing JSON model without re-extracting the
+                    original corpus (approximate: the base model's
+                    truncated count tables seed the statistics).
+                    Compiled .pgnc models cannot be updated — update the
+                    JSON model and recompile.
+
 COMPILE:
   Freezes a JSON model into the compiled binary artifact (`.pgnc`):
   magic + checksummed sections holding the CSR-packed inference tables,
@@ -121,7 +151,11 @@ AUDIT:
   extension, sorted by name). Checks: AST well-formedness (codes ast-*),
   scope/binding cross-check (scope-*), corpus duplication and
   near-duplication (corpus-*, split-leak), and model sanity (model-*)
-  when --model is given.
+  when --model is given. --model also accepts partial statistics files
+  and SGD checkpoints (kind sniffed from the container): partials get a
+  full decode plus a count-map cross-check against their stored
+  instances (partial-*), checkpoints a full state validation
+  (checkpoint-*).
   --format      text (default) or json (schema pigeon-audit/1)
   --deny        fail when any diagnostic is at or above this severity
                 (default: error)
@@ -420,6 +454,76 @@ fn train_config(flags: &[(String, String)]) -> Result<PigeonConfig, String> {
         .map_err(|e| e.to_string())
 }
 
+/// Maps a `--task` value to the prediction target.
+fn parse_task(task: &str) -> Result<ElementClass, String> {
+    match task {
+        "vars" => Ok(ElementClass::Variable),
+        "methods" => Ok(ElementClass::Method),
+        other => Err(format!("unknown task `{other}` (vars|methods)")),
+    }
+}
+
+/// Parses `--shard I/N` (0-based index, total count).
+fn parse_shard(spec: &str) -> Result<(usize, usize), String> {
+    let bad = || format!("--shard expects I/N (e.g. 0/4), got `{spec}`");
+    let (i, n) = spec.split_once('/').ok_or_else(bad)?;
+    let index: usize = i.parse().map_err(|_| bad())?;
+    let count: usize = n.parse().map_err(|_| bad())?;
+    if count == 0 || index >= count {
+        return Err(format!(
+            "--shard index {index} out of range {count} (indices are 0-based)"
+        ));
+    }
+    Ok((index, count))
+}
+
+/// Lists a directory's sources for `language`, sorted by name — the
+/// corpus walk `pigeon train --add DIR` runs.
+fn read_dir_sources(language: Language, dir: &str) -> Result<Vec<String>, String> {
+    let ext = language_ext(language);
+    let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("{dir}: {e}"))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.is_file() && p.extension().is_some_and(|e| e == ext))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(format!("{dir}: no .{ext} files to add"));
+    }
+    files
+        .iter()
+        .map(|p| read_file(&p.display().to_string()))
+        .collect()
+}
+
+/// Set by the SIGINT handler `pigeon train` installs when checkpointing
+/// is on; the SGD loop polls it between instances.
+static TRAIN_INTERRUPT: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_train_interrupt_handler() {
+    extern "C" fn on_signal(_signum: i32) {
+        TRAIN_INTERRUPT.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        // Provided by libc, which std already links.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+    unsafe {
+        signal(SIGINT, handler);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_train_interrupt_handler() {}
+
+/// The checkpoint file inside `--checkpoint-dir` / `--resume` DIR.
+fn checkpoint_path(dir: &str) -> std::path::PathBuf {
+    Path::new(dir).join("checkpoint.pgnc")
+}
+
 fn cmd_train(args: &[String]) -> Result<(), String> {
     let (flags, positional) = parse_flags(args)?;
     check_flags(
@@ -434,15 +538,58 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
             "jobs",
             "keep-prob",
             "synthetic",
+            "shard",
+            "emit-partial",
+            "checkpoint-every",
+            "checkpoint-dir",
+            "resume",
+            "update",
+            "add",
             "trace-out",
             "timings",
         ],
     )?;
-    let language = required_language(&flags)?;
-    let out = flag(&flags, "out").ok_or("--out is required")?;
-    let task = flag(&flags, "task").unwrap_or("vars");
-    let config = train_config(&flags)?;
+    // A shard worker writes only its partial; every other mode writes a
+    // model and therefore needs --out.
+    let model_out = flag(&flags, "out");
+    let require_out = || model_out.ok_or("--out is required");
     let observability = Observability::from_flags(&flags)?;
+
+    // Incremental update: no extraction over the original corpus.
+    if let Some(model_path) = flag(&flags, "update") {
+        let out = require_out()?;
+        let add_dir = flag(&flags, "add").ok_or("--update requires --add NEW_DOCS_DIR")?;
+        for conflict in [
+            "shard",
+            "emit-partial",
+            "checkpoint-every",
+            "resume",
+            "synthetic",
+        ] {
+            if flag(&flags, conflict).is_some() {
+                return Err(format!("--update cannot be combined with --{conflict}"));
+            }
+        }
+        let base = load_model(model_path)?;
+        let sources = read_dir_sources(base.language(), add_dir)?;
+        let refs: Vec<&str> = sources.iter().map(String::as_str).collect();
+        let updated = base.update(&refs).map_err(|e| e.to_string())?;
+        let json = updated.to_json().map_err(|e| e.to_string())?;
+        std::fs::write(out, json).map_err(|e| format!("{out}: {e}"))?;
+        observability.finish()?;
+        println!(
+            "folded {} new files from {add_dir} into {model_path}; model saved to {out}",
+            refs.len()
+        );
+        return Ok(());
+    }
+    if flag(&flags, "add").is_some() {
+        return Err("--add requires --update MODEL".into());
+    }
+
+    let language = required_language(&flags)?;
+    let target = parse_task(flag(&flags, "task").unwrap_or("vars"))?;
+    let config = train_config(&flags)?;
 
     let sources: Vec<String> = if let Some(n) = flag(&flags, "synthetic") {
         let n: usize = n
@@ -462,16 +609,184 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
             .collect::<Result<_, _>>()?
     };
     let refs: Vec<&str> = sources.iter().map(String::as_str).collect();
-    let model = match task {
-        "vars" => Pigeon::train_variable_namer(language, &refs, &config),
-        "methods" => Pigeon::train_method_namer(language, &refs, &config),
-        other => return Err(format!("unknown task `{other}` (vars|methods)")),
+
+    // Shard worker: extraction + statistics over a corpus slice only.
+    if let Some(spec) = flag(&flags, "shard") {
+        let emit =
+            flag(&flags, "emit-partial").ok_or("--shard requires --emit-partial OUT.part")?;
+        for conflict in ["checkpoint-every", "checkpoint-dir", "resume"] {
+            if flag(&flags, conflict).is_some() {
+                return Err(format!("--shard cannot be combined with --{conflict}"));
+            }
+        }
+        let (index, count) = parse_shard(spec)?;
+        let bytes = Pigeon::build_training_partial(language, target, &refs, index, count, &config)
+            .map_err(|e| e.to_string())?;
+        std::fs::write(emit, &bytes).map_err(|e| format!("{emit}: {e}"))?;
+        observability.finish()?;
+        println!(
+            "shard {index}/{count}: partial statistics for {} of {} files saved to {emit} \
+             ({} bytes); combine with `pigeon merge`",
+            pigeon::eval::shard_range(refs.len(), index, count).len(),
+            refs.len(),
+            bytes.len()
+        );
+        return Ok(());
     }
-    .map_err(|e| e.to_string())?;
-    let json = model.to_json().map_err(|e| e.to_string())?;
-    std::fs::write(out, json).map_err(|e| format!("{out}: {e}"))?;
+    if flag(&flags, "emit-partial").is_some() {
+        return Err("--emit-partial requires --shard I/N".into());
+    }
+
+    let checkpoint_every = parse_usize(&flags, "checkpoint-every", 0)?;
+    let checkpoint_dir = flag(&flags, "checkpoint-dir");
+    let resume_dir = flag(&flags, "resume");
+    if checkpoint_every > 0 && checkpoint_dir.is_none() {
+        return Err("--checkpoint-every requires --checkpoint-dir DIR".into());
+    }
+
+    let out = require_out()?;
+
+    // Plain training: no checkpoint machinery in the loop at all.
+    if checkpoint_every == 0 && checkpoint_dir.is_none() && resume_dir.is_none() {
+        let model = match target {
+            ElementClass::Variable => Pigeon::train_variable_namer(language, &refs, &config),
+            _ => Pigeon::train_method_namer(language, &refs, &config),
+        }
+        .map_err(|e| e.to_string())?;
+        let json = model.to_json().map_err(|e| e.to_string())?;
+        std::fs::write(out, json).map_err(|e| format!("{out}: {e}"))?;
+        observability.finish()?;
+        println!("trained on {} files; model saved to {out}", refs.len());
+        return Ok(());
+    }
+
+    // Checkpointed / resumed training.
+    let resume = match resume_dir {
+        None => None,
+        Some(dir) => {
+            let path = checkpoint_path(dir);
+            let bytes = read_bytes(&path.display().to_string())?;
+            let state =
+                decode_checkpoint(&bytes).map_err(|e| format!("{}: {e}", path.display()))?;
+            println!(
+                "resuming from {} (epoch {}/{}, instance {})",
+                path.display(),
+                state.epoch(),
+                state.total_epochs(),
+                state.pos()
+            );
+            Some(state)
+        }
+    };
+    let save_dir = checkpoint_dir.or(resume_dir);
+    let mut save_error: Option<String> = None;
+    let save = |state: &pigeon::crf::TrainState, error: &mut Option<String>| {
+        let dir = save_dir.expect("checkpointing paths require a directory");
+        let path = checkpoint_path(dir);
+        let result = std::fs::create_dir_all(dir)
+            .map_err(|e| format!("{dir}: {e}"))
+            .and_then(|()| {
+                std::fs::write(&path, encode_checkpoint(state))
+                    .map_err(|e| format!("{}: {e}", path.display()))
+            });
+        if let Err(e) = result {
+            // Keep training; a full disk must not kill the run, but the
+            // user needs to know resume is not covered up to here.
+            eprintln!("warning: checkpoint not saved: {e}");
+            *error = Some(e);
+        } else {
+            *error = None;
+        }
+    };
+    if save_dir.is_some() {
+        install_train_interrupt_handler();
+    }
+    let mut on_checkpoint = |state: &pigeon::crf::TrainState| save(state, &mut save_error);
+    let interrupt = || TRAIN_INTERRUPT.load(Ordering::SeqCst);
+    let control = TrainControl {
+        resume,
+        checkpoint_every,
+        on_checkpoint: Some(&mut on_checkpoint),
+        interrupt: Some(&interrupt),
+    };
+    let run = Pigeon::train_namer_resumable(language, target, &refs, &config, control)
+        .map_err(|e| e.to_string())?;
+    match run {
+        TrainRun::Completed(model) => {
+            let json = model.to_json().map_err(|e| e.to_string())?;
+            std::fs::write(out, json).map_err(|e| format!("{out}: {e}"))?;
+            // A stale snapshot would silently resume a finished run.
+            if let Some(dir) = save_dir {
+                let _ = std::fs::remove_file(checkpoint_path(dir));
+            }
+            observability.finish()?;
+            println!("trained on {} files; model saved to {out}", refs.len());
+            Ok(())
+        }
+        TrainRun::Interrupted(state) => {
+            let dir = save_dir
+                .ok_or("interrupted, but no --checkpoint-dir or --resume directory to save to")?;
+            let mut error = None;
+            save(&state, &mut error);
+            if let Some(e) = error {
+                return Err(format!("interrupted, and the final checkpoint failed: {e}"));
+            }
+            observability.finish()?;
+            println!(
+                "interrupted at epoch {}/{} (instance {}); checkpoint saved to {} — \
+                 resume with `pigeon train --resume {dir}` and the same corpus and flags",
+                state.epoch(),
+                state.total_epochs(),
+                state.pos(),
+                checkpoint_path(dir).display()
+            );
+            Ok(())
+        }
+    }
+}
+
+fn cmd_merge(args: &[String]) -> Result<(), String> {
+    // `-o` is the conventional short form for the merge output.
+    let args: Vec<String> = args
+        .iter()
+        .map(|a| if a == "-o" { "--out".into() } else { a.clone() })
+        .collect();
+    let (flags, positional) = parse_flags(&args)?;
+    check_flags(
+        "merge",
+        &flags,
+        &["out", "quantize", "trace-out", "timings"],
+    )?;
+    let out = flag(&flags, "out").ok_or("--out is required (MODEL.json or MODEL.pgnc)")?;
+    if positional.is_empty() {
+        return Err(
+            "provide partial files (written by `pigeon train --shard I/N --emit-partial`)".into(),
+        );
+    }
+    let quant = match flag(&flags, "quantize") {
+        None => Quant::F32,
+        Some(name) => {
+            Quant::from_name(name).ok_or_else(|| format!("unknown quantization `{name}`"))?
+        }
+    };
+    let observability = Observability::from_flags(&flags)?;
+    let parts: Vec<Vec<u8>> = positional
+        .iter()
+        .map(|p| read_bytes(p))
+        .collect::<Result<_, _>>()?;
+    let model = Pigeon::from_partials(&parts).map_err(|e| e.to_string())?;
+    if out.ends_with(".pgnc") {
+        let bytes = model.to_artifact(quant).map_err(|e| e.to_string())?;
+        std::fs::write(out, &bytes).map_err(|e| format!("{out}: {e}"))?;
+    } else {
+        let json = model.to_json().map_err(|e| e.to_string())?;
+        std::fs::write(out, json).map_err(|e| format!("{out}: {e}"))?;
+    }
     observability.finish()?;
-    println!("trained on {} files; model saved to {out}", refs.len());
+    println!(
+        "merged {} partials; finished model saved to {out}",
+        parts.len()
+    );
     Ok(())
 }
 
@@ -699,7 +1014,65 @@ fn cmd_audit(args: &[String]) -> Result<ExitCode, String> {
     if let Some(path) = model_path {
         report.units_audited += 1;
         let bytes = read_bytes(path)?;
-        if is_artifact(&bytes) {
+        if container_kind(&bytes) == Some(KIND_PARTIAL) {
+            // Partial statistics file: full container + content decode,
+            // then cross-check each document's stored count maps
+            // against its instance.
+            match decode_partial(&bytes) {
+                Err(e) => report.diagnostics.push(pigeon::analysis::Diagnostic::new(
+                    "partial-load",
+                    Severity::Error,
+                    path,
+                    e,
+                )),
+                Ok(partial) => {
+                    for doc in &partial.docs {
+                        if let Err(e) = verify_doc_stats(doc) {
+                            report.diagnostics.push(pigeon::analysis::Diagnostic::new(
+                                "partial-stats",
+                                Severity::Error,
+                                path,
+                                e,
+                            ));
+                        }
+                    }
+                    report.diagnostics.push(pigeon::analysis::Diagnostic::new(
+                        "partial-info",
+                        Severity::Info,
+                        path,
+                        format!(
+                            "shard {}/{} with {} of {} documents; statistics cross-check ran",
+                            partial.meta.shard_index,
+                            partial.meta.shard_count,
+                            partial.docs.len(),
+                            partial.meta.total_docs
+                        ),
+                    ));
+                }
+            }
+        } else if container_kind(&bytes) == Some(KIND_CHECKPOINT) {
+            // SGD checkpoint: the decoder validates the container, the
+            // shuffle permutation, weight/sum sort order and finiteness.
+            match decode_checkpoint(&bytes) {
+                Err(e) => report.diagnostics.push(pigeon::analysis::Diagnostic::new(
+                    "checkpoint-load",
+                    Severity::Error,
+                    path,
+                    e,
+                )),
+                Ok(state) => report.diagnostics.push(pigeon::analysis::Diagnostic::new(
+                    "checkpoint-info",
+                    Severity::Info,
+                    path,
+                    format!(
+                        "valid checkpoint at epoch {}/{} (instance {})",
+                        state.epoch(),
+                        state.total_epochs(),
+                        state.pos()
+                    ),
+                )),
+            }
+        } else if is_artifact(&bytes) {
             // Compiled artifact: the decoder enforces container
             // integrity (magic, checksums, section bounds, id ranges);
             // lint_artifact surfaces violations as diagnostics and

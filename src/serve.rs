@@ -262,6 +262,12 @@ struct Stats {
 
 impl Stats {
     fn new() -> Self {
+        // Training-path families (checkpoint save/load, shard merge,
+        // resume counts) register eagerly too: a serving process never
+        // trains, but `/v1/metrics` must expose the same family set as
+        // any other process so dashboards and the CI byte-stability
+        // check see one stable schema.
+        crate::register_training_metrics();
         let registry = Arc::new(telemetry::global().shard());
         registry.describe(
             "pigeon_http_requests_total",

@@ -321,3 +321,399 @@ fn train_requires_sources() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("--synthetic"));
 }
+
+#[test]
+fn shard_merge_matches_direct_train_byte_for_byte() {
+    let dir = tmp_dir("shard");
+    let direct = dir.join("direct.json");
+    let merged = dir.join("merged.json");
+
+    // The synthetic corpus is deterministic for a given --language and
+    // --synthetic N, so every shard worker sees the same corpus — the
+    // contract `pigeon merge` documents.
+    let out = pigeon()
+        .args(["train", "--language", "js", "--synthetic", "60", "--out"])
+        .arg(&direct)
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let mut parts = Vec::new();
+    for i in 0..3 {
+        let part = dir.join(format!("stats{i}.part"));
+        let out = pigeon()
+            .args([
+                "train",
+                "--language",
+                "js",
+                "--synthetic",
+                "60",
+                "--shard",
+                &format!("{i}/3"),
+                "--emit-partial",
+            ])
+            .arg(&part)
+            .output()
+            .expect("runs");
+        assert!(
+            out.status.success(),
+            "shard {i}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert_eq!(&std::fs::read(&part).unwrap()[..4], b"PGNC");
+        parts.push(part);
+    }
+
+    let out = pigeon()
+        .args(["merge", "--out"])
+        .arg(&merged)
+        .args(&parts)
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        std::fs::read(&direct).unwrap(),
+        std::fs::read(&merged).unwrap(),
+        "merged model differs from the single-process model"
+    );
+}
+
+#[test]
+fn shard_flags_validate_their_combinations() {
+    let out = pigeon()
+        .args([
+            "train",
+            "--language",
+            "js",
+            "--synthetic",
+            "10",
+            "--shard",
+            "0/2",
+            "--out",
+            "/tmp/never.json",
+        ])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--emit-partial"));
+
+    let out = pigeon()
+        .args([
+            "train",
+            "--language",
+            "js",
+            "--synthetic",
+            "10",
+            "--shard",
+            "2/2",
+            "--emit-partial",
+            "/tmp/never.part",
+            "--out",
+            "/tmp/never.json",
+        ])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("out of range"));
+}
+
+#[test]
+fn merge_rejects_partials_from_different_configs() {
+    let dir = tmp_dir("merge-mismatch");
+    let a = dir.join("a.part");
+    let b = dir.join("b.part");
+    for (part, max_length, shard) in [(&a, "4", "0/2"), (&b, "5", "1/2")] {
+        let out = pigeon()
+            .args([
+                "train",
+                "--language",
+                "js",
+                "--synthetic",
+                "12",
+                "--max-length",
+                max_length,
+                "--shard",
+                shard,
+                "--emit-partial",
+            ])
+            .arg(part)
+            .args(["--out", "/tmp/unused.json"])
+            .output()
+            .expect("runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let out = pigeon()
+        .args(["merge", "--out"])
+        .arg(dir.join("never.json"))
+        .arg(&a)
+        .arg(&b)
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("max_length"), "must name the knob: {err}");
+}
+
+#[test]
+fn checkpointed_training_matches_plain_training_and_cleans_up() {
+    let dir = tmp_dir("ckpt");
+    let plain = dir.join("plain.json");
+    let checkpointed = dir.join("checkpointed.json");
+    let ckdir = dir.join("checkpoints");
+
+    let out = pigeon()
+        .args(["train", "--language", "js", "--synthetic", "40", "--out"])
+        .arg(&plain)
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = pigeon()
+        .args([
+            "train",
+            "--language",
+            "js",
+            "--synthetic",
+            "40",
+            "--checkpoint-every",
+            "2",
+            "--checkpoint-dir",
+        ])
+        .arg(&ckdir)
+        .arg("--out")
+        .arg(&checkpointed)
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The checkpointed path produces the identical model…
+    assert_eq!(
+        std::fs::read(&plain).unwrap(),
+        std::fs::read(&checkpointed).unwrap()
+    );
+    // …and a completed run removes its snapshot so a later --resume
+    // cannot silently restart a finished run.
+    assert!(!ckdir.join("checkpoint.pgnc").exists());
+}
+
+#[test]
+fn audit_lints_partials_and_rejects_corrupt_ones() {
+    let dir = tmp_dir("audit-partial");
+    let part = dir.join("stats.part");
+    let out = pigeon()
+        .args([
+            "train",
+            "--language",
+            "js",
+            "--synthetic",
+            "12",
+            "--shard",
+            "0/2",
+            "--emit-partial",
+        ])
+        .arg(&part)
+        .args(["--out", "/tmp/unused.json"])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = pigeon()
+        .args(["audit", "--model"])
+        .arg(&part)
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "clean partial must audit clean: {}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("shard 0/2"), "{text}");
+
+    // A flipped byte must be denied (exit 2), not crash.
+    let mut bytes = std::fs::read(&part).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    let bad = dir.join("bad.part");
+    std::fs::write(&bad, &bytes).unwrap();
+    let out = pigeon()
+        .args(["audit", "--model"])
+        .arg(&bad)
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2), "corrupt partial must be denied");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("partial-load"), "{text}");
+}
+
+#[test]
+fn update_folds_new_documents_without_the_original_corpus() {
+    let dir = tmp_dir("update");
+    let base = dir.join("base.json");
+    let updated = dir.join("updated.json");
+    let new_docs = dir.join("new");
+
+    let out = pigeon()
+        .args(["train", "--language", "js", "--synthetic", "40", "--out"])
+        .arg(&base)
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = pigeon()
+        .args([
+            "generate",
+            "--language",
+            "js",
+            "--files",
+            "8",
+            "--seed",
+            "424242",
+        ])
+        .arg(&new_docs)
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = pigeon()
+        .args(["train", "--update"])
+        .arg(&base)
+        .arg("--add")
+        .arg(&new_docs)
+        .arg("--out")
+        .arg(&updated)
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("folded 8 new files"), "{text}");
+    assert_ne!(
+        std::fs::read(&base).unwrap(),
+        std::fs::read(&updated).unwrap()
+    );
+    // The updated model still loads and predicts.
+    let query = dir.join("q.js");
+    std::fs::write(&query, "function f() { var d = 0; d = d + 1; }").unwrap();
+    let out = pigeon()
+        .args(["predict", "--model"])
+        .arg(&updated)
+        .arg(&query)
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// SIGINT during `pigeon train` must write a final checkpoint and exit
+/// cleanly; resuming completes to the same model as an uninterrupted
+/// run. Timing-tolerant: if training finishes before the signal lands,
+/// the test still asserts model equality.
+#[cfg(unix)]
+#[test]
+fn sigint_writes_a_final_checkpoint_and_resume_completes() {
+    use std::process::Stdio;
+
+    let dir = tmp_dir("sigint");
+    let baseline = dir.join("baseline.json");
+    let model = dir.join("model.json");
+    let ckdir = dir.join("ck");
+
+    let out = pigeon()
+        .args(["train", "--language", "js", "--synthetic", "150", "--out"])
+        .arg(&baseline)
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let mut child = pigeon()
+        .args([
+            "train",
+            "--language",
+            "js",
+            "--synthetic",
+            "150",
+            "--checkpoint-dir",
+        ])
+        .arg(&ckdir)
+        .arg("--out")
+        .arg(&model)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawns");
+    std::thread::sleep(std::time::Duration::from_millis(400));
+    let _ = std::process::Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status();
+    let status = child.wait().expect("waits");
+    assert!(status.success(), "interrupted train must exit cleanly");
+
+    if ckdir.join("checkpoint.pgnc").exists() {
+        // Interrupted mid-run: resume against the same corpus + flags.
+        let out = pigeon()
+            .args([
+                "train",
+                "--language",
+                "js",
+                "--synthetic",
+                "150",
+                "--resume",
+            ])
+            .arg(&ckdir)
+            .arg("--out")
+            .arg(&model)
+            .output()
+            .expect("runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    assert_eq!(
+        std::fs::read(&baseline).unwrap(),
+        std::fs::read(&model).unwrap(),
+        "kill-and-resume must reproduce the uninterrupted model"
+    );
+}
