@@ -119,6 +119,97 @@ impl Diagnostic {
     }
 }
 
+/// Every stable diagnostic code the audit surfaces can emit, with a
+/// one-line description — the source of truth behind
+/// `pigeon audit --list-codes`. Sorted by code; codes are append-only
+/// and never reused for a different check.
+pub fn code_catalog() -> Vec<(&'static str, &'static str)> {
+    let mut codes = vec![
+        ("parse-error", "source fails to parse under its frontend"),
+        (
+            "ast-arity",
+            "node kind requires a fixed child count it does not have",
+        ),
+        (
+            "ast-child-index",
+            "stored child index disagrees with the node's position",
+        ),
+        ("ast-depth", "stored depth disagrees with the parent's"),
+        (
+            "ast-duplicate-child",
+            "node appears in more than one child list",
+        ),
+        (
+            "ast-empty-nonterminal",
+            "interior node kind has no children",
+        ),
+        (
+            "ast-ident-shape",
+            "identifier value violates the frontend's token shape",
+        ),
+        (
+            "ast-kind-class",
+            "terminal/nonterminal kind used in the wrong class",
+        ),
+        ("ast-orphan", "node is unreachable from the root"),
+        (
+            "ast-parent-link",
+            "stored parent disagrees with the actual parent",
+        ),
+        ("ast-root-is-child", "root appears in a child list"),
+        ("ast-terminal-children", "terminal node carries children"),
+        (
+            "scope-cross-check",
+            "independent scope resolver disagrees with the extractor's element grouping",
+        ),
+        (
+            "scope-occurrence-duplicated",
+            "one occurrence resolved into more than one element group",
+        ),
+        (
+            "scope-occurrence-missing",
+            "resolved occurrence missing from the extractor's grouping",
+        ),
+        ("scope-shadowing", "inner binding shadows an outer one"),
+        (
+            "corpus-duplicate",
+            "file duplicates an earlier one under alpha-renaming",
+        ),
+        (
+            "corpus-near-duplicate",
+            "MinHash sketches estimate near-duplicate similarity",
+        ),
+        ("split-leak", "train/test splits share a program"),
+        ("model-load", "model file failed to load"),
+        (
+            "model-dead-labels",
+            "labels that no training factor can produce",
+        ),
+        ("model-dead-table", "weight table with no entries"),
+        (
+            "model-empty-candidates",
+            "prediction candidate set is empty",
+        ),
+        ("model-nonfinite-weight", "weight is NaN or infinite"),
+        ("model-table-shape", "weight table shape is inconsistent"),
+        (
+            "model-vocab-coverage",
+            "weight ids outside the shipped vocabularies",
+        ),
+        ("partial-load", "partial statistics file failed to decode"),
+        (
+            "partial-stats",
+            "stored count maps disagree with the partial's instances",
+        ),
+        ("partial-info", "partial statistics file summary"),
+        ("checkpoint-load", "SGD checkpoint failed to decode"),
+        ("checkpoint-info", "SGD checkpoint summary"),
+    ];
+    codes.extend(crate::dataflow::LINT_CODES);
+    codes.sort_unstable_by_key(|&(code, _)| code);
+    codes
+}
+
 /// Corpus-level duplication measurements, reported alongside the
 /// diagnostics because the *rate* matters even when no finding fires.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -228,6 +319,20 @@ impl Report {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn code_catalog_is_sorted_unique_and_covers_the_dataflow_lints() {
+        let catalog = code_catalog();
+        let codes: Vec<&str> = catalog.iter().map(|&(c, _)| c).collect();
+        let mut sorted = codes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(codes, sorted, "catalog must be sorted and duplicate-free");
+        for (code, _) in crate::dataflow::LINT_CODES {
+            assert!(codes.contains(&code), "missing dataflow lint {code}");
+        }
+        assert!(catalog.iter().all(|&(_, d)| !d.is_empty()));
+    }
 
     #[test]
     fn severity_orders_for_deny() {

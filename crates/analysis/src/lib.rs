@@ -36,14 +36,18 @@
 //! assert_eq!(report.denied_count(pigeon_analysis::Severity::Warning), 0);
 //! ```
 
+pub mod cfg;
+pub mod dataflow;
 pub mod dedup;
 pub mod diag;
 pub mod modellint;
 pub mod scopes;
 pub mod wellformed;
 
+pub use cfg::{build_cfgs, Cfg, CfgNode};
+pub use dataflow::{flow_edges, LINT_CODES};
 pub use dedup::{check_split, Sketch, UnitPrint, NEAR_DUP_THRESHOLD};
-pub use diag::{Diagnostic, DuplicationSummary, Report, Severity};
+pub use diag::{code_catalog, Diagnostic, DuplicationSummary, Report, Severity};
 pub use modellint::{lint_artifact, lint_crf, lint_sgns};
 pub use scopes::{cross_check, resolve, Resolution, ResolvedGroup, ScopeTree};
 pub use wellformed::check_ast;
@@ -89,6 +93,7 @@ pub fn audit_ast(language: Language, unit: &str, ast: &pigeon_ast::Ast) -> Vec<D
     let mut diags = wellformed::check_ast(language, unit, ast);
     let elements = pigeon_eval::classify_elements(language, ast);
     diags.extend(scopes::cross_check(language, unit, ast, &elements));
+    diags.extend(dataflow::lint(language, unit, ast));
     diags
 }
 

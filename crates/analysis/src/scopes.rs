@@ -40,7 +40,7 @@ pub struct Scope {
 }
 
 /// Function-level kinds, per frontend: the units that open scopes.
-fn scope_opening_kinds(language: Language) -> &'static [&'static str] {
+pub(crate) fn scope_opening_kinds(language: Language) -> &'static [&'static str] {
     match language {
         Language::JavaScript => &["Arrow", "Defun", "Function"],
         Language::Java => &["ConstructorDecl", "MethodDecl"],
@@ -50,7 +50,7 @@ fn scope_opening_kinds(language: Language) -> &'static [&'static str] {
 }
 
 /// Whether `leaf` declares a local variable, parameter or catch binding.
-fn declares_variable(language: Language, ast: &Ast, leaf: NodeId) -> bool {
+pub(crate) fn declares_variable(language: Language, ast: &Ast, leaf: NodeId) -> bool {
     let kind = ast.kind(leaf).as_str();
     match language {
         Language::JavaScript => matches!(kind, "SymbolCatch" | "SymbolFunarg" | "SymbolVar"),

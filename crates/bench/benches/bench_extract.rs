@@ -1,0 +1,166 @@
+//! Extraction hot path: AST path-contexts with the data-flow knob off
+//! vs on, plus the component costs (parse, AST paths, CFG + fixed
+//! point, flow path-contexts).
+//!
+//! Writes `BENCH_EXTRACT.json` at the repo root (override the path
+//! with `PIGEON_BENCH_OUT`) with median/p95 per path and the
+//! dimensionless overhead ratios CI gates at ±15%.
+
+use pigeon::ast::Ast;
+use pigeon::core::{Abstraction, ExtractionConfig};
+use pigeon::corpus::{generate, CorpusConfig, Language};
+use pigeon::eval::{extract_edge_features, Representation};
+use pigeon_bench::{bench_files, Section};
+use std::time::Instant;
+
+const ITERATIONS: usize = 20;
+
+/// Times one whole-corpus pass of `f` over [`ITERATIONS`] runs and
+/// returns `(median, p95)` in microseconds.
+fn measure<T>(mut f: impl FnMut() -> T) -> (f64, f64) {
+    let mut micros: Vec<f64> = (0..ITERATIONS)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            t.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    micros.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let p95 = micros[((micros.len() - 1) * 95) / 100];
+    (micros[micros.len() / 2], p95)
+}
+
+fn main() {
+    let files = bench_files(300);
+    let language = Language::JavaScript;
+    let extraction = ExtractionConfig::default();
+    let rep = Representation::AstPaths(Abstraction::Full);
+    let section = Section::begin("Extraction: AST paths vs + data-flow contexts");
+
+    let corpus = generate(language, &CorpusConfig::default().with_files(files));
+    let sources: Vec<&str> = corpus.docs.iter().map(|d| d.source.as_str()).collect();
+    let asts: Vec<Ast> = sources
+        .iter()
+        .map(|s| language.parse(s).expect("generated corpus parses"))
+        .collect();
+
+    let mut rows: Vec<(&str, f64, f64)> = Vec::new();
+    let mut run = |name: &'static str, median_p95: (f64, f64)| {
+        rows.push((name, median_p95.0, median_p95.1));
+    };
+
+    // Component costs over pre-parsed trees.
+    run(
+        "parse",
+        measure(|| {
+            for s in &sources {
+                std::hint::black_box(language.parse(s).expect("parses"));
+            }
+        }),
+    );
+    run(
+        "ast_paths",
+        measure(|| {
+            asts.iter()
+                .map(|ast| extract_edge_features(language, ast, rep, &extraction).len())
+                .sum::<usize>()
+        }),
+    );
+    run(
+        "dataflow_edges",
+        measure(|| {
+            asts.iter()
+                .map(|ast| pigeon::analysis::flow_edges(language, ast).len())
+                .sum::<usize>()
+        }),
+    );
+    run(
+        "dataflow_contexts",
+        measure(|| {
+            asts.iter()
+                .map(|ast| {
+                    pigeon::dataflow_edge_features(language, ast, &extraction, Abstraction::Full)
+                        .len()
+                })
+                .sum::<usize>()
+        }),
+    );
+
+    // End to end: what one training worker does per file, knob off vs on.
+    run(
+        "extract_off",
+        measure(|| {
+            sources
+                .iter()
+                .map(|s| {
+                    let ast = language.parse(s).expect("parses");
+                    extract_edge_features(language, &ast, rep, &extraction).len()
+                })
+                .sum::<usize>()
+        }),
+    );
+    run(
+        "extract_on",
+        measure(|| {
+            sources
+                .iter()
+                .map(|s| {
+                    let ast = language.parse(s).expect("parses");
+                    extract_edge_features(language, &ast, rep, &extraction).len()
+                        + pigeon::dataflow_edge_features(
+                            language,
+                            &ast,
+                            &extraction,
+                            Abstraction::Full,
+                        )
+                        .len()
+                })
+                .sum::<usize>()
+        }),
+    );
+
+    let median_of = |name: &str| {
+        rows.iter()
+            .find(|(n, _, _)| *n == name)
+            .map(|(_, median, _)| *median)
+            .expect("path measured above")
+    };
+    let on_vs_off = median_of("extract_on") / median_of("extract_off");
+    let dataflow_vs_ast_paths = median_of("dataflow_contexts") / median_of("ast_paths");
+
+    println!(
+        "{:<20} {:>14} {:>14}",
+        "Path (whole corpus)", "Median (µs)", "p95 (µs)"
+    );
+    for (name, median, p95) in &rows {
+        println!("{name:<20} {median:>14.1} {p95:>14.1}");
+    }
+    println!("\ndataflow on/off overhead: {on_vs_off:.2}×");
+    println!("dataflow vs AST paths:    {dataflow_vs_ast_paths:.2}×");
+
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|(name, median, p95)| {
+            format!("    \"{name}\": {{\"median_micros\": {median:.1}, \"p95_micros\": {p95:.1}}}")
+        })
+        .collect();
+    // Absolute timings are informational; CI gates only the host-free
+    // ratios (see perf_gate).
+    let report = format!(
+        "{{\n  \"bench\": \"extract\",\n  \"language\": \"js\",\n  \"corpus_files\": {files},\n  \
+         \"iterations\": {ITERATIONS},\n  \"host\": {{\"os\": \"{}\", \"arch\": \"{}\", \
+         \"cores\": {}}},\n  \"paths\": {{\n{}\n  }},\n  \"ratios\": {{\n    \
+         \"dataflow_on_vs_off\": {on_vs_off:.3},\n    \
+         \"dataflow_vs_ast_paths\": {dataflow_vs_ast_paths:.3}\n  }}\n}}\n",
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+        std::thread::available_parallelism().map_or(0, usize::from),
+        entries.join(",\n")
+    );
+    let out = std::env::var("PIGEON_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_EXTRACT.json").to_owned()
+    });
+    std::fs::write(&out, report).expect("writes snapshot");
+    println!("\nwrote {out}");
+    section.end();
+}

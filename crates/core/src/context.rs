@@ -86,6 +86,45 @@ impl PathContext {
     }
 }
 
+/// The type of a data-flow edge between two variable occurrences.
+///
+/// These mirror the `LastUse` / `LastWrite` edge families of Allamanis
+/// et al. (*Learning to Represent Programs with Graphs*): semantic
+/// links the pure AST path family cannot express. The edges themselves
+/// are produced by the data-flow engine in `pigeon-analysis`; this
+/// crate only turns them into typed path-contexts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FlowKind {
+    /// `from` reads or writes a variable whose value may last have been
+    /// *read* at `to`.
+    LastUse,
+    /// `from` reads or writes a variable whose value may last have been
+    /// *written* at `to`.
+    LastWrite,
+}
+
+impl FlowKind {
+    /// Stable short tag used as the feature-string prefix and metric
+    /// label (`lu` / `lw`). Never reused for a different edge family.
+    pub fn tag(self) -> &'static str {
+        match self {
+            FlowKind::LastUse => "lu",
+            FlowKind::LastWrite => "lw",
+        }
+    }
+}
+
+/// One typed data-flow edge between two terminal occurrences of a
+/// variable in the same function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowEdge {
+    pub kind: FlowKind,
+    /// The occurrence the flow fact is *about*.
+    pub from: NodeId,
+    /// The reaching definition or use it may see.
+    pub to: NodeId,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

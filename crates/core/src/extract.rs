@@ -15,7 +15,7 @@
 //! (number of edges) and `max_width` (maximal sibling-index difference at
 //! the path's top node, cf. Fig. 5).
 
-use crate::context::{PathContext, PathEnd};
+use crate::context::{FlowEdge, FlowKind, PathContext, PathEnd};
 use crate::path::{AstPath, Direction};
 use pigeon_ast::{Ast, Kind, NodeId};
 use pigeon_telemetry as telemetry;
@@ -24,6 +24,11 @@ use std::collections::HashMap;
 /// Counter family for extracted path-contexts, split by `kind` label
 /// (`leaf_pair`, `semi_path`, `to_node`).
 const PATHS_TOTAL: &str = "pigeon_paths_extracted_total";
+
+/// Counter family for data-flow path-contexts, split by `kind` label
+/// (`last_use`, `last_write`). Public so the facade can register the
+/// family eagerly and keep `/v1/metrics` byte-stable.
+pub const DATAFLOW_CONTEXTS_TOTAL: &str = "pigeon_dataflow_contexts_total";
 
 /// Hyper-parameters controlling which paths are extracted.
 ///
@@ -394,6 +399,66 @@ pub fn contexts_to_node(ast: &Ast, target: NodeId, cfg: &ExtractionConfig) -> Ve
     // Counter only: this runs per predicted node on the serve hot path,
     // where a span per call would dominate the cost being measured.
     telemetry::count_with(PATHS_TOTAL, &[("kind", "to_node")], out.len() as u64);
+    out
+}
+
+/// Turns typed data-flow edges (from the analysis engine) into
+/// edge-typed path-contexts.
+///
+/// Each edge becomes the concrete AST path between its two occurrence
+/// leaves, tagged with the edge's [`FlowKind`]. Because the edges are
+/// already semantically filtered (an edge only exists between
+/// occurrences of *one* variable linked by the flow analysis), the
+/// syntactic pruning of §4.2 is relaxed: the width limit does not apply,
+/// and the length budget is doubled — a last-write half a function away
+/// is exactly the signal the AST path family cannot afford to keep.
+/// Self-edges (a loop makes an occurrence reach itself) are skipped.
+///
+/// The output order follows the input edge order; callers sort the edge
+/// list, so the result is deterministic and jobs-invariant.
+pub fn flow_contexts(
+    ast: &Ast,
+    edges: &[FlowEdge],
+    cfg: &ExtractionConfig,
+) -> Vec<(FlowKind, PathContext)> {
+    let mut cache: HashMap<(Vec<Kind>, u32), AstPath> = HashMap::new();
+    let mut out = Vec::new();
+    for e in edges {
+        if e.from == e.to {
+            continue;
+        }
+        let (path, _width) = path_between(ast, e.from, e.to);
+        if path.len() > cfg.max_length * 2 {
+            continue;
+        }
+        // Intern identical kind-sequences like the other extractors.
+        let ups = path
+            .directions()
+            .iter()
+            .filter(|&&d| d == Direction::Up)
+            .count() as u32;
+        let path = cache
+            .entry((path.kinds().to_vec(), ups))
+            .or_insert(path)
+            .clone();
+        out.push((
+            e.kind,
+            PathContext {
+                start: path_end(ast, e.from),
+                path,
+                end: path_end(ast, e.to),
+                start_node: e.from,
+                end_node: e.to,
+            },
+        ));
+    }
+    for (kind, label) in [
+        (FlowKind::LastUse, "last_use"),
+        (FlowKind::LastWrite, "last_write"),
+    ] {
+        let n = out.iter().filter(|(k, _)| *k == kind).count();
+        telemetry::count_with(DATAFLOW_CONTEXTS_TOTAL, &[("kind", label)], n as u64);
+    }
     out
 }
 

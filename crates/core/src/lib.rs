@@ -59,11 +59,11 @@ mod sampling;
 mod vocab;
 
 pub use abstraction::{AbstractPath, Abstraction, PathElem};
-pub use context::{PathContext, PathEnd};
+pub use context::{FlowEdge, FlowKind, PathContext, PathEnd};
 pub use element::element_occurrences;
 pub use extract::{
-    contexts_to_node, extract, leaf_pair_contexts, path_between, semi_path_contexts,
-    ExtractionConfig,
+    contexts_to_node, extract, flow_contexts, leaf_pair_contexts, path_between, semi_path_contexts,
+    ExtractionConfig, DATAFLOW_CONTEXTS_TOTAL,
 };
 pub use fingerprint::{fnv64, normalized_fingerprint, Fnv64};
 pub use nwise::{triple_contexts, NWiseContext};

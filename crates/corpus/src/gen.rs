@@ -57,6 +57,10 @@ impl CorpusConfig {
 
 /// A name pool with the language's reserved words pre-blocked, so a role
 /// like `ResultValue` (whose class contains `out`) never draws a keyword.
+/// For Python the builtins the renderers call are blocked too: a local
+/// named `len` shadows the builtin for the whole function body, so
+/// `len = len(items)` is an `UnboundLocalError` at runtime (and a
+/// `use-before-def` finding under `pigeon audit`).
 fn keyword_safe_pool(language: Language) -> NamePool {
     let keywords: &[&str] = match language {
         Language::JavaScript => pigeon_js::KEYWORDS,
@@ -67,6 +71,11 @@ fn keyword_safe_pool(language: Language) -> NamePool {
     let mut pool = NamePool::new();
     for kw in keywords {
         pool.reserve(kw);
+    }
+    if language == Language::Python {
+        for builtin in ["len", "range", "str", "open", "print", "enumerate"] {
+            pool.reserve(builtin);
+        }
     }
     pool
 }
@@ -143,12 +152,18 @@ pub fn generate_document<R: Rng>(language: Language, cfg: &CorpusConfig, rng: &m
             Language::Python => render::python::function(fn_name, &inst, &helpers),
             Language::CSharp => render::csharp::method(fn_name, &inst, &helpers),
         };
-        let locals: Vec<String> = inst
+        let params: Vec<String> = inst
+            .bindings
+            .iter()
+            .filter(|(slot, _, _)| kind.param_slots().contains(slot))
+            .map(|(_, name, _)| name.clone())
+            .collect();
+        let bound: Vec<String> = inst
             .bindings
             .iter()
             .map(|(_, name, _)| name.clone())
             .collect();
-        insert_distractors(language, &mut body, &locals, rng);
+        insert_distractors(language, &mut body, &params, &bound, rng);
         bodies.push(body);
     }
 
@@ -173,22 +188,32 @@ pub fn generate_document<R: Rng>(language: Language, cfg: &CorpusConfig, rng: &m
 /// the misleading co-occurrence as if it were evidence; a path-based model
 /// sees a distinctive call-argument path it can learn to discount. This is
 /// the paper's Fig. 3 discriminability argument, installed in the data.
+///
+/// Only *parameters* appear next to the canonical name: they are defined
+/// from function entry, so the prelude stays clean under the data-flow
+/// lints (a local would be read before its declaration). For the same
+/// reason a line is dropped when the drawn canonical name collides with
+/// one of the function's own bindings (`bound`).
 fn insert_distractors<R: Rng>(
     language: Language,
     body: &mut String,
-    locals: &[String],
+    params: &[String],
+    bound: &[String],
     rng: &mut R,
 ) {
     let n = rng.gen_range(0..=2);
-    if n == 0 || locals.is_empty() {
+    if n == 0 || params.is_empty() {
         return;
     }
     let mut lines = String::new();
     for _ in 0..n {
         let role = crate::names::Role::ALL[rng.gen_range(0..crate::names::Role::ALL.len())];
         let callee = crate::render::sample_callee(rng);
-        let local = &locals[rng.gen_range(0..locals.len())];
+        let local = &params[rng.gen_range(0..params.len())];
         let name = role.canonical();
+        if bound.iter().any(|b| b == name) {
+            continue;
+        }
         match language {
             Language::JavaScript => {
                 lines.push_str(&format!("  {callee}({local}, {name});\n"));
@@ -205,9 +230,7 @@ fn insert_distractors<R: Rng>(
             }
         }
     }
-    // Insert at the start of the function body. (The named local is a
-    // parameter or is referenced before its declaration -- both parse, and
-    // generated telemetry preludes are exactly this careless in practice.)
+    // Insert at the start of the function body.
     let anchor = match language {
         Language::JavaScript | Language::Java | Language::CSharp => body.find("{\n"),
         Language::Python => body.find(":\n"),

@@ -707,6 +707,11 @@ pub struct ArtifactMeta {
     pub semi_paths: bool,
     /// Candidates returned per prediction.
     pub top_k: u32,
+    /// Whether edge-typed data-flow path-contexts were extracted.
+    /// Encoded as a fifth meta number **only when set**, so artifacts
+    /// written with the knob off are byte-identical to pre-knob files
+    /// and old readers only reject files that actually need the flag.
+    pub dataflow_contexts: bool,
 }
 
 /// A fully decoded artifact: metadata, vocabularies, and an
@@ -911,12 +916,16 @@ pub fn write_artifact(
         meta.target.as_str(),
         meta.abstraction.as_str(),
     ]);
-    meta_bytes.extend_from_slice(&encode_u32s(&[
+    let mut meta_nums = vec![
         meta.max_length,
         meta.max_width,
         u32::from(meta.semi_paths),
         meta.top_k,
-    ]));
+    ];
+    if meta.dataflow_contexts {
+        meta_nums.push(1);
+    }
+    meta_bytes.extend_from_slice(&encode_u32s(&meta_nums));
     w.section(SEC_META, meta_bytes);
     w.section(
         SEC_LABELS,
@@ -979,9 +988,24 @@ pub fn read_artifact(bytes: &[u8]) -> Result<ModelArtifact, String> {
         .try_into()
         .map_err(|_| "meta section must hold exactly 3 strings".to_string())?;
     let meta_nums = decode_u32s(meta_rest, "meta")?;
-    let [max_length, max_width, semi_paths, top_k]: [u32; 4] = meta_nums
-        .try_into()
-        .map_err(|_| "meta section must hold exactly 4 numeric fields".to_string())?;
+    // 4 numbers is the original layout; a 5th (data-flow contexts) is
+    // appended only when the flag is set, keeping knob-off artifacts
+    // byte-identical to files written before the flag existed.
+    let [max_length, max_width, semi_paths, top_k, dataflow_contexts] = match meta_nums.len() {
+        4 => [meta_nums[0], meta_nums[1], meta_nums[2], meta_nums[3], 0],
+        5 => [
+            meta_nums[0],
+            meta_nums[1],
+            meta_nums[2],
+            meta_nums[3],
+            meta_nums[4],
+        ],
+        n => {
+            return Err(format!(
+                "meta section must hold 4 or 5 numeric fields, got {n}"
+            ))
+        }
+    };
     let meta = ArtifactMeta {
         language,
         target,
@@ -990,6 +1014,7 @@ pub fn read_artifact(bytes: &[u8]) -> Result<ModelArtifact, String> {
         max_width,
         semi_paths: semi_paths != 0,
         top_k,
+        dataflow_contexts: dataflow_contexts != 0,
     };
 
     let (labels, rest) = decode_strings(r.section(SEC_LABELS)?, "labels")?;

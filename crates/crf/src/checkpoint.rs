@@ -393,6 +393,7 @@ mod tests {
             max_width: 3,
             semi_paths: false,
             top_k: 8,
+            dataflow_contexts: false,
         };
         let art =
             crate::artifact::write_artifact(&meta, &vocab, &feats, &model, Quant::F32).unwrap();

@@ -42,6 +42,7 @@ fn meta() -> ArtifactMeta {
         max_width: 3,
         semi_paths: true,
         top_k: 5,
+        dataflow_contexts: false,
     }
 }
 

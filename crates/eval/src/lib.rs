@@ -61,7 +61,7 @@ pub use sweeps::{
 };
 pub use tasks::{
     naive_string_type_accuracy, rule_based_java_vars, run_name_experiment, run_type_experiment,
-    NameExperiment, TaskOutcome, TypeExperiment,
+    DataflowExtractor, NameExperiment, TaskOutcome, TypeExperiment,
 };
 pub use tune::{tune_and_run, tune_parameters, TuneResult};
 pub use w2v::{run_w2v_experiment, train_w2v, W2vBundle, W2vContext, W2vExperiment};

@@ -50,6 +50,10 @@ pub struct PartialMeta {
     pub max_width: u32,
     /// Whether semi-paths were extracted.
     pub semi_paths: bool,
+    /// Whether edge-typed data-flow path-contexts were extracted.
+    /// Encoded as a 17th numeric field **only when set**, so partials
+    /// written with the knob off stay byte-identical to pre-knob files.
+    pub dataflow_contexts: bool,
     /// Candidates per prediction (carried into the merged model file).
     pub top_k: u32,
     /// Path-context keep probability (per-document derived seeds make
@@ -143,7 +147,9 @@ pub fn is_partial(bytes: &[u8]) -> bool {
     artifact::container_kind(bytes) == Some(KIND_PARTIAL)
 }
 
-/// Number of `u64` numeric fields trailing the meta string table.
+/// Number of `u64` numeric fields trailing the meta string table in the
+/// original layout; one more (data-flow contexts) is appended only when
+/// that flag is set.
 const META_NUMS: usize = 16;
 
 /// Serialises a partial. Byte-stable: documents are written in order
@@ -155,7 +161,7 @@ pub fn encode_partial(partial: &TrainPartial) -> Vec<u8> {
         m.target.as_str(),
         m.abstraction.as_str(),
     ]);
-    meta.extend_from_slice(&encode_u64s(&[
+    let mut nums = vec![
         u64::from(m.max_length),
         u64::from(m.max_width),
         u64::from(m.semi_paths),
@@ -172,7 +178,11 @@ pub fn encode_partial(partial: &TrainPartial) -> Vec<u8> {
         u64::from(m.shard_index),
         u64::from(m.shard_count),
         u64::from(m.total_docs),
-    ]));
+    ];
+    if m.dataflow_contexts {
+        nums.push(1);
+    }
+    meta.extend_from_slice(&encode_u64s(&nums));
 
     let mut docs = encode_u32s(&[partial.docs.len() as u32]);
     for doc in &partial.docs {
@@ -283,16 +293,28 @@ pub fn decode_partial(bytes: &[u8]) -> Result<TrainPartial, String> {
     let [language, target, abstraction]: [String; 3] = meta_strings
         .try_into()
         .map_err(|_| "pt-meta must hold exactly 3 strings".to_string())?;
-    let nums = decode_u64s(meta_rest, "pt-meta")?;
-    let nums: [u64; META_NUMS] = nums
-        .try_into()
-        .map_err(|_| format!("pt-meta must hold exactly {META_NUMS} numeric fields"))?;
+    let mut nums = decode_u64s(meta_rest, "pt-meta")?;
+    let dataflow_contexts = match nums.len() {
+        META_NUMS => 0,
+        n if n == META_NUMS + 1 => nums.pop().expect("length checked"),
+        n => {
+            return Err(format!(
+                "pt-meta must hold {META_NUMS} or {} numeric fields, got {n}",
+                META_NUMS + 1
+            ))
+        }
+    };
+    let nums: [u64; META_NUMS] = nums.try_into().expect("length checked above");
     let [max_length, max_width, semi_paths, top_k, keep_prob_bits, epochs, lr_bits, max_passes, max_candidates, global_candidates, suggestions_per_key, use_unary, seed, shard_index, shard_count, total_docs] =
         nums;
     let as_u32 = |v: u64, what: &str| {
         u32::try_from(v).map_err(|_| format!("pt-meta {what} {v} overflows u32"))
     };
-    for (flag, what) in [(semi_paths, "semi_paths"), (use_unary, "use_unary")] {
+    for (flag, what) in [
+        (semi_paths, "semi_paths"),
+        (use_unary, "use_unary"),
+        (dataflow_contexts, "dataflow_contexts"),
+    ] {
         if flag > 1 {
             return Err(format!("pt-meta {what} flag is {flag}, expected 0 or 1"));
         }
@@ -322,6 +344,7 @@ pub fn decode_partial(bytes: &[u8]) -> Result<TrainPartial, String> {
         max_length: as_u32(max_length, "max_length")?,
         max_width: as_u32(max_width, "max_width")?,
         semi_paths: semi_paths == 1,
+        dataflow_contexts: dataflow_contexts == 1,
         top_k: as_u32(top_k, "top_k")?,
         keep_prob,
         crf: CrfConfig {
@@ -491,7 +514,7 @@ pub fn verify_doc_stats(doc: &DocPartial) -> Result<(), String> {
 
 /// The configuration knobs [`merge_partials`] requires to agree, with
 /// accessors for error messages.
-fn config_knobs(m: &PartialMeta) -> [(&'static str, String); 13] {
+fn config_knobs(m: &PartialMeta) -> [(&'static str, String); 14] {
     [
         ("language", m.language.clone()),
         ("target", m.target.clone()),
@@ -499,6 +522,7 @@ fn config_knobs(m: &PartialMeta) -> [(&'static str, String); 13] {
         ("max_length", m.max_length.to_string()),
         ("max_width", m.max_width.to_string()),
         ("semi_paths", m.semi_paths.to_string()),
+        ("dataflow_contexts", m.dataflow_contexts.to_string()),
         ("keep_prob", format!("{}", m.keep_prob)),
         ("crf.epochs", m.crf.epochs.to_string()),
         ("crf.learning_rate", format!("{}", m.crf.learning_rate)),
@@ -704,6 +728,7 @@ mod tests {
             max_length: 4,
             max_width: 3,
             semi_paths: false,
+            dataflow_contexts: false,
             top_k: 8,
             keep_prob: 1.0,
             crf: CrfConfig {
@@ -746,6 +771,31 @@ mod tests {
         for doc in &back.docs {
             verify_doc_stats(doc).unwrap();
         }
+    }
+
+    #[test]
+    fn dataflow_flag_roundtrips_and_knob_off_layout_is_unchanged() {
+        let on = TrainPartial {
+            meta: PartialMeta {
+                dataflow_contexts: true,
+                ..sample_meta()
+            },
+            docs: vec![sample_doc(0), sample_doc(1)],
+        };
+        let bytes = encode_partial(&on);
+        let back = decode_partial(&bytes).unwrap();
+        assert!(back.meta.dataflow_contexts);
+        assert_eq!(encode_partial(&back), bytes);
+
+        // With the knob off the extra field is absent entirely, so the
+        // encoding matches what pre-knob writers produced.
+        let off = TrainPartial {
+            meta: sample_meta(),
+            docs: vec![sample_doc(0), sample_doc(1)],
+        };
+        let off_bytes = encode_partial(&off);
+        assert!(off_bytes.len() < bytes.len());
+        assert!(!decode_partial(&off_bytes).unwrap().meta.dataflow_contexts);
     }
 
     #[test]

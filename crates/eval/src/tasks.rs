@@ -43,7 +43,20 @@ pub struct NameExperiment {
     /// serial, `0` uses all available cores. Results are merged in
     /// document order, so the trained model is identical for any value.
     pub jobs: usize,
+    /// Optional extra edge-feature extractor whose triples are appended
+    /// after the base representation's. The facade injects edge-typed
+    /// data-flow path-contexts through this hook — this crate cannot
+    /// depend on the analysis crate that computes the flow edges, so
+    /// the composed extractor arrives from above. A plain function
+    /// pointer (not a boxed closure) keeps the config `Clone` + `Debug`.
+    pub dataflow: Option<DataflowExtractor>,
 }
+
+/// Signature of the [`NameExperiment::dataflow`] hook: language, tree,
+/// the experiment's extraction limits, and the path abstraction to
+/// render features under.
+pub type DataflowExtractor =
+    fn(Language, &Ast, &ExtractionConfig, Abstraction) -> Vec<crate::features::EdgeFeature>;
 
 impl NameExperiment {
     /// The best variable-name configuration per language, tuned on a
@@ -71,6 +84,7 @@ impl NameExperiment {
             train_frac: 0.8,
             top_k: 5,
             jobs: 1,
+            dataflow: None,
         }
     }
 
@@ -101,6 +115,13 @@ impl NameExperiment {
     /// Same experiment with a different corpus size.
     pub fn with_files(mut self, files: usize) -> Self {
         self.corpus = self.corpus.with_files(files);
+        self
+    }
+
+    /// Same experiment with extra data-flow edge features appended to
+    /// every document's triples.
+    pub fn with_dataflow(mut self, extractor: DataflowExtractor) -> Self {
+        self.dataflow = Some(extractor);
         self
     }
 }
@@ -161,8 +182,17 @@ fn extract_corpus(corpus: &Corpus, exp: &NameExperiment) -> Vec<ExtractedDoc> {
             .language
             .parse(&doc.source)
             .expect("generated documents parse");
-        let features =
+        let mut features =
             extract_edge_features(exp.language, &ast, exp.representation, &exp.extraction);
+        if let Some(flow) = exp.dataflow {
+            // Render flow features under the same abstraction as the
+            // base paths; baselines without one fall back to Full.
+            let abstraction = match exp.representation {
+                Representation::AstPaths(a) => a,
+                _ => Abstraction::Full,
+            };
+            features.extend(flow(exp.language, &ast, &exp.extraction, abstraction));
+        }
         let semis = exp
             .extraction
             .semi_paths

@@ -92,6 +92,12 @@ pub struct PigeonConfig {
     /// the statistics merge is commutative, so the trained model is
     /// byte-identical for any value.
     pub jobs: usize,
+    /// Also extract edge-typed data-flow path-contexts (`lw:`/`lu:`
+    /// features over last-write/last-use edges from the data-flow
+    /// engine in `pigeon-analysis`). Off by default; with it off, every
+    /// training and serialisation surface is byte-identical to builds
+    /// that predate the knob.
+    pub dataflow_contexts: bool,
 }
 
 impl Default for PigeonConfig {
@@ -103,6 +109,7 @@ impl Default for PigeonConfig {
             top_k: 8,
             keep_prob: 1.0,
             jobs: 1,
+            dataflow_contexts: false,
         }
     }
 }
@@ -173,6 +180,13 @@ impl PigeonConfigBuilder {
     /// Worker threads (`0` = all cores).
     pub fn jobs(mut self, jobs: usize) -> Self {
         self.config.jobs = jobs;
+        self
+    }
+
+    /// Also extract edge-typed data-flow path-contexts (last-write /
+    /// last-use edges, rendered as `lw:`/`lu:`-prefixed features).
+    pub fn dataflow_contexts(mut self, on: bool) -> Self {
+        self.config.dataflow_contexts = on;
         self
     }
 
@@ -478,6 +492,7 @@ impl Pigeon {
             max_length: config.extraction.max_length as u32,
             max_width: config.extraction.max_width as u32,
             semi_paths: config.extraction.semi_paths,
+            dataflow_contexts: config.dataflow_contexts,
             top_k: config.top_k as u32,
             keep_prob: config.keep_prob,
             crf: CrfConfig {
@@ -542,6 +557,7 @@ impl Pigeon {
             top_k: meta.top_k as usize,
             keep_prob: meta.keep_prob,
             jobs: 1,
+            dataflow_contexts: meta.dataflow_contexts,
         };
         let model = pigeon_crf::train_from_statistics(
             &merged.instances,
@@ -650,7 +666,7 @@ impl Pigeon {
             .iter()
             .map(|(_, s)| s.clone())
             .collect();
-        let file = serde_json::json!({
+        let mut file = serde_json::json!({
             "language": self.language.name(),
             "target": match self.target {
                 ElementClass::Variable => "variables",
@@ -666,6 +682,13 @@ impl Pigeon {
             "features": features,
             "model": self.model.to_json()?,
         });
+        // Inserted only when set: knob-off model files stay
+        // byte-identical to files written before the knob existed.
+        if self.config.dataflow_contexts {
+            file.as_object_mut()
+                .expect("json! object literal")
+                .insert("dataflow_contexts".to_owned(), serde_json::json!(true));
+        }
         serde_json::to_string(&file)
     }
 
@@ -726,6 +749,12 @@ impl Pigeon {
             .get("semi_paths")
             .and_then(|x| x.as_bool())
             .unwrap_or(false);
+        // Absent in files written before the knob existed (and in every
+        // knob-off file since): absent means off.
+        let dataflow_contexts = v
+            .get("dataflow_contexts")
+            .and_then(|x| x.as_bool())
+            .unwrap_or(false);
         Ok(Pigeon {
             language,
             target,
@@ -733,6 +762,7 @@ impl Pigeon {
                 extraction,
                 abstraction,
                 crf: CrfConfig::default(),
+                dataflow_contexts,
                 top_k: num_field("top_k")? as usize,
                 // Training-only knobs; a deserialized model is for
                 // prediction, so the defaults are fine.
@@ -776,6 +806,7 @@ impl Pigeon {
             max_width: self.config.extraction.max_width as u32,
             semi_paths: self.config.extraction.semi_paths,
             top_k: self.config.top_k as u32,
+            dataflow_contexts: self.config.dataflow_contexts,
         };
         crf::artifact::write_artifact(&meta, &labels, &features, &self.model, quant)
             .map_err(|m| PigeonError::model_format(format!("compiled artifact: {m}")))
@@ -835,6 +866,7 @@ impl Pigeon {
             config: PigeonConfig {
                 extraction,
                 abstraction,
+                dataflow_contexts: art.meta.dataflow_contexts,
                 top_k: art.meta.top_k as usize,
                 // Training-only knobs; an artifact-backed model is for
                 // prediction, so the defaults are fine.
@@ -876,7 +908,17 @@ impl Pigeon {
         let _span = telemetry::span("predict");
         let ast = self.language.parse(source).map_err(PigeonError::parse)?;
         let rep = Representation::AstPaths(self.config.abstraction);
-        let features = extract_edge_features(self.language, &ast, rep, &self.config.extraction);
+        let mut features = extract_edge_features(self.language, &ast, rep, &self.config.extraction);
+        if self.config.dataflow_contexts {
+            // A model trained with flow features must see them at
+            // prediction time too, or its `lw:`/`lu:` weights go unused.
+            features.extend(dataflow_edge_features(
+                self.language,
+                &ast,
+                &self.config.extraction,
+                self.config.abstraction,
+            ));
+        }
         // Lookup-only graph build: prediction never grows the
         // vocabularies, so the hot path borrows them directly — no
         // per-call clone, and `&self` stays shareable across threads.
@@ -944,11 +986,47 @@ pub enum TrainRun {
 pub fn register_training_metrics() {
     pigeon_crf::checkpoint::register_metrics();
     pigeon_eval::partial::register_metrics();
+    pigeon_analysis::dataflow::register_metrics();
+    telemetry::describe(
+        pigeon_core::DATAFLOW_CONTEXTS_TOTAL,
+        "Edge-typed data-flow path-contexts extracted, by edge kind",
+    );
+    for kind in ["last_use", "last_write"] {
+        telemetry::counter_with(pigeon_core::DATAFLOW_CONTEXTS_TOTAL, &[("kind", kind)]);
+    }
     telemetry::describe(
         "pigeon_crf_resumes_total",
         "Training runs resumed from a checkpoint",
     );
     telemetry::counter("pigeon_crf_resumes_total");
+}
+
+/// Extracts edge-typed data-flow path-contexts from one tree and
+/// renders them as CRF edge features: the analysis crate's last-write /
+/// last-use edges, connected by AST paths (`pigeon_core::flow_contexts`)
+/// and prefixed with the edge type (`lw:` / `lu:`) so the learner can
+/// weight semantic relations separately from syntactic ones.
+///
+/// This is the composition the `dataflow_contexts` knob switches on in
+/// training and prediction. It is public (and a plain `fn`) so the CLI
+/// can pass it to [`pigeon_eval::NameExperiment::with_dataflow`] — the
+/// eval crate cannot depend on the analysis crate, so the composed
+/// extractor has to arrive from this layer.
+pub fn dataflow_edge_features(
+    language: Language,
+    ast: &ast::Ast,
+    extraction: &ExtractionConfig,
+    abstraction: Abstraction,
+) -> Vec<pigeon_eval::EdgeFeature> {
+    let edges = pigeon_analysis::flow_edges(language, ast);
+    pigeon_core::flow_contexts(ast, &edges, extraction)
+        .into_iter()
+        .map(|(kind, c)| pigeon_eval::EdgeFeature {
+            a: c.start_node,
+            b: c.end_node,
+            feature: format!("{}:{}", kind.tag(), abstraction.apply(&c.path)),
+        })
+        .collect()
 }
 
 /// The stable prediction-target string carried by model files and
@@ -1016,7 +1094,15 @@ fn parse_and_extract(
         let _phase = telemetry::span("parse_extract");
         parallel_map_indexed(sources, config.jobs, |_, source| {
             language.parse(source).map(|ast| {
-                let features = extract_edge_features(language, &ast, rep, &config.extraction);
+                let mut features = extract_edge_features(language, &ast, rep, &config.extraction);
+                if config.dataflow_contexts {
+                    features.extend(dataflow_edge_features(
+                        language,
+                        &ast,
+                        &config.extraction,
+                        config.abstraction,
+                    ));
+                }
                 (ast, features)
             })
         })

@@ -74,7 +74,8 @@ USAGE:
   pigeon generate   --language LANG [--files N] [--seed N] [--jobs N] DIR
   pigeon train      --language LANG --out MODEL.json [--task vars|methods]
                     [--max-length N] [--max-width N] [--jobs N]
-                    [--keep-prob P] [--trace-out FILE] [--timings BOOL]
+                    [--keep-prob P] [--dataflow-contexts BOOL]
+                    [--trace-out FILE] [--timings BOOL]
                     [--shard I/N --emit-partial OUT.part]
                     [--checkpoint-every N --checkpoint-dir D] [--resume D]
                     [--update MODEL --add DIR]
@@ -90,10 +91,13 @@ USAGE:
                     [--max-conn-requests N] [--batch-max N]
                     [--batch-wait-ms N] [--queue-cap N]
   pigeon experiment --language LANG [--files N] [--task vars|methods]
-                    [--jobs N] [--trace-out FILE] [--timings BOOL]
+                    [--jobs N] [--max-length N] [--max-width N]
+                    [--dataflow-contexts BOOL]
+                    [--trace-out FILE] [--timings BOOL]
   pigeon audit      [--language LANG PATH...] [--model MODEL[.json|.pgnc]]
                     [--format text|json] [--deny info|warning|error]
                     [--jobs N] [--near-dups true|false]
+                    [--list-codes true]
 
 Flags take `--name value` or `--name=value`; a flag a subcommand does
 not know is an error, never silently ignored.
@@ -111,6 +115,14 @@ DEFAULTS:
                 for any value.
   --keep-prob   1.0 (keep every path-context; lower values downsample
                 training contexts, §5.5 of the paper)
+  --dataflow-contexts  false. When true, `train`/`experiment` also
+                extract edge-typed data-flow path-contexts: last-write
+                (`lw:`) and last-use (`lu:`) edges from the data-flow
+                engine, connected by AST paths and fed to the CRF next
+                to the syntactic paths. The flag is stored in the model
+                (JSON, .pgnc and partials), so `predict`/`serve` extract
+                the same features automatically; with it off, every
+                output is byte-identical to builds without the flag.
 
 DISTRIBUTED & INCREMENTAL TRAINING:
   --shard I/N       run extraction + statistics over the I-th of N
@@ -149,9 +161,16 @@ AUDIT:
   Static analysis over sources and trained models. PATHs are source
   files or directories (directories are walked for the language's
   extension, sorted by name). Checks: AST well-formedness (codes ast-*),
-  scope/binding cross-check (scope-*), corpus duplication and
-  near-duplication (corpus-*, split-leak), and model sanity (model-*)
-  when --model is given. --model also accepts partial statistics files
+  scope/binding cross-check (scope-*), data-flow lints (use-before-def:
+  a read no definition can reach; dead-store: a written value that can
+  never be read; write-write-shadow: a store overwritten before any
+  read; unused-binding: a variable that is never read), corpus
+  duplication and near-duplication (corpus-*, split-leak), and model
+  sanity (model-*) when --model is given. The data-flow lints run on
+  per-function control-flow graphs with fixed-point reaching-definition
+  and liveness analyses; findings are deterministic and byte-identical
+  for any --jobs value. `--list-codes true` prints the full code
+  catalog (text or --format json) and exits. --model also accepts partial statistics files
   and SGD checkpoints (kind sniffed from the container): partials get a
   full decode plus a count-map cross-check against their stored
   instances (partial-*), checkpoints a full state validation
@@ -450,6 +469,7 @@ fn train_config(flags: &[(String, String)]) -> Result<PigeonConfig, String> {
         )
         .jobs(parse_usize(flags, "jobs", 1)?)
         .keep_prob(parse_f64(flags, "keep-prob", 1.0)?)
+        .dataflow_contexts(parse_bool(flags, "dataflow-contexts", false)?)
         .build()
         .map_err(|e| e.to_string())
 }
@@ -537,6 +557,7 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
             "max-width",
             "jobs",
             "keep-prob",
+            "dataflow-contexts",
             "synthetic",
             "shard",
             "emit-partial",
@@ -910,7 +931,17 @@ fn cmd_experiment(args: &[String]) -> Result<(), String> {
     check_flags(
         "experiment",
         &flags,
-        &["language", "files", "task", "jobs", "trace-out", "timings"],
+        &[
+            "language",
+            "files",
+            "task",
+            "jobs",
+            "max-length",
+            "max-width",
+            "dataflow-contexts",
+            "trace-out",
+            "timings",
+        ],
     )?;
     let language = required_language(&flags)?;
     let files = parse_usize(&flags, "files", 400)?;
@@ -922,6 +953,18 @@ fn cmd_experiment(args: &[String]) -> Result<(), String> {
     };
     exp.corpus = exp.corpus.with_files(files);
     exp.jobs = parse_usize(&flags, "jobs", 1)?;
+    // Override the per-language tuned limits only when asked — that is
+    // how the equal-context-budget comparison (data-flow paths vs
+    // longer AST paths) is run.
+    let max_length = parse_usize(&flags, "max-length", exp.extraction.max_length)?;
+    let max_width = parse_usize(&flags, "max-width", exp.extraction.max_width)?;
+    if (max_length, max_width) != (exp.extraction.max_length, exp.extraction.max_width) {
+        let semi = exp.extraction.semi_paths;
+        exp.extraction = ExtractionConfig::with_limits(max_length, max_width).semi_paths(semi);
+    }
+    if parse_bool(&flags, "dataflow-contexts", false)? {
+        exp = exp.with_dataflow(pigeon::dataflow_edge_features);
+    }
     let observability = Observability::from_flags(&flags)?;
     let out = run_name_experiment(&exp);
     observability.finish()?;
@@ -936,6 +979,35 @@ fn cmd_experiment(args: &[String]) -> Result<(), String> {
         out.train_secs,
     );
     Ok(())
+}
+
+/// Prints the stable diagnostic-code catalog (`pigeon audit
+/// --list-codes true`). The JSON form carries the same `pigeon-audit/1`
+/// schema tag as audit reports and is byte-stable: the catalog is
+/// sorted by code and the serde shim's object keys are ordered.
+fn print_code_catalog(format: &str) {
+    let catalog = pigeon::analysis::code_catalog();
+    if format == "json" {
+        let codes: Vec<serde_json::Value> = catalog
+            .iter()
+            .map(|&(code, description)| {
+                serde_json::json!({ "code": code, "description": description })
+            })
+            .collect();
+        let value = serde_json::json!({
+            "schema": "pigeon-audit/1",
+            "codes": serde_json::Value::Array(codes),
+        });
+        println!(
+            "{}",
+            serde_json::to_string(&value).expect("code catalog serializes")
+        );
+    } else {
+        let width = catalog.iter().map(|&(c, _)| c.len()).max().unwrap_or(0);
+        for (code, description) in catalog {
+            println!("{code:width$}  {description}");
+        }
+    }
 }
 
 /// Expands `paths` into audit units: files are taken as-is, directories
@@ -975,11 +1047,23 @@ fn cmd_audit(args: &[String]) -> Result<ExitCode, String> {
     check_flags(
         "audit",
         &flags,
-        &["language", "model", "format", "deny", "jobs", "near-dups"],
+        &[
+            "language",
+            "model",
+            "format",
+            "deny",
+            "jobs",
+            "near-dups",
+            "list-codes",
+        ],
     )?;
     let format = flag(&flags, "format").unwrap_or("text");
     if !matches!(format, "text" | "json") {
         return Err(format!("--format expects text or json, got `{format}`"));
+    }
+    if parse_bool(&flags, "list-codes", false)? {
+        print_code_catalog(format);
+        return Ok(ExitCode::SUCCESS);
     }
     let deny = match flag(&flags, "deny") {
         None => Severity::Error,
