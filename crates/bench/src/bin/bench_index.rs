@@ -1,0 +1,92 @@
+//! Regenerates `BENCH_INDEX.md` at the repo root: one row per
+//! committed `BENCH_*.json` snapshot with the dimensionless numbers
+//! CI's perf gate guards. The output is a pure function of the
+//! committed snapshots, so CI regenerates it and fails on a diff —
+//! adding a bench snapshot without re-running this binary is a stale
+//! index.
+//!
+//! Usage: `bench_index [REPO_ROOT]` (defaults to the workspace root).
+
+use serde_json::Value;
+
+fn gated_numbers(snapshot: &Value) -> Vec<(String, f64)> {
+    let mut gated = Vec::new();
+    // The `ratios` object is gated wholesale…
+    if let Some(Value::Object(ratios)) = snapshot.get("ratios") {
+        for (key, value) in ratios {
+            if let Some(n) = value.as_f64() {
+                gated.push((key.clone(), n));
+            }
+        }
+    }
+    // …as is each loader's speedup in the model-load snapshot.
+    if let Some(Value::Object(loaders)) = snapshot.get("loaders") {
+        for (name, loader) in loaders {
+            if let Some(n) = loader.get("speedup_vs_json").and_then(Value::as_f64) {
+                gated.push((format!("{name}.speedup_vs_json"), n));
+            }
+        }
+    }
+    gated
+}
+
+fn main() {
+    let root = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../..").to_owned());
+    let mut snapshots: Vec<std::path::PathBuf> = std::fs::read_dir(&root)
+        .expect("repo root")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    snapshots.sort();
+    assert!(
+        !snapshots.is_empty(),
+        "no BENCH_*.json snapshots under {root}"
+    );
+
+    let mut out = String::from(
+        "# Bench snapshot index\n\n\
+         One row per committed `BENCH_*.json` perf snapshot. The \"gated\"\n\
+         column lists the dimensionless numbers `perf_gate` holds within\n\
+         ±15% of the committed value on every CI run; absolute medians\n\
+         live in the snapshots themselves and are only gated on pinned\n\
+         perf boxes (`PIGEON_BENCH_STRICT=1`).\n\n\
+         Regenerate with `cargo run -p pigeon-bench --bin bench_index`;\n\
+         CI diffs the regenerated file, so commit the result alongside\n\
+         any snapshot change.\n\n\
+         | Snapshot | Bench | Gated numbers |\n\
+         |---|---|---|\n",
+    );
+    for path in &snapshots {
+        let name = path.file_name().unwrap().to_str().unwrap();
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        let snapshot: Value =
+            serde_json::from_str(&text).unwrap_or_else(|e| panic!("parse {}: {e}", path.display()));
+        let bench = snapshot
+            .get("bench")
+            .and_then(Value::as_str)
+            .unwrap_or("?")
+            .to_owned();
+        let gated = gated_numbers(&snapshot);
+        let cell = if gated.is_empty() {
+            "—".to_owned()
+        } else {
+            gated
+                .iter()
+                .map(|(key, value)| format!("`{key}` {value:.3}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        out.push_str(&format!("| [{name}]({name}) | {bench} | {cell} |\n"));
+    }
+
+    let index = std::path::Path::new(&root).join("BENCH_INDEX.md");
+    std::fs::write(&index, out).expect("writes index");
+    println!("wrote {} ({} snapshots)", index.display(), snapshots.len());
+}

@@ -26,6 +26,7 @@
 //! ```
 
 mod breakdown;
+pub mod coordinator;
 mod elements;
 mod features;
 mod graph;

@@ -513,8 +513,10 @@ pub fn verify_doc_stats(doc: &DocPartial) -> Result<(), String> {
 }
 
 /// The configuration knobs [`merge_partials`] requires to agree, with
-/// accessors for error messages.
-fn config_knobs(m: &PartialMeta) -> [(&'static str, String); 14] {
+/// accessors for error messages. Public so the distributed-training
+/// ingest path can validate an uploaded partial against a job's
+/// expected configuration and name the offending knob in its 400.
+pub fn config_knobs(m: &PartialMeta) -> [(&'static str, String); 14] {
     [
         ("language", m.language.clone()),
         ("target", m.target.clone()),

@@ -56,6 +56,7 @@ pub use pigeon_python as python;
 pub use pigeon_telemetry as telemetry;
 pub use pigeon_word2vec as word2vec;
 
+pub mod distrib;
 pub mod serve;
 
 use pigeon_core::{derive_seed, downsample, Abstraction, ExtractionConfig, DOWNSAMPLE_SEED};
@@ -485,24 +486,14 @@ impl Pigeon {
                 stats,
             });
         }
-        let meta = PartialMeta {
-            language: language.name().to_owned(),
-            target: target_name(target).to_owned(),
-            abstraction: config.abstraction.name().to_owned(),
-            max_length: config.extraction.max_length as u32,
-            max_width: config.extraction.max_width as u32,
-            semi_paths: config.extraction.semi_paths,
-            dataflow_contexts: config.dataflow_contexts,
-            top_k: config.top_k as u32,
-            keep_prob: config.keep_prob,
-            crf: CrfConfig {
-                jobs: 0,
-                ..config.crf
-            },
-            shard_index: shard_index as u32,
-            shard_count: shard_count as u32,
-            total_docs: sources.len() as u32,
-        };
+        let meta = training_partial_meta(
+            language,
+            target,
+            config,
+            shard_index as u32,
+            shard_count as u32,
+            sources.len() as u32,
+        );
         Ok(pigeon_eval::partial::encode_partial(&TrainPartial {
             meta,
             docs,
@@ -1027,6 +1018,40 @@ pub fn dataflow_edge_features(
             feature: format!("{}:{}", kind.tag(), abstraction.apply(&c.path)),
         })
         .collect()
+}
+
+/// The [`PartialMeta`] a shard worker stamps on its partial for this
+/// configuration — the single source of truth for what
+/// [`Pigeon::build_training_partial`] emits. The distributed-training
+/// coordinator builds the same meta from a job's knobs to fingerprint
+/// cache keys and to validate uploaded partials knob-by-knob, so server
+/// and worker can never drift on what "the same configuration" means.
+pub fn training_partial_meta(
+    language: Language,
+    target: ElementClass,
+    config: &PigeonConfig,
+    shard_index: u32,
+    shard_count: u32,
+    total_docs: u32,
+) -> PartialMeta {
+    PartialMeta {
+        language: language.name().to_owned(),
+        target: target_name(target).to_owned(),
+        abstraction: config.abstraction.name().to_owned(),
+        max_length: config.extraction.max_length as u32,
+        max_width: config.extraction.max_width as u32,
+        semi_paths: config.extraction.semi_paths,
+        dataflow_contexts: config.dataflow_contexts,
+        top_k: config.top_k as u32,
+        keep_prob: config.keep_prob,
+        crf: CrfConfig {
+            jobs: 0,
+            ..config.crf
+        },
+        shard_index,
+        shard_count,
+        total_docs,
+    }
 }
 
 /// The stable prediction-target string carried by model files and

@@ -19,9 +19,10 @@ use pigeon::corpus::{generate, CorpusConfig, Language};
 use pigeon::crf::artifact::{container_kind, is_artifact, Quant, KIND_CHECKPOINT, KIND_PARTIAL};
 use pigeon::crf::checkpoint::{decode_checkpoint, encode_checkpoint};
 use pigeon::crf::TrainControl;
+use pigeon::distrib::{language_ext, run_worker, WorkerOptions};
 use pigeon::eval::partial::{decode_partial, verify_doc_stats};
 use pigeon::eval::{run_name_experiment, ElementClass, NameExperiment};
-use pigeon::serve::{serve, ServeConfig};
+use pigeon::serve::{coordinate, serve, ServeConfig};
 use pigeon::{Pigeon, PigeonConfig, TrainRun};
 use std::path::Path;
 use std::process::ExitCode;
@@ -38,6 +39,8 @@ fn main() -> ExitCode {
         Some("compile") => cmd_compile(&args[1..]),
         Some("predict") => cmd_predict(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("coordinate") => cmd_coordinate(&args[1..]),
+        Some("work") => cmd_work(&args[1..]),
         Some("experiment") => cmd_experiment(&args[1..]),
         // `audit` owns its exit code: 0 clean, 2 when findings reach the
         // `--deny` level, 1 (below) for usage/IO errors.
@@ -90,6 +93,13 @@ USAGE:
                     [--idle-timeout SECS] [--keep-alive BOOL]
                     [--max-conn-requests N] [--batch-max N]
                     [--batch-wait-ms N] [--queue-cap N]
+                    [--cache-dir DIR] [--lease-timeout-ms N]
+  pigeon coordinate --cache-dir DIR [--host ADDR] [--port N]
+                    [--lease-timeout-ms N] [--idle-timeout SECS]
+                    [--max-request-bytes N] [--read-timeout-ms N]
+                    [--keep-alive BOOL] [--max-conn-requests N]
+  pigeon work       --coordinator URL [--worker NAME] [--poll-ms N]
+                    [--throttle-ms N] [--jobs N] [--exit-when-idle BOOL]
   pigeon experiment --language LANG [--files N] [--task vars|methods]
                     [--jobs N] [--max-length N] [--max-width N]
                     [--dataflow-contexts BOOL]
@@ -100,7 +110,8 @@ USAGE:
                     [--list-codes true]
 
 Flags take `--name value` or `--name=value`; a flag a subcommand does
-not know is an error, never silently ignored.
+not know is an error, never silently ignored. `pigeon <command> --help`
+prints that command's flag table with one line of help per flag.
 
 LANG: js | java | python | csharp
 LEVEL: full | no-arrows | forget-order | first-top-last | first-last | top | no-path
@@ -143,6 +154,22 @@ DISTRIBUTED & INCREMENTAL TRAINING:
                     truncated count tables seed the statistics).
                     Compiled .pgnc models cannot be updated — update the
                     JSON model and recompile.
+
+MULTI-BOX DISTRIBUTED TRAINING:
+  `pigeon coordinate --cache-dir DIR` runs a model-less coordinator.
+  POST a job to /v1/train-jobs ({\"corpus_dir\", \"language\", \"out\",
+  \"shard_count\", knobs…}); `pigeon work --coordinator URL` workers
+  poll /v1/leases for shard assignments, extract their slice of the
+  (shared-filesystem) corpus, and upload partials to /v1/partials.
+  Partials are content-addressed by (training config, shard coords,
+  corpus bytes): a worker checks GET /v1/partials/<key> before doing
+  any work, so re-runs and restarts only re-extract shards whose
+  inputs actually changed. Shards whose lease expires (straggler or
+  dead worker) are reassigned with capped exponential backoff. Once
+  coverage is exact the coordinator merges and writes `out` —
+  byte-identical to one single-process `pigeon train` — and serves it
+  as the active model. `pigeon serve --cache-dir DIR` arms the same
+  surface next to an already-loaded model.
 
 COMPILE:
   Freezes a JSON model into the compiled binary artifact (`.pgnc`):
@@ -196,12 +223,20 @@ SERVE (v1 API; every JSON response carries \"api\": \"pigeon/1\"):
   POST /v1/models        <model JSON or .pgnc artifact bytes> — load +
                          hot-swap the active model (format sniffed)
   GET  /v1/models        list loaded model versions
+  GET  /v1/models/<v>    one version's detail + per-version counters
+  POST /v1/train-jobs    start a distributed train job (coordinator)
+  GET  /v1/train-jobs    list jobs; /v1/train-jobs/<id> adds per-shard
+                         states; /v1/train-jobs/<id>/model the result
+  POST /v1/leases        worker shard-assignment poll
+  POST /v1/partials      upload one .pgnc training partial
+  GET  /v1/partials/<k>  fetch a cached partial by content address
   GET  /v1/stats         request/latency/throughput counters, per-model
                          version slices (JSON)
   GET  /v1/health        liveness probe
   GET  /v1/metrics       Prometheus text exposition
-  Unversioned paths (/predict, /stats, …) still answer, with a
-  `Deprecation: true` header. Error bodies carry a stable `code`.
+  Unversioned paths (/predict, /stats, …) still answer, with
+  `Deprecation: true` + `Sunset` headers. Error bodies carry a stable
+  `code`. The full route contract lives in API.md.
   Connections are HTTP/1.1 keep-alive; /v1/predict requests coalesce
   into micro-batches through a bounded admission queue (full queue →
   429 with Retry-After).
@@ -253,12 +288,19 @@ fn parse_flags(args: &[String]) -> Result<(Flags, Vec<String>), String> {
     Ok((flags, positional))
 }
 
+/// One flag a subcommand accepts: `(name, one-line help)`. Each command
+/// declares a single table, and that table drives both validation
+/// ([`check_flags`]) and the generated `pigeon <command> --help` output
+/// ([`print_command_help`]) — the help can never drift from what the
+/// command actually accepts.
+type FlagSpec = (&'static str, &'static str);
+
 /// Rejects flags the subcommand does not understand: a typo like
 /// `--max-legnth` must be an error, not a silently applied default.
-fn check_flags(command: &str, flags: &Flags, allowed: &[&str]) -> Result<(), String> {
+fn check_flags(command: &str, flags: &Flags, allowed: &[FlagSpec]) -> Result<(), String> {
     for (name, _) in flags {
-        if !allowed.contains(&name.as_str()) {
-            let allowed_list: Vec<String> = allowed.iter().map(|a| format!("--{a}")).collect();
+        if !allowed.iter().any(|(a, _)| a == name) {
+            let allowed_list: Vec<String> = allowed.iter().map(|(a, _)| format!("--{a}")).collect();
             return Err(format!(
                 "unknown flag --{name} for `pigeon {command}` (allowed: {})",
                 allowed_list.join(", ")
@@ -266,6 +308,35 @@ fn check_flags(command: &str, flags: &Flags, allowed: &[&str]) -> Result<(), Str
         }
     }
     Ok(())
+}
+
+/// `--help`/`-h` anywhere in a subcommand's arguments. Checked before
+/// [`parse_flags`] runs: `--help` takes no value, which the parser
+/// would otherwise reject.
+fn help_requested(args: &[String]) -> bool {
+    args.iter().any(|a| a == "--help" || a == "-h")
+}
+
+/// Renders a command's help from the same flag table `check_flags`
+/// validates against.
+fn print_command_help(command: &str, summary: &str, positional: &str, allowed: &[FlagSpec]) {
+    let width = allowed.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+    println!("pigeon {command} — {summary}");
+    println!();
+    println!("USAGE:");
+    let trailer = if positional.is_empty() {
+        String::new()
+    } else {
+        format!(" {positional}")
+    };
+    println!("  pigeon {command} [FLAGS]{trailer}");
+    if !allowed.is_empty() {
+        println!();
+        println!("FLAGS:");
+        for (name, help) in allowed {
+            println!("  --{name:<width$}  {help}");
+        }
+    }
 }
 
 fn flag<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
@@ -352,13 +423,32 @@ fn load_model(path: &str) -> Result<Pigeon, String> {
     Pigeon::load(&read_bytes(path)?).map_err(|e| format!("{path}: {e}"))
 }
 
+const PATHS_FLAGS: &[FlagSpec] = &[
+    ("language", "source language: js | java | python | csharp"),
+    (
+        "max-length",
+        "longest AST path kept (default 7, the paper's Table 2 setting)",
+    ),
+    ("max-width", "widest AST path kept (default 3)"),
+    (
+        "abstraction",
+        "path abstraction level: full | no-arrows | forget-order | first-top-last | \
+         first-last | top | no-path",
+    ),
+];
+
 fn cmd_paths(args: &[String]) -> Result<(), String> {
+    if help_requested(args) {
+        print_command_help(
+            "paths",
+            "print a file's AST path-contexts",
+            "FILE",
+            PATHS_FLAGS,
+        );
+        return Ok(());
+    }
     let (flags, positional) = parse_flags(args)?;
-    check_flags(
-        "paths",
-        &flags,
-        &["language", "max-length", "max-width", "abstraction"],
-    )?;
+    check_flags("paths", &flags, PATHS_FLAGS)?;
     let language = required_language(&flags)?;
     let [file] = positional.as_slice() else {
         return Err("expected exactly one FILE".into());
@@ -389,20 +479,28 @@ fn cmd_paths(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// The file extension `pigeon generate` writes and `pigeon audit` walks
-/// directories for.
-fn language_ext(language: Language) -> &'static str {
-    match language {
-        Language::JavaScript => "js",
-        Language::Java => "java",
-        Language::Python => "py",
-        Language::CSharp => "cs",
-    }
-}
+const GENERATE_FLAGS: &[FlagSpec] = &[
+    ("language", "source language: js | java | python | csharp"),
+    ("files", "number of files to generate (default 100)"),
+    ("seed", "corpus generator seed (default 0x914700D5)"),
+    (
+        "jobs",
+        "verification worker threads; 0 = all cores (default 1)",
+    ),
+];
 
 fn cmd_generate(args: &[String]) -> Result<(), String> {
+    if help_requested(args) {
+        print_command_help(
+            "generate",
+            "write a synthetic training corpus",
+            "DIR",
+            GENERATE_FLAGS,
+        );
+        return Ok(());
+    }
     let (flags, positional) = parse_flags(args)?;
-    check_flags("generate", &flags, &["language", "files", "seed", "jobs"])?;
+    check_flags("generate", &flags, GENERATE_FLAGS)?;
     let language = required_language(&flags)?;
     let [dir] = positional.as_slice() else {
         return Err("expected exactly one output DIR".into());
@@ -544,32 +642,72 @@ fn checkpoint_path(dir: &str) -> std::path::PathBuf {
     Path::new(dir).join("checkpoint.pgnc")
 }
 
+const TRAIN_FLAGS: &[FlagSpec] = &[
+    ("language", "source language: js | java | python | csharp"),
+    ("out", "where to write the trained model (MODEL.json)"),
+    ("task", "prediction target: vars (default) | methods"),
+    ("max-length", "longest AST path kept (default 4)"),
+    ("max-width", "widest AST path kept (default 3)"),
+    (
+        "jobs",
+        "worker threads; 0 = all cores (default 1; output is identical for any value)",
+    ),
+    (
+        "keep-prob",
+        "path-context keep probability in (0, 1] (default 1.0)",
+    ),
+    (
+        "dataflow-contexts",
+        "also extract edge-typed data-flow path-contexts (default false)",
+    ),
+    ("synthetic", "train on N generated files instead of FILEs"),
+    (
+        "shard",
+        "run only the I-th of N corpus slices (I/N); requires --emit-partial",
+    ),
+    (
+        "emit-partial",
+        "where the shard's partial statistics go (OUT.pgnc)",
+    ),
+    (
+        "checkpoint-every",
+        "snapshot SGD state every N epochs (requires --checkpoint-dir)",
+    ),
+    (
+        "checkpoint-dir",
+        "directory holding the training checkpoint",
+    ),
+    (
+        "resume",
+        "resume from a checkpoint directory (same corpus and flags)",
+    ),
+    (
+        "update",
+        "fold new documents into this existing JSON model (requires --add)",
+    ),
+    ("add", "directory of new documents for --update"),
+    (
+        "trace-out",
+        "write a Chrome trace-event JSON timeline to FILE",
+    ),
+    (
+        "timings",
+        "print a per-phase wall-time table to stderr (true|false)",
+    ),
+];
+
 fn cmd_train(args: &[String]) -> Result<(), String> {
+    if help_requested(args) {
+        print_command_help(
+            "train",
+            "train a name-prediction model",
+            "[FILE...]",
+            TRAIN_FLAGS,
+        );
+        return Ok(());
+    }
     let (flags, positional) = parse_flags(args)?;
-    check_flags(
-        "train",
-        &flags,
-        &[
-            "language",
-            "out",
-            "task",
-            "max-length",
-            "max-width",
-            "jobs",
-            "keep-prob",
-            "dataflow-contexts",
-            "synthetic",
-            "shard",
-            "emit-partial",
-            "checkpoint-every",
-            "checkpoint-dir",
-            "resume",
-            "update",
-            "add",
-            "trace-out",
-            "timings",
-        ],
-    )?;
+    check_flags("train", &flags, TRAIN_FLAGS)?;
     // A shard worker writes only its partial; every other mode writes a
     // model and therefore needs --out.
     let model_out = flag(&flags, "out");
@@ -766,18 +904,50 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
     }
 }
 
+const MERGE_FLAGS: &[FlagSpec] = &[
+    (
+        "out",
+        "where to write the finished model (MODEL.json or MODEL.pgnc)",
+    ),
+    (
+        "quantize",
+        "artifact weight quantization: f32 (default) | f16 | i8",
+    ),
+    (
+        "trace-out",
+        "write a Chrome trace-event JSON timeline to FILE",
+    ),
+    (
+        "timings",
+        "print a per-phase wall-time table to stderr (true|false)",
+    ),
+];
+
 fn cmd_merge(args: &[String]) -> Result<(), String> {
-    // `-o` is the conventional short form for the merge output.
+    if help_requested(args) {
+        print_command_help(
+            "merge",
+            "combine shard partials into a finished model",
+            "PART.pgnc...",
+            MERGE_FLAGS,
+        );
+        return Ok(());
+    }
+    // `-o` was the original short form for the merge output; it still
+    // works for one release while every command standardises on --out.
     let args: Vec<String> = args
         .iter()
-        .map(|a| if a == "-o" { "--out".into() } else { a.clone() })
+        .map(|a| {
+            if a == "-o" {
+                eprintln!("warning: `pigeon merge -o` is deprecated; use --out");
+                "--out".into()
+            } else {
+                a.clone()
+            }
+        })
         .collect();
     let (flags, positional) = parse_flags(&args)?;
-    check_flags(
-        "merge",
-        &flags,
-        &["out", "quantize", "trace-out", "timings"],
-    )?;
+    check_flags("merge", &flags, MERGE_FLAGS)?;
     let out = flag(&flags, "out").ok_or("--out is required (MODEL.json or MODEL.pgnc)")?;
     if positional.is_empty() {
         return Err(
@@ -811,11 +981,41 @@ fn cmd_merge(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+const COMPILE_FLAGS: &[FlagSpec] = &[
+    ("out", "where to write the compiled artifact (OUT.pgnc)"),
+    ("quantize", "weight quantization: f32 (default) | f16 | i8"),
+];
+
 fn cmd_compile(args: &[String]) -> Result<(), String> {
+    if help_requested(args) {
+        print_command_help(
+            "compile",
+            "freeze a model into the compiled binary artifact",
+            "MODEL.json",
+            COMPILE_FLAGS,
+        );
+        return Ok(());
+    }
     let (flags, positional) = parse_flags(args)?;
-    check_flags("compile", &flags, &["quantize"])?;
-    let [input, output] = positional.as_slice() else {
-        return Err("expected exactly MODEL.json OUT.pgnc".into());
+    check_flags("compile", &flags, COMPILE_FLAGS)?;
+    // The standard spelling is `--out OUT.pgnc MODEL.json`; the original
+    // two-positional form still works for one release.
+    let (input, output) = match (flag(&flags, "out"), positional.as_slice()) {
+        (Some(out), [input]) => (input.as_str(), out),
+        (None, [input, output]) => {
+            eprintln!(
+                "warning: `pigeon compile MODEL OUT` with a positional output is \
+                 deprecated; use --out OUT.pgnc"
+            );
+            (input.as_str(), output.as_str())
+        }
+        (Some(_), rest) => {
+            return Err(format!(
+                "--out takes exactly one MODEL positional, got {}",
+                rest.len()
+            ));
+        }
+        (None, _) => return Err("expected `pigeon compile --out OUT.pgnc MODEL.json`".into()),
     };
     let quant = match flag(&flags, "quantize") {
         None => Quant::F32,
@@ -836,9 +1036,33 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+const PREDICT_FLAGS: &[FlagSpec] = &[
+    (
+        "model",
+        "trained model to load, JSON or compiled .pgnc (sniffed by magic)",
+    ),
+    (
+        "trace-out",
+        "write a Chrome trace-event JSON timeline to FILE",
+    ),
+    (
+        "timings",
+        "print a per-phase wall-time table to stderr (true|false)",
+    ),
+];
+
 fn cmd_predict(args: &[String]) -> Result<(), String> {
+    if help_requested(args) {
+        print_command_help(
+            "predict",
+            "suggest names for a file's elements",
+            "FILE",
+            PREDICT_FLAGS,
+        );
+        return Ok(());
+    }
     let (flags, positional) = parse_flags(args)?;
-    check_flags("predict", &flags, &["model", "trace-out", "timings"])?;
+    check_flags("predict", &flags, PREDICT_FLAGS)?;
     let model_path = flag(&flags, "model").ok_or("--model is required")?;
     let [file] = positional.as_slice() else {
         return Err("expected exactly one FILE".into());
@@ -869,26 +1093,97 @@ fn cmd_predict(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_serve(args: &[String]) -> Result<(), String> {
-    let (flags, positional) = parse_flags(args)?;
-    check_flags(
-        "serve",
-        &flags,
-        &[
-            "model",
-            "host",
-            "port",
-            "jobs",
-            "max-request-bytes",
+const SERVE_FLAGS: &[FlagSpec] = &[
+    (
+        "model",
+        "trained model to serve, JSON or compiled .pgnc (sniffed by magic)",
+    ),
+    ("host", "interface to bind (default 127.0.0.1)"),
+    (
+        "port",
+        "port to bind; 0 = ephemeral, printed on startup (default 7470)",
+    ),
+    ("jobs", "worker threads; 0 = one per core"),
+    ("max-request-bytes", "largest accepted request body"),
+    ("read-timeout-ms", "per-connection socket read timeout"),
+    (
+        "idle-timeout",
+        "exit after SECS without a request; 0 = serve forever",
+    ),
+    (
+        "keep-alive",
+        "honor HTTP/1.1 persistent connections (default true)",
+    ),
+    (
+        "max-conn-requests",
+        "requests served per connection before close (default 1000)",
+    ),
+    (
+        "batch-max",
+        "largest micro-batch handed to predict_batch (default 16)",
+    ),
+    (
+        "batch-wait-ms",
+        "how long the batcher waits for companion requests (default 2)",
+    ),
+    (
+        "queue-cap",
+        "queued predicts before the server answers 429 (default 256)",
+    ),
+    (
+        "cache-dir",
+        "partial cache directory; arms the distributed-training routes",
+    ),
+    (
+        "lease-timeout-ms",
+        "base shard-lease duration before reassignment (default 60000)",
+    ),
+];
+
+/// Builds a [`ServeConfig`] from the flag set `serve` and `coordinate`
+/// share — the two commands differ only in whether a model is loaded.
+fn serve_config(flags: &Flags) -> Result<ServeConfig, String> {
+    let defaults = ServeConfig::default();
+    let port = parse_usize(flags, "port", defaults.port as usize)?;
+    let port =
+        u16::try_from(port).map_err(|_| format!("--port expects 0..=65535, got `{port}`"))?;
+    let idle_secs = parse_usize(flags, "idle-timeout", 0)?;
+    Ok(ServeConfig {
+        host: flag(flags, "host").unwrap_or(&defaults.host).to_owned(),
+        port,
+        workers: parse_usize(flags, "jobs", defaults.workers)?,
+        max_request_bytes: parse_usize(flags, "max-request-bytes", defaults.max_request_bytes)?,
+        read_timeout: Duration::from_millis(parse_usize(
+            flags,
             "read-timeout-ms",
-            "idle-timeout",
-            "keep-alive",
-            "max-conn-requests",
-            "batch-max",
+            defaults.read_timeout.as_millis() as usize,
+        )? as u64),
+        idle_timeout: (idle_secs > 0).then(|| Duration::from_secs(idle_secs as u64)),
+        keep_alive: parse_bool(flags, "keep-alive", defaults.keep_alive)?,
+        max_conn_requests: parse_usize(flags, "max-conn-requests", defaults.max_conn_requests)?,
+        batch_max: parse_usize(flags, "batch-max", defaults.batch_max)?,
+        batch_wait: Duration::from_millis(parse_usize(
+            flags,
             "batch-wait-ms",
-            "queue-cap",
-        ],
-    )?;
+            defaults.batch_wait.as_millis() as usize,
+        )? as u64),
+        queue_cap: parse_usize(flags, "queue-cap", defaults.queue_cap)?,
+        cache_dir: flag(flags, "cache-dir").map(str::to_owned),
+        lease_timeout: Duration::from_millis(parse_usize(
+            flags,
+            "lease-timeout-ms",
+            defaults.lease_timeout.as_millis() as usize,
+        )? as u64),
+    })
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    if help_requested(args) {
+        print_command_help("serve", "HTTP prediction server (v1 API)", "", SERVE_FLAGS);
+        return Ok(());
+    }
+    let (flags, positional) = parse_flags(args)?;
+    check_flags("serve", &flags, SERVE_FLAGS)?;
     if !positional.is_empty() {
         return Err(format!(
             "serve takes no positional arguments, got `{}`",
@@ -897,52 +1192,163 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
     let model_path = flag(&flags, "model").ok_or("--model is required")?;
     let model = load_model(model_path)?;
-    let defaults = ServeConfig::default();
-    let port = parse_usize(&flags, "port", defaults.port as usize)?;
-    let port =
-        u16::try_from(port).map_err(|_| format!("--port expects 0..=65535, got `{port}`"))?;
-    let idle_secs = parse_usize(&flags, "idle-timeout", 0)?;
-    let config = ServeConfig {
-        host: flag(&flags, "host").unwrap_or(&defaults.host).to_owned(),
-        port,
-        workers: parse_usize(&flags, "jobs", defaults.workers)?,
-        max_request_bytes: parse_usize(&flags, "max-request-bytes", defaults.max_request_bytes)?,
-        read_timeout: Duration::from_millis(parse_usize(
-            &flags,
-            "read-timeout-ms",
-            defaults.read_timeout.as_millis() as usize,
-        )? as u64),
-        idle_timeout: (idle_secs > 0).then(|| Duration::from_secs(idle_secs as u64)),
-        keep_alive: parse_bool(&flags, "keep-alive", defaults.keep_alive)?,
-        max_conn_requests: parse_usize(&flags, "max-conn-requests", defaults.max_conn_requests)?,
-        batch_max: parse_usize(&flags, "batch-max", defaults.batch_max)?,
-        batch_wait: Duration::from_millis(parse_usize(
-            &flags,
-            "batch-wait-ms",
-            defaults.batch_wait.as_millis() as usize,
-        )? as u64),
-        queue_cap: parse_usize(&flags, "queue-cap", defaults.queue_cap)?,
-    };
-    serve(model, &config)
+    serve(model, &serve_config(&flags)?)
 }
 
+const COORDINATE_FLAGS: &[FlagSpec] = &[
+    (
+        "cache-dir",
+        "content-addressed partial cache directory (required)",
+    ),
+    ("host", "interface to bind (default 127.0.0.1)"),
+    (
+        "port",
+        "port to bind; 0 = ephemeral, printed on startup (default 7470)",
+    ),
+    (
+        "lease-timeout-ms",
+        "base shard-lease duration before reassignment (default 60000)",
+    ),
+    (
+        "idle-timeout",
+        "exit after SECS without a request; 0 = serve forever",
+    ),
+    (
+        "max-request-bytes",
+        "largest accepted partial upload (default 64 MiB)",
+    ),
+    ("read-timeout-ms", "per-connection socket read timeout"),
+    (
+        "keep-alive",
+        "honor HTTP/1.1 persistent connections (default true)",
+    ),
+    (
+        "max-conn-requests",
+        "requests served per connection before close (default 1000)",
+    ),
+];
+
+fn cmd_coordinate(args: &[String]) -> Result<(), String> {
+    if help_requested(args) {
+        print_command_help(
+            "coordinate",
+            "model-less distributed-training coordinator",
+            "",
+            COORDINATE_FLAGS,
+        );
+        return Ok(());
+    }
+    let (flags, positional) = parse_flags(args)?;
+    check_flags("coordinate", &flags, COORDINATE_FLAGS)?;
+    if !positional.is_empty() {
+        return Err(format!(
+            "coordinate takes no positional arguments, got `{}`",
+            positional[0]
+        ));
+    }
+    if flag(&flags, "cache-dir").is_none() {
+        return Err("--cache-dir is required (the content-addressed partial cache)".into());
+    }
+    let mut config = serve_config(&flags)?;
+    // Partial uploads are far larger than predict bodies; give the
+    // coordinator a roomier default body bound.
+    if flag(&flags, "max-request-bytes").is_none() {
+        config.max_request_bytes = 64 << 20;
+    }
+    coordinate(&config)
+}
+
+const WORK_FLAGS: &[FlagSpec] = &[
+    (
+        "coordinator",
+        "coordinator base URL, e.g. http://127.0.0.1:7470 (required)",
+    ),
+    (
+        "worker",
+        "worker name reported on leases (default worker-<pid>)",
+    ),
+    (
+        "poll-ms",
+        "delay between lease polls while waiting (default 500)",
+    ),
+    (
+        "throttle-ms",
+        "artificial delay before each upload (straggler injection; default 0)",
+    ),
+    ("jobs", "extraction worker threads; 0 = all cores"),
+    (
+        "exit-when-idle",
+        "exit once the coordinator has no work (default true)",
+    ),
+];
+
+fn cmd_work(args: &[String]) -> Result<(), String> {
+    if help_requested(args) {
+        print_command_help("work", "distributed-training worker loop", "", WORK_FLAGS);
+        return Ok(());
+    }
+    let (flags, positional) = parse_flags(args)?;
+    check_flags("work", &flags, WORK_FLAGS)?;
+    if !positional.is_empty() {
+        return Err(format!(
+            "work takes no positional arguments, got `{}`",
+            positional[0]
+        ));
+    }
+    let coordinator = flag(&flags, "coordinator")
+        .ok_or("--coordinator is required (e.g. http://127.0.0.1:7470)")?;
+    let options = WorkerOptions {
+        coordinator: coordinator.to_owned(),
+        name: flag(&flags, "worker")
+            .map(str::to_owned)
+            .unwrap_or_else(|| format!("worker-{}", std::process::id())),
+        poll: Duration::from_millis(parse_usize(&flags, "poll-ms", 500)? as u64),
+        throttle: Duration::from_millis(parse_usize(&flags, "throttle-ms", 0)? as u64),
+        jobs: parse_usize(&flags, "jobs", 0)?,
+        exit_when_idle: parse_bool(&flags, "exit-when-idle", true)?,
+    };
+    run_worker(&options)
+}
+
+const EXPERIMENT_FLAGS: &[FlagSpec] = &[
+    ("language", "source language: js | java | python | csharp"),
+    ("files", "synthetic corpus size (default 400)"),
+    ("task", "prediction target: vars (default) | methods"),
+    ("jobs", "worker threads; 0 = all cores (default 1)"),
+    (
+        "max-length",
+        "override the per-language tuned path length limit",
+    ),
+    (
+        "max-width",
+        "override the per-language tuned path width limit",
+    ),
+    (
+        "dataflow-contexts",
+        "also extract edge-typed data-flow path-contexts (default false)",
+    ),
+    (
+        "trace-out",
+        "write a Chrome trace-event JSON timeline to FILE",
+    ),
+    (
+        "timings",
+        "print a per-phase wall-time table to stderr (true|false)",
+    ),
+];
+
 fn cmd_experiment(args: &[String]) -> Result<(), String> {
+    if help_requested(args) {
+        print_command_help(
+            "experiment",
+            "train + evaluate on a synthetic corpus",
+            "",
+            EXPERIMENT_FLAGS,
+        );
+        return Ok(());
+    }
     let (flags, _) = parse_flags(args)?;
-    check_flags(
-        "experiment",
-        &flags,
-        &[
-            "language",
-            "files",
-            "task",
-            "jobs",
-            "max-length",
-            "max-width",
-            "dataflow-contexts",
-            "trace-out",
-            "timings",
-        ],
-    )?;
+    check_flags("experiment", &flags, EXPERIMENT_FLAGS)?;
     let language = required_language(&flags)?;
     let files = parse_usize(&flags, "files", 400)?;
     let task = flag(&flags, "task").unwrap_or("vars");
@@ -1042,21 +1448,49 @@ fn collect_audit_units(language: Language, paths: &[String]) -> Result<Vec<Sourc
     Ok(units)
 }
 
+const AUDIT_FLAGS: &[FlagSpec] = &[
+    (
+        "language",
+        "source language for PATHs: js | java | python | csharp",
+    ),
+    (
+        "model",
+        "model, partial or checkpoint to audit (kind sniffed from the container)",
+    ),
+    (
+        "format",
+        "report format: text (default) | json (schema pigeon-audit/1)",
+    ),
+    (
+        "deny",
+        "fail (exit 2) at or above this severity: info | warning | error (default)",
+    ),
+    (
+        "jobs",
+        "worker threads; 0 = all cores (output is byte-identical for any value)",
+    ),
+    (
+        "near-dups",
+        "run the O(files²) MinHash near-duplicate scan (default true)",
+    ),
+    (
+        "list-codes",
+        "print the diagnostic-code catalog and exit (true)",
+    ),
+];
+
 fn cmd_audit(args: &[String]) -> Result<ExitCode, String> {
+    if help_requested(args) {
+        print_command_help(
+            "audit",
+            "static-analysis audit over sources and models",
+            "[PATH...]",
+            AUDIT_FLAGS,
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
     let (flags, positional) = parse_flags(args)?;
-    check_flags(
-        "audit",
-        &flags,
-        &[
-            "language",
-            "model",
-            "format",
-            "deny",
-            "jobs",
-            "near-dups",
-            "list-codes",
-        ],
-    )?;
+    check_flags("audit", &flags, AUDIT_FLAGS)?;
     let format = flag(&flags, "format").unwrap_or("text");
     if !matches!(format, "text" | "json") {
         return Err(format!("--format expects text or json, got `{format}`"));

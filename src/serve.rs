@@ -77,19 +77,31 @@
 //! seconds without a request, joining all workers and the batcher before
 //! returning.
 
-use crate::{Pigeon, PigeonError, Prediction};
+use crate::{Pigeon, PigeonConfig, PigeonError, Prediction};
+use pigeon_corpus::Language;
+use pigeon_eval::coordinator::{
+    cache_key, config_fingerprint, corpus_shard_fingerprint, Lease, ShardBoard,
+};
+use pigeon_eval::partial::{config_knobs, decode_partial, PartialMeta};
+use pigeon_eval::{shard_range, ElementClass};
 use pigeon_telemetry as telemetry;
 use pigeon_telemetry::{Counter, Gauge, Histogram, Registry};
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
 use std::time::{Duration, Instant};
 
 /// The API version tag stamped on every JSON response.
 pub const API_VERSION: &str = "pigeon/1";
+
+/// The `Sunset` date advertised on deprecated unversioned paths (RFC
+/// 8594): the earliest the pre-`/v1` aliases may be removed. A fixed
+/// constant so clients and tests see one stable value.
+pub const DEPRECATED_SUNSET: &str = "Thu, 01 Jan 2026 00:00:00 GMT";
 
 /// Bucket bounds for the `pigeon_batch_size` histogram: micro-batches
 /// are sized by queue depth, capped by `--batch-max`.
@@ -129,6 +141,15 @@ pub struct ServeConfig {
     /// Admission-queue capacity; a submit past this answers `429` with
     /// `Retry-After`.
     pub queue_cap: usize,
+    /// Content-addressed partial cache directory. Setting it arms the
+    /// distributed-training surface (`/v1/partials`, `/v1/train-jobs`,
+    /// `/v1/leases`); `None` (plain `pigeon serve`) answers those routes
+    /// with a coded 409.
+    pub cache_dir: Option<String>,
+    /// Base shard-lease duration: a worker that has not uploaded its
+    /// shard within this window is presumed dead and the shard is
+    /// reassigned (with capped exponential backoff per retry).
+    pub lease_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -145,6 +166,8 @@ impl Default for ServeConfig {
             batch_max: 16,
             batch_wait: Duration::from_millis(2),
             queue_cap: 256,
+            cache_dir: None,
+            lease_timeout: Duration::from_secs(60),
         }
     }
 }
@@ -246,6 +269,18 @@ struct Stats {
     rejected: Arc<Counter>,
     /// Models activated via `POST /v1/models`.
     model_swaps: Arc<Counter>,
+    /// Validated partial uploads written newly into the cache.
+    partials_received: Arc<Counter>,
+    /// Uploads (or job-creation scans) satisfied by an existing cache
+    /// entry — the "unchanged shard never re-done" counter.
+    partials_cached: Arc<Counter>,
+    /// Partial uploads rejected (corrupt container or knob mismatch).
+    partials_rejected: Arc<Counter>,
+    /// Shards taken back from an expired lease and handed to another
+    /// worker.
+    reassignments: Arc<Counter>,
+    /// Requests answered on a deprecated unversioned path.
+    deprecated_requests: Arc<Counter>,
     /// Jobs currently waiting in the admission queue.
     queue_depth: Arc<Gauge>,
     /// Micro-batch sizes handed to `predict_batch`.
@@ -304,6 +339,39 @@ impl Stats {
             "pigeon_predict_latency_micros",
             "Predict endpoint latency in microseconds",
         );
+        registry.describe(
+            "pigeon_partials_received_total",
+            "Validated partial uploads newly written into the cache",
+        );
+        registry.describe(
+            "pigeon_partials_cached_total",
+            "Partial uploads or job shards satisfied by an existing cache entry",
+        );
+        registry.describe(
+            "pigeon_partials_rejected_total",
+            "Partial uploads rejected on decode or config mismatch",
+        );
+        registry.describe(
+            "pigeon_shard_reassignments_total",
+            "Shards reassigned after a lease deadline expired",
+        );
+        registry.describe(
+            "pigeon_deprecated_requests_total",
+            "Requests answered on a deprecated unversioned path",
+        );
+        registry.describe(
+            "pigeon_job_phase_micros",
+            "Train-job phase latency in microseconds, by phase",
+        );
+        // Eager label registration keeps the /v1/metrics schema stable
+        // from the first scrape.
+        for phase in ["collect", "merge"] {
+            registry.histogram(
+                "pigeon_job_phase_micros",
+                &[("phase", phase)],
+                telemetry::PHASE_BOUNDS,
+            );
+        }
         Stats {
             connections: registry.counter("pigeon_connections_total", &[]),
             requests: registry.counter("pigeon_requests_total", &[]),
@@ -311,6 +379,11 @@ impl Stats {
             predictions: registry.counter("pigeon_predictions_total", &[]),
             rejected: registry.counter("pigeon_queue_rejected_total", &[]),
             model_swaps: registry.counter("pigeon_model_swaps_total", &[]),
+            partials_received: registry.counter("pigeon_partials_received_total", &[]),
+            partials_cached: registry.counter("pigeon_partials_cached_total", &[]),
+            partials_rejected: registry.counter("pigeon_partials_rejected_total", &[]),
+            reassignments: registry.counter("pigeon_shard_reassignments_total", &[]),
+            deprecated_requests: registry.counter("pigeon_deprecated_requests_total", &[]),
             queue_depth: registry.gauge("pigeon_queue_depth", &[]),
             batch_size: registry.histogram("pigeon_batch_size", &[], BATCH_SIZE_BOUNDS),
             queue_wait: registry.histogram(
@@ -337,6 +410,17 @@ impl Stats {
                 &[("endpoint", endpoint), ("status", &status.to_string())],
             )
             .inc();
+    }
+
+    /// Observes one train-job phase duration (`collect` or `merge`).
+    fn observe_job_phase(&self, phase: &'static str, elapsed: Duration) {
+        self.registry
+            .histogram(
+                "pigeon_job_phase_micros",
+                &[("phase", phase)],
+                telemetry::PHASE_BOUNDS,
+            )
+            .observe(elapsed.as_micros() as u64);
     }
 
     fn record_latency(&self, elapsed: Duration) {
@@ -380,7 +464,7 @@ impl Stats {
                     "version": m.version,
                     "language": m.language,
                     "origin": m.origin.as_str(),
-                    "active": m.version == active_version,
+                    "active": Some(m.version) == active_version,
                     "predict_requests_total": m.predict_requests.load(Ordering::Relaxed),
                     "predictions_total": m.predictions.load(Ordering::Relaxed),
                     "errors_total": m.errors.load(Ordering::Relaxed),
@@ -451,25 +535,39 @@ impl ModelVersion {
 }
 
 /// The versioned model registry behind `POST /v1/models`: an append-only
-/// version list plus an atomically swappable active handle.
+/// version list plus an atomically swappable active handle. A
+/// coordinator-mode server starts with no model at all — the predict
+/// routes answer a coded 409 until a model is installed (via `POST
+/// /v1/models` or a finished train job).
 struct ModelRegistry {
     versions: RwLock<Vec<Arc<ModelVersion>>>,
-    active: RwLock<Arc<ModelVersion>>,
+    active: RwLock<Option<Arc<ModelVersion>>>,
 }
 
 impl ModelRegistry {
-    fn new(model: Pigeon, origin: &str) -> Self {
-        let entry = Arc::new(ModelVersion::new(1, model, origin));
-        ModelRegistry {
-            versions: RwLock::new(vec![Arc::clone(&entry)]),
-            active: RwLock::new(entry),
+    fn new(model: Option<Pigeon>, origin: &str) -> Self {
+        match model {
+            Some(model) => {
+                let entry = Arc::new(ModelVersion::new(1, model, origin));
+                ModelRegistry {
+                    versions: RwLock::new(vec![Arc::clone(&entry)]),
+                    active: RwLock::new(Some(entry)),
+                }
+            }
+            None => ModelRegistry {
+                versions: RwLock::new(Vec::new()),
+                active: RwLock::new(None),
+            },
         }
     }
 
     /// The version new work should run against. Callers keep the `Arc`
     /// for the whole batch, so a concurrent swap cannot unload it.
-    fn active(&self) -> Arc<ModelVersion> {
-        Arc::clone(&self.active.read().unwrap_or_else(PoisonError::into_inner))
+    fn active(&self) -> Option<Arc<ModelVersion>> {
+        self.active
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 
     /// Registers `model` as the next version and atomically makes it
@@ -481,13 +579,23 @@ impl ModelRegistry {
             .unwrap_or_else(PoisonError::into_inner);
         let entry = Arc::new(ModelVersion::new(versions.len() as u64 + 1, model, origin));
         versions.push(Arc::clone(&entry));
-        *self.active.write().unwrap_or_else(PoisonError::into_inner) = Arc::clone(&entry);
+        *self.active.write().unwrap_or_else(PoisonError::into_inner) = Some(Arc::clone(&entry));
         entry
     }
 
+    /// One version by number (`GET /v1/models/<version>`).
+    fn get(&self, version: u64) -> Option<Arc<ModelVersion>> {
+        self.versions
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .find(|m| m.version == version)
+            .cloned()
+    }
+
     /// `(active version, all versions in load order)`.
-    fn snapshot(&self) -> (u64, Vec<Arc<ModelVersion>>) {
-        let active = self.active().version;
+    fn snapshot(&self) -> (Option<u64>, Vec<Arc<ModelVersion>>) {
+        let active = self.active().map(|m| m.version);
         let versions = self
             .versions
             .read()
@@ -495,6 +603,17 @@ impl ModelRegistry {
             .clone();
         (active, versions)
     }
+}
+
+/// The coded 409 every inference route answers while no model is
+/// loaded (a coordinator started without `--model`).
+fn no_model_error() -> HttpError {
+    HttpError::new(
+        409,
+        "Conflict",
+        "no-model",
+        "no model is loaded; POST one to /v1/models or finish a train job".to_owned(),
+    )
 }
 
 /// One queued predict job: the program source and the channel its
@@ -620,6 +739,8 @@ struct ServerCtx {
     started: Instant,
     /// Inference fan-out inside one micro-batch.
     infer_jobs: usize,
+    /// Distributed-training coordination, armed by `--cache-dir`.
+    coord: Option<CoordState>,
 }
 
 /// The batcher: drains the admission queue into `predict_batch` calls
@@ -628,7 +749,20 @@ struct ServerCtx {
 /// killing the thread.
 fn run_batcher(ctx: &ServerCtx, cfg: &ServeConfig) {
     while let Some(batch) = ctx.queue.next_batch(cfg.batch_max.max(1), cfg.batch_wait) {
-        let entry = ctx.models.active();
+        let Some(entry) = ctx.models.active() else {
+            // Model-less coordinator: the predict route answers 409
+            // before submitting, so this only covers the race where the
+            // active model disappeared between submit and drain (it
+            // cannot today — versions are append-only — but the batcher
+            // must never panic on the invariant).
+            for job in &batch {
+                let _ = job.reply.send(JobReply {
+                    result: Err(PigeonError::internal("no model loaded")),
+                    model_version: 0,
+                });
+            }
+            continue;
+        };
         ctx.stats.batch_size.observe(batch.len() as u64);
         let now = Instant::now();
         for job in &batch {
@@ -762,25 +896,32 @@ impl HttpError {
 }
 
 /// A successful response body: JSON for the API endpoints, Prometheus
-/// text for `/metrics`.
+/// text for `/metrics`, raw bytes for partial/model downloads.
 enum Payload {
     Json(serde_json::Value),
     Metrics(String),
+    /// `(content type, body)` — served verbatim (`GET /v1/partials/…`,
+    /// `GET /v1/train-jobs/…/model`).
+    Bytes(&'static str, Vec<u8>),
 }
 
-fn render_response(
+/// Renders the status line and headers (through the blank line); the
+/// caller writes the body bytes separately so binary payloads never
+/// round-trip through a `String`. Deprecated (pre-`/v1`) responses
+/// carry both the `Deprecation` marker and the RFC 8594 `Sunset` date.
+fn render_head(
     status: u16,
     reason: &str,
     content_type: &str,
     deprecated: bool,
     connection: &str,
     retry_after: Option<u64>,
-    body: &str,
+    body_len: usize,
 ) -> String {
     let deprecation = if deprecated {
-        "Deprecation: true\r\n"
+        format!("Deprecation: true\r\nSunset: {DEPRECATED_SUNSET}\r\n")
     } else {
-        ""
+        String::new()
     };
     let retry = match retry_after {
         Some(secs) => format!("Retry-After: {secs}\r\n"),
@@ -788,8 +929,7 @@ fn render_response(
     };
     format!(
         "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {}\r\n{deprecation}{retry}Connection: {connection}\r\n\r\n{body}",
-        body.len()
+         Content-Length: {body_len}\r\n{deprecation}{retry}Connection: {connection}\r\n\r\n"
     )
 }
 
@@ -959,9 +1099,580 @@ fn parse_json_body(body: &[u8]) -> Result<serde_json::Value, HttpError> {
         .map_err(|e| HttpError::bad_request(format!("request is not valid JSON: {e}")))
 }
 
+/// The shared validation path for binary uploads (`POST /v1/models`,
+/// `POST /v1/partials`): reject empty bodies, run the format-specific
+/// decoder, and map any load failure to a 400 carrying the error's
+/// stable code (`model-format`, `parse`, …) — one contract for every
+/// upload endpoint instead of per-route hand-rolling.
+fn validated_upload<T>(
+    body: &[u8],
+    decode: impl FnOnce(&[u8]) -> Result<T, PigeonError>,
+) -> Result<T, HttpError> {
+    if body.is_empty() {
+        return Err(HttpError::bad_request("empty upload body".to_owned()));
+    }
+    decode(body).map_err(|e| HttpError::new(400, "Bad Request", e.code(), e.to_string()))
+}
+
+// ---------------------------------------------------------------------
+// Distributed training: job coordination + content-addressed cache.
+// ---------------------------------------------------------------------
+
+/// Where a train job is in its lifecycle.
+enum JobPhase {
+    /// Shards outstanding; workers are polling `/v1/leases`.
+    Running,
+    /// Coverage was exact and the finishing merge wrote the model.
+    Done,
+    /// The finishing merge failed (kept for post-mortem via the status
+    /// route; the partials stay in the cache).
+    Failed(String),
+}
+
+impl JobPhase {
+    fn name(&self) -> &'static str {
+        match self {
+            JobPhase::Running => "running",
+            JobPhase::Done => "done",
+            JobPhase::Failed(_) => "failed",
+        }
+    }
+}
+
+/// One distributed train job: the corpus + knobs from `POST
+/// /v1/train-jobs`, the per-shard board, and bookkeeping for the status
+/// route.
+struct CoordJob {
+    id: u64,
+    language: Language,
+    corpus_dir: String,
+    /// Where the finished model JSON lands (server-side path).
+    out: String,
+    shard_count: u32,
+    total_docs: u32,
+    /// The meta every uploaded partial must agree with knob-for-knob
+    /// (`shard_index` is per-upload and ignored in the comparison).
+    expected: PartialMeta,
+    board: ShardBoard,
+    /// Shards found in the cache at job creation.
+    cached_at_creation: u32,
+    reassignments: u64,
+    phase: JobPhase,
+    /// Coordinator-clock creation time (for the `collect` phase timer).
+    created_ms: u64,
+}
+
+/// Coordination state, armed by `--cache-dir` (both `pigeon serve` and
+/// `pigeon coordinate`). All mutable state sits behind one mutex — the
+/// board operations are microseconds; only the finishing merge holds it
+/// for longer, and by then every worker is done anyway.
+struct CoordState {
+    cache_dir: PathBuf,
+    lease_timeout: Duration,
+    jobs: Mutex<Vec<CoordJob>>,
+    next_job_id: AtomicU64,
+}
+
+impl CoordState {
+    fn new(cache_dir: &str, lease_timeout: Duration) -> Result<Self, String> {
+        std::fs::create_dir_all(cache_dir).map_err(|e| format!("{cache_dir}: {e}"))?;
+        Ok(CoordState {
+            cache_dir: PathBuf::from(cache_dir),
+            lease_timeout,
+            jobs: Mutex::new(Vec::new()),
+            next_job_id: AtomicU64::new(1),
+        })
+    }
+
+    /// The on-disk cache path for a content address.
+    fn partial_path(&self, key: &str) -> PathBuf {
+        self.cache_dir.join(format!("{key}.pgnc"))
+    }
+}
+
+/// The coordination surface is not armed on this server.
+fn no_coordinator_error() -> HttpError {
+    HttpError::new(
+        409,
+        "Conflict",
+        "no-coordinator",
+        "distributed training is not enabled; start with --cache-dir or `pigeon coordinate`"
+            .to_owned(),
+    )
+}
+
+/// Milliseconds on the coordinator's monotonic clock (lease deadlines).
+fn coord_now_ms(ctx: &ServerCtx) -> u64 {
+    ctx.started.elapsed().as_millis() as u64
+}
+
+/// Writes `bytes` atomically (tmp + rename) so a crashed or concurrent
+/// write can never leave a torn file behind a content address.
+fn atomic_write(path: &std::path::Path, bytes: &[u8]) -> Result<(), String> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, bytes)
+        .and_then(|()| std::fs::rename(&tmp, path))
+        .map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// JSON field accessors for the train-job request body.
+fn json_str<'a>(v: &'a serde_json::Value, field: &str) -> Option<&'a str> {
+    v.get(field).and_then(|s| s.as_str())
+}
+
+fn json_u64(v: &serde_json::Value, field: &str, default: u64) -> Result<u64, HttpError> {
+    match v.get(field) {
+        None => Ok(default),
+        Some(n) => n
+            .as_u64()
+            .ok_or_else(|| HttpError::bad_request(format!("`{field}` must be a number"))),
+    }
+}
+
+fn json_f64(v: &serde_json::Value, field: &str, default: f64) -> Result<f64, HttpError> {
+    match v.get(field) {
+        None => Ok(default),
+        Some(n) => n
+            .as_f64()
+            .ok_or_else(|| HttpError::bad_request(format!("`{field}` must be a number"))),
+    }
+}
+
+fn json_bool(v: &serde_json::Value, field: &str, default: bool) -> Result<bool, HttpError> {
+    match v.get(field) {
+        None => Ok(default),
+        Some(b) => b
+            .as_bool()
+            .ok_or_else(|| HttpError::bad_request(format!("`{field}` must be a boolean"))),
+    }
+}
+
+/// Derives every shard's content address for a job: FNV-1a of the
+/// config fingerprint (over the same knob table `merge_partials`
+/// compares), the shard coordinates, and the shard's file names +
+/// bytes. Touching one corpus file moves exactly that shard's key.
+fn derive_shard_keys(
+    expected: &PartialMeta,
+    files: &[(String, String)],
+    shard_count: u32,
+) -> Vec<String> {
+    let config_fp = config_fingerprint(&config_knobs(expected));
+    (0..shard_count)
+        .map(|i| {
+            let range = shard_range(files.len(), i as usize, shard_count as usize);
+            let corpus_fp = corpus_shard_fingerprint(
+                files[range].iter().map(|(n, s)| (n.as_str(), s.as_bytes())),
+            );
+            cache_key(config_fp, i, shard_count, corpus_fp)
+        })
+        .collect()
+}
+
+/// `POST /v1/train-jobs`: create a job from a corpus dir + knobs, scan
+/// the cache for shards that are already done, and (when everything was
+/// cached) run the finishing merge immediately.
+fn create_train_job(ctx: &ServerCtx, req: &Request) -> Result<Payload, HttpError> {
+    let coord = ctx.coord.as_ref().ok_or_else(no_coordinator_error)?;
+    let value = parse_json_body(&req.body)?;
+    let corpus_dir = json_str(&value, "corpus_dir")
+        .ok_or_else(|| HttpError::bad_request("`corpus_dir` (string) is required".to_owned()))?;
+    let out = json_str(&value, "out")
+        .ok_or_else(|| HttpError::bad_request("`out` (string) is required".to_owned()))?;
+    let language_name = json_str(&value, "language")
+        .ok_or_else(|| HttpError::bad_request("`language` (string) is required".to_owned()))?;
+    let language = Language::from_name(language_name).ok_or_else(|| {
+        HttpError::new(
+            400,
+            "Bad Request",
+            "config",
+            format!("unknown language `{language_name}`"),
+        )
+    })?;
+    let target = match json_str(&value, "target").unwrap_or("variables") {
+        "variables" | "vars" => ElementClass::Variable,
+        "methods" => ElementClass::Method,
+        other => {
+            return Err(HttpError::new(
+                400,
+                "Bad Request",
+                "config",
+                format!("unknown target `{other}` (variables|methods)"),
+            ))
+        }
+    };
+    let shard_count = json_u64(&value, "shard_count", 1)? as u32;
+    if shard_count == 0 {
+        return Err(HttpError::new(
+            400,
+            "Bad Request",
+            "config",
+            "`shard_count` must be at least 1".to_owned(),
+        ));
+    }
+    // The same validating builder the CLI trains through: bad knobs are
+    // a coded 400 naming the constraint, not a job that fails later.
+    let config = PigeonConfig::builder()
+        .limits(
+            json_u64(&value, "max_length", 4)? as usize,
+            json_u64(&value, "max_width", 3)? as usize,
+        )
+        .keep_prob(json_f64(&value, "keep_prob", 1.0)?)
+        .dataflow_contexts(json_bool(&value, "dataflow_contexts", false)?)
+        .build()
+        .map_err(|e| HttpError::new(400, "Bad Request", e.code(), e.to_string()))?;
+    let files = crate::distrib::list_corpus(language, corpus_dir)
+        .map_err(|e| HttpError::new(400, "Bad Request", "io", e))?;
+    let total_docs = files.len() as u32;
+    let expected =
+        crate::training_partial_meta(language, target, &config, 0, shard_count, total_docs);
+    let keys = derive_shard_keys(&expected, &files, shard_count);
+
+    let mut board = ShardBoard::new(keys, coord.lease_timeout.as_millis().max(1) as u64);
+    let mut cached = 0u32;
+    for (i, shard) in board.shards().to_vec().iter().enumerate() {
+        if coord.partial_path(&shard.key).is_file() {
+            board.mark_cached(i);
+            ctx.stats.partials_cached.inc();
+            cached += 1;
+        }
+    }
+
+    let id = coord.next_job_id.fetch_add(1, Ordering::Relaxed);
+    let mut job = CoordJob {
+        id,
+        language,
+        corpus_dir: corpus_dir.to_owned(),
+        out: out.to_owned(),
+        shard_count,
+        total_docs,
+        expected,
+        board,
+        cached_at_creation: cached,
+        reassignments: 0,
+        phase: JobPhase::Running,
+        created_ms: coord_now_ms(ctx),
+    };
+    if job.board.all_uploaded() {
+        // Every shard was already in the cache: nothing to assign.
+        ctx.stats
+            .observe_job_phase("collect", Duration::from_millis(0));
+        finish_job(ctx, coord, &mut job);
+    }
+    let response = serde_json::json!({
+        "id": id,
+        "shard_count": shard_count,
+        "total_docs": total_docs,
+        "cached": cached,
+        "phase": job.phase.name(),
+        "out": job.out,
+    });
+    lock_unpoisoned(&coord.jobs).push(job);
+    Ok(Payload::Json(response))
+}
+
+/// The finishing pass once coverage is exact: read every shard's
+/// partial from the cache, run the PR 8 merge (byte-identical to the
+/// single-process run), write the model atomically to the job's `out`,
+/// and make it this server's active model version.
+fn finish_job(ctx: &ServerCtx, coord: &CoordState, job: &mut CoordJob) {
+    let t = Instant::now();
+    let outcome = (|| -> Result<(), String> {
+        let parts: Vec<Vec<u8>> = job
+            .board
+            .shards()
+            .iter()
+            .map(|s| {
+                let path = coord.partial_path(&s.key);
+                std::fs::read(&path).map_err(|e| format!("{}: {e}", path.display()))
+            })
+            .collect::<Result<_, _>>()?;
+        let model = Pigeon::from_partials(&parts).map_err(|e| e.to_string())?;
+        let json = model.to_json().map_err(|e| e.to_string())?;
+        atomic_write(std::path::Path::new(&job.out), json.as_bytes())?;
+        ctx.models.install(model, "train-job");
+        Ok(())
+    })();
+    ctx.stats.observe_job_phase("merge", t.elapsed());
+    match outcome {
+        Ok(()) => {
+            job.board.mark_merged();
+            job.phase = JobPhase::Done;
+            println!(
+                "pigeon coordinate: job {} merged {} shards → {}",
+                job.id, job.shard_count, job.out
+            );
+        }
+        Err(e) => {
+            eprintln!("pigeon coordinate: job {} merge failed: {e}", job.id);
+            job.phase = JobPhase::Failed(e);
+        }
+    }
+}
+
+/// `POST /v1/partials`: ingest one `.pgnc` partial. The body is decoded
+/// and fully validated (checksums, count-map structure) before any disk
+/// write; its meta is matched against the jobs' expected configuration
+/// — a knob mismatch is a coded 400 naming the knob. Valid partials
+/// land in the content-addressed cache (atomic write), advance their
+/// shard, and trigger the finishing merge when they complete coverage.
+fn ingest_partial(ctx: &ServerCtx, req: &Request) -> Result<Payload, HttpError> {
+    let coord = ctx.coord.as_ref().ok_or_else(no_coordinator_error)?;
+    let partial = validated_upload(&req.body, |bytes| {
+        decode_partial(bytes).map_err(PigeonError::model_format)
+    })
+    .inspect_err(|_| ctx.stats.partials_rejected.inc())?;
+    let meta = &partial.meta;
+
+    let mut jobs = lock_unpoisoned(&coord.jobs);
+    // Match the upload to a job by shard geometry, newest job first;
+    // remember the first knob mismatch so the error can name the knob.
+    let mut mismatch: Option<String> = None;
+    let mut matched: Option<usize> = None;
+    for (pos, job) in jobs.iter().enumerate().rev() {
+        if job.expected.shard_count != meta.shard_count
+            || job.expected.total_docs != meta.total_docs
+            || meta.shard_index >= job.shard_count
+        {
+            continue;
+        }
+        let disagreement = config_knobs(&job.expected)
+            .iter()
+            .zip(config_knobs(meta))
+            .find_map(|((knob, want), (_, got))| {
+                (*want != got).then(|| {
+                    format!("partial disagrees with job {} on {knob}: job has {want}, partial has {got}",
+                        job.id)
+                })
+            });
+        match disagreement {
+            Some(message) => mismatch = Some(message),
+            None => {
+                matched = Some(pos);
+                break;
+            }
+        }
+    }
+    let Some(pos) = matched else {
+        ctx.stats.partials_rejected.inc();
+        return Err(match mismatch {
+            Some(message) => HttpError::new(400, "Bad Request", "config", message),
+            None => HttpError::new(
+                409,
+                "Conflict",
+                "no-job",
+                format!(
+                    "no train job matches this partial's shard geometry \
+                     ({}/{} over {} docs)",
+                    meta.shard_index, meta.shard_count, meta.total_docs
+                ),
+            ),
+        });
+    };
+
+    let now_ms = coord_now_ms(ctx);
+    let job = &mut jobs[pos];
+    let index = meta.shard_index as usize;
+    let key = job.board.shards()[index].key.clone();
+    let path = coord.partial_path(&key);
+    let existed = path.is_file();
+    if existed {
+        ctx.stats.partials_cached.inc();
+    } else {
+        atomic_write(&path, &req.body)
+            .map_err(|e| HttpError::new(500, "Internal Server Error", "io", e))?;
+        ctx.stats.partials_received.inc();
+    }
+    let newly = job.board.mark_uploaded(index, None);
+    if newly && job.board.all_uploaded() && matches!(job.phase, JobPhase::Running) {
+        ctx.stats
+            .observe_job_phase("collect", Duration::from_millis(now_ms - job.created_ms));
+        finish_job(ctx, coord, job);
+    }
+    Ok(Payload::Json(serde_json::json!({
+        "key": key,
+        "job": job.id,
+        "shard_index": index,
+        "cached": existed,
+        "phase": job.phase.name(),
+    })))
+}
+
+/// `GET /v1/partials/<key>`: serve a cached partial's bytes — the
+/// pre-flight workers run before extracting anything.
+fn fetch_partial(ctx: &ServerCtx, key: &str) -> Result<Payload, HttpError> {
+    let coord = ctx.coord.as_ref().ok_or_else(no_coordinator_error)?;
+    // Content addresses are exactly 16 lowercase hex digits; anything
+    // else (and in particular anything with path separators) is not a
+    // key, so this doubles as the path-traversal guard.
+    if key.len() != 16 || !key.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err(HttpError::new(
+            404,
+            "Not Found",
+            "not-found",
+            format!("`{key}` is not a partial cache key"),
+        ));
+    }
+    match std::fs::read(coord.partial_path(key)) {
+        Ok(bytes) => Ok(Payload::Bytes("application/octet-stream", bytes)),
+        Err(_) => Err(HttpError::new(
+            404,
+            "Not Found",
+            "not-found",
+            format!("no cached partial for key {key}"),
+        )),
+    }
+}
+
+/// `POST /v1/leases`: hand the polling worker a shard to extract —
+/// first any pending shard, then any shard whose lease expired (a
+/// straggler or a dead worker). The reply carries everything the worker
+/// needs: corpus location, knobs, shard coordinates, and the content
+/// address to check before doing any work.
+fn lease_shard(ctx: &ServerCtx, req: &Request) -> Result<Payload, HttpError> {
+    let coord = ctx.coord.as_ref().ok_or_else(no_coordinator_error)?;
+    let value = parse_json_body(&req.body)?;
+    let worker = json_str(&value, "worker").unwrap_or("anonymous");
+    let now_ms = coord_now_ms(ctx);
+    let mut jobs = lock_unpoisoned(&coord.jobs);
+    let mut waiting = false;
+    let mut running = 0u64;
+    for job in jobs.iter_mut() {
+        if !matches!(job.phase, JobPhase::Running) {
+            continue;
+        }
+        running += 1;
+        match job.board.lease(now_ms, worker) {
+            Lease::Assigned { index, reassigned } => {
+                if reassigned {
+                    job.reassignments += 1;
+                    ctx.stats.reassignments.inc();
+                }
+                let shard = &job.board.shards()[index];
+                let m = &job.expected;
+                return Ok(Payload::Json(serde_json::json!({
+                    "status": "assigned",
+                    "job": job.id,
+                    "worker": worker,
+                    "shard_index": index,
+                    "shard_count": job.shard_count,
+                    "total_docs": job.total_docs,
+                    "cache_key": shard.key,
+                    "corpus_dir": job.corpus_dir,
+                    "language": m.language,
+                    "target": m.target,
+                    "max_length": m.max_length,
+                    "max_width": m.max_width,
+                    "keep_prob": m.keep_prob,
+                    "dataflow_contexts": m.dataflow_contexts,
+                    "deadline_ms": shard.deadline_ms,
+                    "reassigned": reassigned,
+                })));
+            }
+            Lease::Wait => waiting = true,
+            Lease::Complete => {}
+        }
+    }
+    Ok(Payload::Json(if waiting {
+        serde_json::json!({ "status": "wait" })
+    } else {
+        serde_json::json!({ "status": "idle", "active_jobs": running })
+    }))
+}
+
+/// One job's status JSON (`GET /v1/train-jobs[/{id}]`). `detailed` adds
+/// the per-shard state machine.
+fn job_status_json(job: &CoordJob, detailed: bool) -> serde_json::Value {
+    let (pending, assigned, uploaded, merged) = job.board.phase_counts();
+    let mut status = serde_json::json!({
+        "id": job.id,
+        "phase": job.phase.name(),
+        "language": job.language.name(),
+        "corpus_dir": job.corpus_dir,
+        "out": job.out,
+        "shard_count": job.shard_count,
+        "total_docs": job.total_docs,
+        "cached": job.cached_at_creation,
+        "reassignments": job.reassignments,
+        "shards_pending": pending,
+        "shards_assigned": assigned,
+        "shards_uploaded": uploaded,
+        "shards_merged": merged,
+    });
+    if let serde_json::Value::Object(map) = &mut status {
+        if let JobPhase::Failed(error) = &job.phase {
+            map.insert("error".to_owned(), serde_json::Value::String(error.clone()));
+        }
+        if detailed {
+            let shards: Vec<serde_json::Value> = job
+                .board
+                .shards()
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    serde_json::json!({
+                        "index": i,
+                        "key": s.key,
+                        "phase": s.phase.name(),
+                        "source": s.source.name(),
+                        "worker": s.worker.clone().unwrap_or_default(),
+                        "attempts": s.attempts,
+                    })
+                })
+                .collect();
+            map.insert("shards".to_owned(), serde_json::Value::Array(shards));
+        }
+    }
+    status
+}
+
+/// Routes `GET /v1/train-jobs/<id>[/model]`.
+fn get_train_job(ctx: &ServerCtx, path: &str) -> Result<Payload, HttpError> {
+    let coord = ctx.coord.as_ref().ok_or_else(no_coordinator_error)?;
+    let rest = path.strip_prefix("/v1/train-jobs/").unwrap_or_default();
+    let (id_part, want_model) = match rest.strip_suffix("/model") {
+        Some(id) => (id, true),
+        None => (rest, false),
+    };
+    let not_found = || {
+        HttpError::new(
+            404,
+            "Not Found",
+            "not-found",
+            format!("no train job `{id_part}`"),
+        )
+    };
+    let id: u64 = id_part.parse().map_err(|_| not_found())?;
+    let jobs = lock_unpoisoned(&coord.jobs);
+    let job = jobs.iter().find(|j| j.id == id).ok_or_else(not_found)?;
+    if !want_model {
+        return Ok(Payload::Json(job_status_json(job, true)));
+    }
+    if !matches!(job.phase, JobPhase::Done) {
+        return Err(HttpError::new(
+            409,
+            "Conflict",
+            "not-ready",
+            format!(
+                "job {id} is {}; the model exists once it is done",
+                job.phase.name()
+            ),
+        ));
+    }
+    let bytes = std::fs::read(&job.out).map_err(|e| {
+        HttpError::new(
+            500,
+            "Internal Server Error",
+            "io",
+            format!("{}: {e}", job.out),
+        )
+    })?;
+    Ok(Payload::Bytes("application/json", bytes))
+}
+
 /// Maps a request path to its canonical v1 endpoint, flagging the
-/// pre-versioning aliases (they answer, but with a `Deprecation: true`
-/// header). Unknown paths come back as `("other", false)` so the
+/// pre-versioning aliases (they answer, but with `Deprecation: true`
+/// and `Sunset` headers). Resource ids collapse to `{…}` placeholders
+/// and unknown paths come back as `("other", false)`, so the
 /// request-counter label set stays bounded however clients probe.
 fn canonical_endpoint(path: &str) -> (&'static str, bool) {
     match path {
@@ -976,6 +1687,15 @@ fn canonical_endpoint(path: &str) -> (&'static str, bool) {
         "/health" => ("/v1/health", true),
         "/v1/metrics" => ("/v1/metrics", false),
         "/metrics" => ("/v1/metrics", true),
+        "/v1/partials" => ("/v1/partials", false),
+        "/v1/train-jobs" => ("/v1/train-jobs", false),
+        "/v1/leases" => ("/v1/leases", false),
+        p if p.starts_with("/v1/models/") => ("/v1/models/{version}", false),
+        p if p.starts_with("/v1/partials/") => ("/v1/partials/{key}", false),
+        p if p.starts_with("/v1/train-jobs/") && p.ends_with("/model") => {
+            ("/v1/train-jobs/{id}/model", false)
+        }
+        p if p.starts_with("/v1/train-jobs/") => ("/v1/train-jobs/{id}", false),
         _ => ("other", false),
     }
 }
@@ -986,6 +1706,9 @@ fn route(ctx: &ServerCtx, endpoint: &'static str, req: &Request) -> Result<Paylo
     match (req.method.as_str(), endpoint) {
         ("POST", "/v1/predict") => {
             let t = Instant::now();
+            if ctx.models.active().is_none() {
+                return Err(no_model_error());
+            }
             let value = parse_json_body(&req.body)?;
             let source = value
                 .get("source")
@@ -1038,7 +1761,7 @@ fn route(ctx: &ServerCtx, endpoint: &'static str, req: &Request) -> Result<Paylo
             // A client-assembled batch is already a batch: it runs
             // directly against the active model instead of being split
             // through the admission queue.
-            let entry = ctx.models.active();
+            let entry = ctx.models.active().ok_or_else(no_model_error)?;
             let mut results = Vec::with_capacity(sources.len());
             for source in sources {
                 let Some(source) = source.as_str() else {
@@ -1082,8 +1805,7 @@ fn route(ctx: &ServerCtx, endpoint: &'static str, req: &Request) -> Result<Paylo
             } else {
                 "json"
             };
-            let model = Pigeon::load(&req.body)
-                .map_err(|e| HttpError::new(400, "Bad Request", e.code(), e.to_string()))?;
+            let model = validated_upload(&req.body, Pigeon::load)?;
             let entry = ctx.models.install(model, "api");
             stats.model_swaps.inc();
             Ok(Payload::Json(serde_json::json!({
@@ -1102,15 +1824,60 @@ fn route(ctx: &ServerCtx, endpoint: &'static str, req: &Request) -> Result<Paylo
                         "version": m.version,
                         "language": m.language,
                         "origin": m.origin.as_str(),
-                        "active": m.version == active_version,
+                        "active": Some(m.version) == active_version,
                     })
                 })
                 .collect();
+            // `active_version` renders as the bare integer when a model
+            // is loaded (`"active_version":2`) and `null` on a
+            // model-less coordinator.
             Ok(Payload::Json(serde_json::json!({
                 "active_version": active_version,
                 "models": serde_json::Value::Array(list),
             })))
         }
+        ("GET", "/v1/models/{version}") => {
+            let id = req.path.strip_prefix("/v1/models/").unwrap_or_default();
+            let not_found = || {
+                HttpError::new(
+                    404,
+                    "Not Found",
+                    "not-found",
+                    format!("no model version `{id}`"),
+                )
+            };
+            let version: u64 = id.parse().map_err(|_| not_found())?;
+            let (active_version, _) = ctx.models.snapshot();
+            let m = ctx.models.get(version).ok_or_else(not_found)?;
+            Ok(Payload::Json(serde_json::json!({
+                "version": m.version,
+                "language": m.language,
+                "origin": m.origin.as_str(),
+                "active": Some(m.version) == active_version,
+                "predict_requests": m.predict_requests.load(Ordering::Relaxed),
+                "predictions": m.predictions.load(Ordering::Relaxed),
+                "errors": m.errors.load(Ordering::Relaxed),
+            })))
+        }
+        ("POST", "/v1/partials") => ingest_partial(ctx, req),
+        ("GET", "/v1/partials/{key}") => fetch_partial(
+            ctx,
+            req.path.strip_prefix("/v1/partials/").unwrap_or_default(),
+        ),
+        ("POST", "/v1/train-jobs") => create_train_job(ctx, req),
+        ("GET", "/v1/train-jobs") => {
+            let coord = ctx.coord.as_ref().ok_or_else(no_coordinator_error)?;
+            let jobs = lock_unpoisoned(&coord.jobs);
+            let list: Vec<serde_json::Value> =
+                jobs.iter().map(|j| job_status_json(j, false)).collect();
+            Ok(Payload::Json(serde_json::json!({
+                "jobs": serde_json::Value::Array(list),
+            })))
+        }
+        ("GET", "/v1/train-jobs/{id}") | ("GET", "/v1/train-jobs/{id}/model") => {
+            get_train_job(ctx, &req.path)
+        }
+        ("POST", "/v1/leases") => lease_shard(ctx, req),
         ("GET", "/v1/stats") => Ok(Payload::Json(
             stats.to_json(ctx.started.elapsed(), &ctx.models),
         )),
@@ -1166,48 +1933,74 @@ fn handle_connection(stream: TcpStream, ctx: &ServerCtx, cfg: &ServeConfig) {
                 }
             };
         let connection = if close_after { "close" } else { "keep-alive" };
-        let response = match result {
+        if deprecated {
+            ctx.stats.deprecated_requests.inc();
+        }
+        let (head, body) = match result {
             Ok(Payload::Json(body)) => {
                 ctx.stats.record_http(endpoint, 200);
                 let body = serde_json::to_string(&with_api(body))
-                    .unwrap_or_else(|_| INTERNAL_ERROR_BODY.to_owned());
-                render_response(
+                    .unwrap_or_else(|_| INTERNAL_ERROR_BODY.to_owned())
+                    .into_bytes();
+                let head = render_head(
                     200,
                     "OK",
                     "application/json",
                     deprecated,
                     connection,
                     None,
-                    &body,
-                )
+                    body.len(),
+                );
+                (head, body)
             }
             Ok(Payload::Metrics(text)) => {
                 ctx.stats.record_http(endpoint, 200);
-                render_response(
+                let body = text.into_bytes();
+                let head = render_head(
                     200,
                     "OK",
                     "text/plain; version=0.0.4; charset=utf-8",
                     deprecated,
                     connection,
                     None,
-                    &text,
-                )
+                    body.len(),
+                );
+                (head, body)
+            }
+            Ok(Payload::Bytes(content_type, body)) => {
+                ctx.stats.record_http(endpoint, 200);
+                let head = render_head(
+                    200,
+                    "OK",
+                    content_type,
+                    deprecated,
+                    connection,
+                    None,
+                    body.len(),
+                );
+                (head, body)
             }
             Err(e) => {
                 ctx.stats.errors.inc();
                 ctx.stats.record_http(endpoint, e.status);
-                render_response(
+                let body = error_body(e.code, &e.message).into_bytes();
+                let head = render_head(
                     e.status,
                     e.reason,
                     "application/json",
                     deprecated,
                     connection,
                     e.retry_after,
-                    &error_body(e.code, &e.message),
-                )
+                    body.len(),
+                );
+                (head, body)
             }
         };
-        if (&stream).write_all(response.as_bytes()).is_err() {
+        if (&stream)
+            .write_all(head.as_bytes())
+            .and_then(|()| (&stream).write_all(&body))
+            .is_err()
+        {
             break;
         }
         let _ = (&stream).flush();
@@ -1216,6 +2009,43 @@ fn handle_connection(stream: TcpStream, ctx: &ServerCtx, cfg: &ServeConfig) {
             break;
         }
     }
+}
+
+/// A bound-but-not-yet-serving server: the listener exists (so the
+/// ephemeral port is known) but no thread is accepting. Lets embedders
+/// — the serving benchmark in particular — learn the address before
+/// handing the thread to [`BoundServer::run`].
+pub struct BoundServer {
+    listener: TcpListener,
+    addr: SocketAddr,
+    cfg: ServeConfig,
+}
+
+/// Binds the configured address without serving yet.
+///
+/// # Errors
+///
+/// Returns a message when the listen address cannot be bound.
+pub fn bind(cfg: &ServeConfig) -> Result<BoundServer, String> {
+    let listener = TcpListener::bind((cfg.host.as_str(), cfg.port))
+        .map_err(|e| format!("cannot bind {}:{}: {e}", cfg.host, cfg.port))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("cannot resolve listen address: {e}"))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("cannot poll listener: {e}"))?;
+    Ok(BoundServer {
+        listener,
+        addr,
+        cfg: cfg.clone(),
+    })
+}
+
+/// Asks a running [`BoundServer::run`] loop in this process to shut
+/// down, exactly as SIGINT would.
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
 }
 
 /// Runs the server until SIGINT/SIGTERM or the idle timeout.
@@ -1228,115 +2058,174 @@ fn handle_connection(stream: TcpStream, ctx: &ServerCtx, cfg: &ServeConfig) {
 ///
 /// Returns a message when the listen address cannot be bound.
 pub fn serve(model: Pigeon, cfg: &ServeConfig) -> Result<(), String> {
-    let infer_jobs = pigeon_eval::effective_jobs(cfg.workers);
-    // Connection workers are I/O-bound (they park in read_line between
-    // keep-alive requests), so the pool gets a floor: with keep-alive, a
-    // single parked connection would otherwise pin the only worker on a
-    // 1-core host and starve new clients for a whole read timeout.
-    let workers = infer_jobs.max(4);
-    let listener = TcpListener::bind((cfg.host.as_str(), cfg.port))
-        .map_err(|e| format!("cannot bind {}:{}: {e}", cfg.host, cfg.port))?;
-    let addr = listener
-        .local_addr()
-        .map_err(|e| format!("cannot resolve listen address: {e}"))?;
-    listener
-        .set_nonblocking(true)
-        .map_err(|e| format!("cannot poll listener: {e}"))?;
-    SHUTDOWN.store(false, Ordering::SeqCst);
-    install_shutdown_handler();
+    bind(cfg)?.run(Some(model))
+}
 
-    let stats = Stats::new();
-    let queue = AdmissionQueue::new(cfg.queue_cap, Arc::clone(&stats.queue_depth));
-    let ctx = ServerCtx {
-        models: ModelRegistry::new(model, "startup"),
-        queue,
-        stats,
-        started: Instant::now(),
-        infer_jobs,
-    };
-    let (tx, rx) = mpsc::channel::<TcpStream>();
-    let rx = Arc::new(Mutex::new(rx));
+/// Runs a model-less coordinator: the distributed-training surface
+/// (`/v1/train-jobs`, `/v1/partials`, `/v1/leases`) without an initial
+/// model. Predict routes answer a coded 409 until a train job finishes
+/// (the merged model becomes the active version) or one is POSTed.
+///
+/// # Errors
+///
+/// Returns a message when `cache_dir` is unset or cannot be created, or
+/// the listen address cannot be bound.
+pub fn coordinate(cfg: &ServeConfig) -> Result<(), String> {
+    if cfg.cache_dir.is_none() {
+        return Err("pigeon coordinate requires --cache-dir".to_owned());
+    }
+    bind(cfg)?.run(None)
+}
 
-    println!(
-        "pigeon serve: {} model, listening on http://{addr} ({workers} worker{}, \
-         keep-alive {}, batch-max {}, queue-cap {})",
-        ctx.models.active().language,
-        if workers == 1 { "" } else { "s" },
-        if cfg.keep_alive { "on" } else { "off" },
-        cfg.batch_max,
-        cfg.queue_cap,
-    );
+impl BoundServer {
+    /// The bound address (with the resolved port when `port` was 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
 
-    std::thread::scope(|scope| {
-        let ctx = &ctx;
-        let batcher = scope.spawn(move || run_batcher(ctx, cfg));
-        let worker_handles: Vec<_> = (0..workers)
-            .map(|_| {
-                let rx = Arc::clone(&rx);
-                scope.spawn(move || loop {
-                    // Holding the lock only for the recv keeps workers
-                    // draining the queue independently; recovering from
-                    // poisoning keeps the pool alive even if a sibling
-                    // panicked while holding it.
-                    let stream = lock_unpoisoned(&rx).recv();
-                    match stream {
-                        Ok(stream) => handle_connection(stream, ctx, cfg),
-                        Err(_) => break, // accept loop hung up: shutdown
-                    }
+    /// Serves until SIGINT/SIGTERM, [`request_shutdown`], or the idle
+    /// timeout. `model: None` starts in coordinator mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the partial cache directory cannot be
+    /// created.
+    pub fn run(self, model: Option<Pigeon>) -> Result<(), String> {
+        let BoundServer {
+            listener,
+            addr,
+            cfg,
+        } = self;
+        let cfg = &cfg;
+        let infer_jobs = pigeon_eval::effective_jobs(cfg.workers);
+        // Connection workers are I/O-bound (they park in read_line between
+        // keep-alive requests), so the pool gets a floor: with keep-alive, a
+        // single parked connection would otherwise pin the only worker on a
+        // 1-core host and starve new clients for a whole read timeout.
+        let workers = infer_jobs.max(4);
+        SHUTDOWN.store(false, Ordering::SeqCst);
+        install_shutdown_handler();
+
+        let coord = match &cfg.cache_dir {
+            Some(dir) => Some(CoordState::new(dir, cfg.lease_timeout)?),
+            None => None,
+        };
+        let mode = if model.is_some() {
+            "serve"
+        } else {
+            "coordinate"
+        };
+        let stats = Stats::new();
+        let queue = AdmissionQueue::new(cfg.queue_cap, Arc::clone(&stats.queue_depth));
+        let ctx = ServerCtx {
+            models: ModelRegistry::new(model, "startup"),
+            queue,
+            stats,
+            started: Instant::now(),
+            infer_jobs,
+            coord,
+        };
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+
+        let cache_note = match &cfg.cache_dir {
+            Some(dir) => format!(", cache-dir {dir}"),
+            None => String::new(),
+        };
+        match ctx.models.active() {
+            Some(entry) => println!(
+                "pigeon {mode}: {} model, listening on http://{addr} ({workers} worker{}, \
+                 keep-alive {}, batch-max {}, queue-cap {}{cache_note})",
+                entry.language,
+                if workers == 1 { "" } else { "s" },
+                if cfg.keep_alive { "on" } else { "off" },
+                cfg.batch_max,
+                cfg.queue_cap,
+            ),
+            None => println!(
+                "pigeon {mode}: no model, listening on http://{addr} ({workers} worker{}, \
+                 keep-alive {}{cache_note})",
+                if workers == 1 { "" } else { "s" },
+                if cfg.keep_alive { "on" } else { "off" },
+            ),
+        }
+
+        std::thread::scope(|scope| {
+            let ctx = &ctx;
+            let batcher = scope.spawn(move || run_batcher(ctx, cfg));
+            let worker_handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let rx = Arc::clone(&rx);
+                    scope.spawn(move || loop {
+                        // Holding the lock only for the recv keeps workers
+                        // draining the queue independently; recovering from
+                        // poisoning keeps the pool alive even if a sibling
+                        // panicked while holding it.
+                        let stream = lock_unpoisoned(&rx).recv();
+                        match stream {
+                            Ok(stream) => handle_connection(stream, ctx, cfg),
+                            Err(_) => break, // accept loop hung up: shutdown
+                        }
+                    })
                 })
-            })
-            .collect();
+                .collect();
 
-        let mut last_activity = Instant::now();
-        loop {
-            if SHUTDOWN.load(Ordering::SeqCst) {
-                break;
-            }
-            if let Some(idle) = cfg.idle_timeout {
-                if last_activity.elapsed() >= idle {
+            let mut last_activity = Instant::now();
+            loop {
+                if SHUTDOWN.load(Ordering::SeqCst) {
                     break;
                 }
-            }
-            match listener.accept() {
-                Ok((stream, _)) => {
-                    last_activity = Instant::now();
-                    // The listener polls; connections block (with the
-                    // read timeout) so workers do not spin.
-                    let _ = stream.set_nonblocking(false);
-                    if tx.send(stream).is_err() {
+                if let Some(idle) = cfg.idle_timeout {
+                    if last_activity.elapsed() >= idle {
                         break;
                     }
                 }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(5));
-                }
-                Err(e) => {
-                    eprintln!("pigeon serve: accept failed: {e}");
-                    std::thread::sleep(Duration::from_millis(50));
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        last_activity = Instant::now();
+                        // The listener polls; connections block (with the
+                        // read timeout) so workers do not spin.
+                        let _ = stream.set_nonblocking(false);
+                        // Responses go out as two writes (head, body);
+                        // without TCP_NODELAY, Nagle holds the second
+                        // segment for the peer's delayed ACK (~40 ms) on
+                        // every keep-alive round trip.
+                        let _ = stream.set_nodelay(true);
+                        if tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(e) => {
+                        eprintln!("pigeon serve: accept failed: {e}");
+                        std::thread::sleep(Duration::from_millis(50));
+                    }
                 }
             }
-        }
-        // Dropping the sender ends every connection worker's recv loop;
-        // join them first (their in-flight predicts still need the
-        // batcher), then close the queue so the batcher drains and
-        // exits. The scope would join everything anyway — the explicit
-        // order is what guarantees no request is dropped mid-shutdown.
-        drop(tx);
-        for handle in worker_handles {
-            let _ = handle.join();
-        }
-        ctx.queue.close();
-        let _ = batcher.join();
-    });
+            // Dropping the sender ends every connection worker's recv loop;
+            // join them first (their in-flight predicts still need the
+            // batcher), then close the queue so the batcher drains and
+            // exits. The scope would join everything anyway — the explicit
+            // order is what guarantees no request is dropped mid-shutdown.
+            drop(tx);
+            for handle in worker_handles {
+                let _ = handle.join();
+            }
+            ctx.queue.close();
+            let _ = batcher.join();
+        });
 
-    println!(
-        "pigeon serve: shut down after {} requests ({} errors, {} predictions) in {:.1}s",
-        ctx.stats.requests.get(),
-        ctx.stats.errors.get(),
-        ctx.stats.predictions.get(),
-        ctx.started.elapsed().as_secs_f64(),
-    );
-    Ok(())
+        println!(
+            "pigeon {mode}: shut down after {} requests ({} errors, {} predictions) in {:.1}s",
+            ctx.stats.requests.get(),
+            ctx.stats.errors.get(),
+            ctx.stats.predictions.get(),
+            ctx.started.elapsed().as_secs_f64(),
+        );
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -1489,14 +2378,14 @@ mod tests {
                 &PigeonConfig::default(),
             )
             .expect("trains");
-            ModelRegistry::new(model, "test")
+            ModelRegistry::new(Some(model), "test")
         }
     }
 
     #[test]
     fn model_registry_swaps_atomically_and_keeps_old_versions() {
         let registry = ModelRegistry::new_for_tests();
-        let v1 = registry.active();
+        let v1 = registry.active().expect("startup model is active");
         assert_eq!(v1.version, 1);
         assert_eq!(v1.origin, "test");
         let second = Pigeon::train_variable_namer(
@@ -1507,12 +2396,12 @@ mod tests {
         .expect("trains");
         let v2 = registry.install(second, "api");
         assert_eq!(v2.version, 2);
-        assert_eq!(registry.active().version, 2);
+        assert_eq!(registry.active().expect("active").version, 2);
         // The old handle stays usable after the swap — this is what
         // keeps in-flight batches alive through a hot swap.
         assert!(v1.model.predict("function h(y) { return y; }").is_ok());
         let (active, versions) = registry.snapshot();
-        assert_eq!(active, 2);
+        assert_eq!(active, Some(2));
         assert_eq!(
             versions.iter().map(|m| m.version).collect::<Vec<_>>(),
             [1, 2]

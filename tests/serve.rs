@@ -504,7 +504,16 @@ fn serve_v1_api_contract() {
             head.contains("Deprecation: true"),
             "{path} must signal deprecation: {head}"
         );
+        // RFC 8594: deprecated responses also announce when the alias
+        // goes away.
+        assert!(
+            head.contains("Sunset: "),
+            "{path} must carry a Sunset date: {head}"
+        );
     }
+    // v1 paths never carry the Sunset header.
+    let (_, head, _) = get_full(&addr, "/v1/health");
+    assert!(!head.contains("Sunset"), "{head}");
 
     // The Prometheus exposition: request counters by endpoint and
     // status, the predict latency histogram, and content-type framing.
@@ -520,6 +529,8 @@ fn serve_v1_api_contract() {
         "pigeon_predict_latency_micros_bucket",
         "le=\"+Inf\"",
         "pigeon_predictions_total",
+        // The four deprecated-alias requests above must be counted.
+        "pigeon_deprecated_requests_total 4",
     ] {
         assert!(metrics.contains(needle), "missing {needle} in:\n{metrics}");
     }
